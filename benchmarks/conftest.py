@@ -1,0 +1,41 @@
+"""Shared benchmark infrastructure.
+
+Each benchmark module regenerates one paper artifact (table/figure),
+prints a paper-vs-measured report, writes it under
+``benchmarks/reports/``, and asserts the paper's qualitative *shape*
+properties.  Paper-scale comparisons are memoized per process by
+``repro.experiments.runner``, so artifacts sharing runs (Figs. 6-9,
+Table 3) pay for each search once per session.
+"""
+
+import logging
+from pathlib import Path
+
+import pytest
+
+logging.disable(logging.INFO)
+
+REPORT_DIR = Path(__file__).parent / "reports"
+
+
+@pytest.fixture(scope="session")
+def report_dir():
+    REPORT_DIR.mkdir(exist_ok=True)
+    return REPORT_DIR
+
+
+@pytest.fixture
+def emit_report(report_dir):
+    """Print a report and persist it under benchmarks/reports/."""
+
+    def _emit(name: str, text: str) -> str:
+        print(f"\n{text}\n")
+        (report_dir / f"{name}.txt").write_text(text + "\n", encoding="utf-8")
+        return text
+
+    return _emit
+
+
+def run_once(benchmark, fn, *args, **kwargs):
+    """Run an expensive experiment exactly once under pytest-benchmark."""
+    return benchmark.pedantic(fn, args=args, kwargs=kwargs, rounds=1, iterations=1)

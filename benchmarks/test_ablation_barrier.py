@@ -1,0 +1,66 @@
+"""Benchmark ablation: what the generation barrier costs.
+
+Paper §2.5: "GPU downtime can be accumulated as the number of networks
+within each generation may not be divisible by the number of available
+GPUs ... at the end of each generation's evaluation, some downtime may
+occur."  This ablation replays the same A4NN workload with and without
+the barrier, quantifying that downtime across pool sizes.
+"""
+
+import pytest
+
+from benchmarks.conftest import run_once
+from repro.experiments import DEFAULT_SEED, get_comparison
+from repro.experiments.reporting import ReportTable
+from repro.scheduler import simulate_walltime
+from repro.xfel import BeamIntensity
+
+
+def run_barrier_ablation(seed=DEFAULT_SEED):
+    comparison = get_comparison(BeamIntensity.MEDIUM, seed=seed)
+    rows = []
+    for n_gpus in (1, 2, 4, 8):
+        with_barrier = simulate_walltime(comparison.a4nn.search, n_gpus, barrier=True)
+        without = simulate_walltime(comparison.a4nn.search, n_gpus, barrier=False)
+        rows.append((n_gpus, with_barrier, without))
+    return rows
+
+
+@pytest.mark.benchmark(group="ablation")
+def test_generation_barrier_cost(benchmark, emit_report):
+    rows = run_once(benchmark, run_barrier_ablation)
+
+    table = ReportTable(
+        "gpus",
+        "barrier h",
+        "no-barrier h",
+        "downtime h",
+        "util (barrier)",
+        "util (async)",
+    )
+    for n_gpus, with_barrier, without in rows:
+        table.row(
+            n_gpus,
+            with_barrier.wall_hours,
+            without.wall_hours,
+            with_barrier.wall_hours - without.wall_hours,
+            with_barrier.utilization,
+            without.utilization,
+        )
+    emit_report(
+        "ablation_barrier",
+        table.render("Ablation: generation-barrier cost (medium intensity, A4NN)"),
+    )
+
+    by_gpus = {n: (wb, wo) for n, wb, wo in rows}
+    # one GPU: the barrier is free (nothing to idle)
+    wb1, wo1 = by_gpus[1]
+    assert wb1.wall_seconds == pytest.approx(wo1.wall_seconds, rel=1e-9)
+    # multiple GPUs: the barrier costs wall time and utilization
+    for n in (2, 4, 8):
+        wb, wo = by_gpus[n]
+        assert wo.wall_seconds <= wb.wall_seconds
+        assert wo.utilization >= wb.utilization
+    # the cost grows with pool size (more GPUs idle at each barrier)
+    downtime = {n: by_gpus[n][0].wall_seconds - by_gpus[n][1].wall_seconds for n in (2, 4, 8)}
+    assert downtime[8] >= downtime[2] - 1e-6

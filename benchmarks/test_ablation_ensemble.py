@@ -1,0 +1,49 @@
+"""Benchmark ablation: single-function engine vs the ensemble extension."""
+
+import math
+
+import pytest
+
+from benchmarks.conftest import run_once
+from repro.core import EnsemblePredictionEngine, PredictionEngine, measure_engine_behaviour
+from repro.experiments.ablation_functions import _curve_bank
+from repro.experiments.reporting import ReportTable
+
+
+def run_ensemble_ablation(n_per_regime=25, seed=13, n_epochs=25):
+    curves = _curve_bank(n_per_regime, seed, n_epochs)
+    single = measure_engine_behaviour(PredictionEngine(), curves, max_epochs=n_epochs)
+    ensemble = measure_engine_behaviour(
+        EnsemblePredictionEngine(), curves, max_epochs=n_epochs
+    )
+    return single, ensemble
+
+
+@pytest.mark.benchmark(group="ablation")
+def test_ensemble_vs_single_engine(benchmark, emit_report):
+    single, ensemble = run_once(benchmark, run_ensemble_ablation)
+
+    table = ReportTable(
+        "engine", "% converged", "mean e_t", "mean epochs saved", "mean |error| %"
+    )
+    for name, b in (("exp3 (paper)", single), ("ensemble (median of 4)", ensemble)):
+        table.row(
+            name,
+            b.percent_terminated,
+            b.mean_termination_epoch,
+            b.mean_epochs_saved,
+            b.mean_abs_error,
+        )
+    emit_report(
+        "ablation_ensemble",
+        table.render("Ablation: single parametric function vs ensemble"),
+    )
+
+    # both engines terminate a substantial share of curves
+    assert single.percent_terminated > 40.0
+    assert ensemble.percent_terminated > 30.0
+    # the ensemble's median aggregation must not blow up prediction error
+    if not math.isnan(ensemble.mean_abs_error) and not math.isnan(single.mean_abs_error):
+        assert ensemble.mean_abs_error < single.mean_abs_error + 3.0
+    # it is more conservative (needs 4-parameter members determined)
+    assert ensemble.mean_epochs_saved <= single.mean_epochs_saved + 3.0

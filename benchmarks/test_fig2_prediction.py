@@ -1,0 +1,19 @@
+"""Benchmark: regenerate Figure 2 (prediction convergence example)."""
+
+import pytest
+
+from benchmarks.conftest import run_once
+from repro.experiments import format_fig2, run_fig2
+
+
+@pytest.mark.benchmark(group="fig2")
+def test_fig2_prediction_convergence(benchmark, emit_report):
+    result = run_once(benchmark, run_fig2)
+    report = emit_report("fig2_prediction", format_fig2(result))
+
+    # paper shape: convergence roughly mid-training, well before epoch 25
+    assert result.termination_epoch is not None
+    assert result.termination_epoch < 20
+    # prediction tracks the true final fitness closely
+    assert abs(result.final_prediction - result.true_final_fitness) < 2.0
+    assert "converged at epoch" in report

@@ -1,0 +1,21 @@
+"""Benchmark: regenerate Figure 5 (beam-intensity image quality)."""
+
+import pytest
+
+from benchmarks.conftest import run_once
+from repro.experiments.fig5_intensities import format_fig5, run_fig5
+
+
+@pytest.mark.benchmark(group="fig5")
+def test_fig5_beam_intensities(benchmark, emit_report):
+    result = run_once(benchmark, run_fig5)
+    report = emit_report("fig5_intensities", format_fig5(result))
+
+    # the intensity axis is a noise axis: SNR strictly ordered
+    assert result.snr_db["low"] < result.snr_db["medium"] < result.snr_db["high"]
+    # ~10x photon budget per step (paper: 1e14 / 1e15 / 1e16 fluence)
+    assert result.photons["medium"] > 5 * result.photons["low"]
+    assert result.photons["high"] > 5 * result.photons["medium"]
+    # low intensity images are visibly photon-starved
+    assert result.zero_fraction["low"] > 0.2
+    assert "MISMATCH" not in report

@@ -1,0 +1,131 @@
+"""Learning-curve shape analytics.
+
+The paper's Analyzer lets scientists "study NN performance and evolution
+throughout training [and] the shape of fitness curves".  These helpers
+quantify curve shape (monotonicity, concavity, plateau onset, noise) and
+summarize termination-epoch distributions (Fig. 8).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+__all__ = ["CurveShape", "describe_curve", "termination_histogram", "TerminationSummary"]
+
+
+@dataclass(frozen=True)
+class CurveShape:
+    """Shape descriptors of one fitness learning curve.
+
+    Attributes
+    ----------
+    n_epochs:
+        Curve length.
+    start, final, best:
+        First / last / maximum fitness values.
+    total_gain:
+        ``final - start``.
+    monotonicity:
+        Fraction of steps that do not decrease (1.0 = monotone).
+    concave_fraction:
+        Fraction of interior points with negative discrete curvature
+        (well-behaved curves are concave-down, cf. §2.1.1).
+    plateau_epoch:
+        First epoch after which the curve stays within 1% of its final
+        value.
+    noise_rms:
+        RMS of the detrended first differences (measurement noise
+        proxy).
+    """
+
+    n_epochs: int
+    start: float
+    final: float
+    best: float
+    total_gain: float
+    monotonicity: float
+    concave_fraction: float
+    plateau_epoch: int
+    noise_rms: float
+
+
+def describe_curve(curve) -> CurveShape:
+    """Compute :class:`CurveShape` for a fitness history (1-based epochs)."""
+    y = np.asarray(list(curve), dtype=float)
+    if y.ndim != 1 or y.size < 2:
+        raise ValueError(f"curve must be 1-D with >= 2 points, got shape {y.shape}")
+    diffs = np.diff(y)
+    monotonicity = float(np.mean(diffs >= 0))
+    if y.size >= 3:
+        curvature = np.diff(y, n=2)
+        concave_fraction = float(np.mean(curvature <= 0))
+    else:
+        concave_fraction = 1.0
+
+    tolerance = max(abs(y[-1]) * 0.01, 1e-9)
+    within = np.abs(y - y[-1]) <= tolerance
+    plateau_epoch = y.size
+    for i in range(y.size):
+        if within[i:].all():
+            plateau_epoch = i + 1  # 1-based
+            break
+
+    noise = diffs - np.mean(diffs)
+    return CurveShape(
+        n_epochs=int(y.size),
+        start=float(y[0]),
+        final=float(y[-1]),
+        best=float(y.max()),
+        total_gain=float(y[-1] - y[0]),
+        monotonicity=monotonicity,
+        concave_fraction=concave_fraction,
+        plateau_epoch=int(plateau_epoch),
+        noise_rms=float(np.sqrt(np.mean(noise**2))),
+    )
+
+
+@dataclass(frozen=True)
+class TerminationSummary:
+    """Fig. 8-style summary of when training terminated early.
+
+    Attributes
+    ----------
+    histogram:
+        Counts per termination epoch (index 0 = epoch 1).
+    percent_terminated:
+        Share of models the engine stopped early, in percent.
+    mean_termination_epoch:
+        Mean ``e_t`` over early-terminated models (NaN if none).
+    """
+
+    histogram: np.ndarray
+    percent_terminated: float
+    mean_termination_epoch: float
+
+
+def termination_histogram(records, *, max_epochs: int) -> TerminationSummary:
+    """Summarize termination epochs over model records.
+
+    ``records`` is any iterable with ``terminated_early`` and
+    ``epochs_trained`` attributes (model records or individuals'
+    results).
+    """
+    records = list(records)
+    if not records:
+        raise ValueError("no records supplied")
+    histogram = np.zeros(max_epochs, dtype=int)
+    terminated = []
+    for r in records:
+        if r.terminated_early:
+            e_t = int(r.epochs_trained)
+            if not 1 <= e_t <= max_epochs:
+                raise ValueError(f"termination epoch {e_t} outside [1, {max_epochs}]")
+            histogram[e_t - 1] += 1
+            terminated.append(e_t)
+    return TerminationSummary(
+        histogram=histogram,
+        percent_terminated=100.0 * len(terminated) / len(records),
+        mean_termination_epoch=float(np.mean(terminated)) if terminated else float("nan"),
+    )

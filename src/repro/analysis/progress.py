@@ -1,0 +1,82 @@
+"""Search-progress analytics: how fitness improves as evaluations accrue.
+
+Answers "is the search still improving?" from record trails alone:
+best-so-far trajectories in evaluation order, per-generation aggregates,
+and a convergence test (how many evaluations since the last
+improvement).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.lineage.records import ModelRecord
+
+__all__ = ["SearchProgress", "search_progress", "best_so_far"]
+
+
+def best_so_far(records: list[ModelRecord]) -> np.ndarray:
+    """Running maximum of fitness in evaluation (model-id) order."""
+    ordered = sorted(
+        (r for r in records if r.fitness is not None), key=lambda r: r.model_id
+    )
+    if not ordered:
+        raise ValueError("no evaluated records")
+    return np.maximum.accumulate([float(r.fitness) for r in ordered])
+
+
+@dataclass(frozen=True)
+class SearchProgress:
+    """Progress summary of one search run.
+
+    Attributes
+    ----------
+    trajectory:
+        Best-so-far fitness per evaluation.
+    final_best:
+        Best fitness at the end of the run.
+    evaluations_to_95_percent:
+        Evaluations needed to reach 95% of the total improvement
+        (start→final), a search-efficiency proxy.
+    stagnant_tail:
+        Evaluations since the last strict improvement.
+    generation_best:
+        Best fitness per generation (index = generation).
+    """
+
+    trajectory: np.ndarray
+    final_best: float
+    evaluations_to_95_percent: int
+    stagnant_tail: int
+    generation_best: np.ndarray
+
+
+def search_progress(records: list[ModelRecord]) -> SearchProgress:
+    """Compute the progress summary from record trails."""
+    trajectory = best_so_far(records)
+    start, final = float(trajectory[0]), float(trajectory[-1])
+    threshold = start + 0.95 * (final - start)
+    reach = int(np.argmax(trajectory >= threshold)) + 1
+
+    improvements = np.flatnonzero(np.diff(trajectory) > 0)
+    stagnant = len(trajectory) - 1 - (int(improvements[-1]) + 1) if improvements.size else len(trajectory) - 1
+
+    by_generation: dict[int, float] = {}
+    for r in records:
+        if r.fitness is None:
+            continue
+        current = by_generation.get(r.generation, -np.inf)
+        by_generation[r.generation] = max(current, float(r.fitness))
+    generation_best = np.array(
+        [by_generation[g] for g in sorted(by_generation)], dtype=float
+    )
+
+    return SearchProgress(
+        trajectory=trajectory,
+        final_best=final,
+        evaluations_to_95_percent=reach,
+        stagnant_tail=max(stagnant, 0),
+        generation_best=generation_best,
+    )

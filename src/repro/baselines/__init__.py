@@ -1,0 +1,29 @@
+"""Comparison baselines: XPSI (autoencoder + kNN) and truncated training."""
+
+from repro.baselines.autoencoder import Autoencoder
+from repro.baselines.fixed_training import (
+    TruncationWaste,
+    run_truncated_training,
+    truncation_waste,
+)
+from repro.baselines.knn import KNNClassifier
+from repro.baselines.xpsi import (
+    PAPER_XPSI_ACCURACY,
+    PAPER_XPSI_HOURS,
+    XPSIConfig,
+    XPSIResult,
+    run_xpsi,
+)
+
+__all__ = [
+    "Autoencoder",
+    "TruncationWaste",
+    "run_truncated_training",
+    "truncation_waste",
+    "KNNClassifier",
+    "PAPER_XPSI_ACCURACY",
+    "PAPER_XPSI_HOURS",
+    "XPSIConfig",
+    "XPSIResult",
+    "run_xpsi",
+]

@@ -1,0 +1,122 @@
+"""Dense autoencoder feature extractor (XPSI's representation learner).
+
+Olaya et al.'s XPSI framework extracts features from diffraction
+patterns with an autoencoder before kNN classification.  This is that
+component on our NumPy NN substrate: a symmetric dense autoencoder
+trained with MSE on flattened images; the bottleneck activations are the
+features.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.nn.layers import Dense, ReLU, Sigmoid
+from repro.nn.losses import MeanSquaredError
+from repro.nn.network import Network
+from repro.nn.optimizers import Adam
+from repro.utils.validation import ensure_positive
+
+__all__ = ["Autoencoder"]
+
+
+class Autoencoder:
+    """Symmetric dense autoencoder with a linear bottleneck.
+
+    Parameters
+    ----------
+    input_dim:
+        Flattened image size.
+    hidden_dim:
+        Width of the single hidden layer on each side.
+    latent_dim:
+        Bottleneck (feature) width.
+    rng:
+        Weight-initialization / shuffling generator.
+    """
+
+    def __init__(
+        self,
+        input_dim: int,
+        *,
+        hidden_dim: int = 128,
+        latent_dim: int = 16,
+        rng: np.random.Generator | None = None,
+    ) -> None:
+        ensure_positive(input_dim, "input_dim")
+        ensure_positive(hidden_dim, "hidden_dim")
+        ensure_positive(latent_dim, "latent_dim")
+        rng = rng if rng is not None else np.random.default_rng()
+        self.input_dim = int(input_dim)
+        self.latent_dim = int(latent_dim)
+        self.rng = rng
+        self.encoder = Network(
+            [
+                Dense(input_dim, hidden_dim, rng=rng),
+                ReLU(),
+                Dense(hidden_dim, latent_dim, rng=rng),
+            ],
+            input_shape=(input_dim,),
+            name="encoder",
+        )
+        self.decoder = Network(
+            [
+                Dense(latent_dim, hidden_dim, rng=rng),
+                ReLU(),
+                Dense(hidden_dim, input_dim, rng=rng),
+                Sigmoid(),
+            ],
+            input_shape=(latent_dim,),
+            name="decoder",
+        )
+        self._loss = MeanSquaredError()
+        self._optimizers = [Adam(self.encoder, 1e-3), Adam(self.decoder, 1e-3)]
+        self.loss_history: list[float] = []
+
+    @staticmethod
+    def _flatten(x: np.ndarray) -> np.ndarray:
+        return x.reshape(x.shape[0], -1)
+
+    @staticmethod
+    def _rescale(x: np.ndarray) -> np.ndarray:
+        """Map standardized images into [0, 1] for the sigmoid output."""
+        lo = x.min(axis=1, keepdims=True)
+        hi = x.max(axis=1, keepdims=True)
+        return (x - lo) / np.maximum(hi - lo, 1e-8)
+
+    def train_epoch(self, x: np.ndarray, *, batch_size: int = 32) -> float:
+        """One reconstruction epoch; returns mean MSE."""
+        flat = self._rescale(self._flatten(np.asarray(x, dtype=float)))
+        order = self.rng.permutation(len(flat))
+        losses = []
+        for start in range(0, len(order), batch_size):
+            batch = flat[order[start : start + batch_size]]
+            for opt in self._optimizers:
+                opt.zero_grad()
+            latent = self.encoder.forward(batch, training=True)
+            recon = self.decoder.forward(latent, training=True)
+            value, grad = self._loss(recon, batch)
+            grad_latent = self.decoder.backward(grad)
+            self.encoder.backward(grad_latent)
+            for opt in self._optimizers:
+                opt.step()
+            losses.append(value)
+        mean_loss = float(np.mean(losses))
+        self.loss_history.append(mean_loss)
+        return mean_loss
+
+    def fit(self, x: np.ndarray, *, epochs: int = 10, batch_size: int = 32) -> "Autoencoder":
+        """Train for a fixed number of epochs."""
+        ensure_positive(epochs, "epochs")
+        for _ in range(int(epochs)):
+            self.train_epoch(x, batch_size=batch_size)
+        return self
+
+    def encode(self, x: np.ndarray) -> np.ndarray:
+        """Bottleneck features, shape ``(n, latent_dim)``."""
+        flat = self._rescale(self._flatten(np.asarray(x, dtype=float)))
+        return self.encoder.predict(flat)
+
+    def reconstruct(self, x: np.ndarray) -> np.ndarray:
+        """Round-trip through the bottleneck (for reconstruction metrics)."""
+        return self.decoder.predict(self.encode(x))

@@ -1,0 +1,44 @@
+"""Truncated-training baseline utilities.
+
+"Built-in truncated training, a fixed termination criterion where each
+NN is trained for a set number of epochs" (§1) is what A4NN improves on.
+The standalone baseline is simply Algorithm 1 without an engine; this
+module packages it with explicit naming plus a helper that quantifies
+what truncated training wastes relative to engine-terminated runs.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.core.plugin import TrainableModel, TrainingResult, run_training_loop
+
+__all__ = ["run_truncated_training", "TruncationWaste", "truncation_waste"]
+
+
+def run_truncated_training(model: TrainableModel, n_epochs: int) -> TrainingResult:
+    """Train for exactly ``n_epochs`` (no early termination)."""
+    return run_training_loop(model, None, n_epochs)
+
+
+@dataclass(frozen=True)
+class TruncationWaste:
+    """Epochs/time the fixed criterion spent beyond what A4NN needed."""
+
+    baseline_epochs: int
+    a4nn_epochs: int
+    epochs_wasted: int
+    fraction_wasted: float
+
+
+def truncation_waste(
+    baseline: TrainingResult, engine_terminated: TrainingResult
+) -> TruncationWaste:
+    """Compare a truncated run against an engine-terminated run."""
+    wasted = baseline.epochs_trained - engine_terminated.epochs_trained
+    return TruncationWaste(
+        baseline_epochs=baseline.epochs_trained,
+        a4nn_epochs=engine_terminated.epochs_trained,
+        epochs_wasted=wasted,
+        fraction_wasted=wasted / baseline.epochs_trained if baseline.epochs_trained else 0.0,
+    )

@@ -1,0 +1,70 @@
+"""k-nearest-neighbour classifier (XPSI's decision stage).
+
+Pure-NumPy kNN with chunked distance computation so memory stays
+bounded on large query sets.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.utils.validation import ensure_positive
+
+__all__ = ["KNNClassifier"]
+
+
+class KNNClassifier:
+    """Majority-vote kNN on Euclidean distance.
+
+    Ties are broken toward the smaller class label (deterministic).
+    """
+
+    def __init__(self, k: int = 5) -> None:
+        ensure_positive(k, "k")
+        self.k = int(k)
+        self._x: np.ndarray | None = None
+        self._y: np.ndarray | None = None
+
+    def fit(self, x: np.ndarray, y: np.ndarray) -> "KNNClassifier":
+        """Memorize the training set."""
+        x = np.asarray(x, dtype=float)
+        y = np.asarray(y)
+        if x.ndim != 2:
+            raise ValueError(f"x must be (n, d), got {x.shape}")
+        if y.shape != (x.shape[0],):
+            raise ValueError(f"y shape {y.shape} mismatches x rows {x.shape[0]}")
+        if x.shape[0] < self.k:
+            raise ValueError(f"need >= k={self.k} training points, got {x.shape[0]}")
+        self._x = x
+        self._y = y.astype(np.int64)
+        return self
+
+    def predict(self, x: np.ndarray, *, chunk: int = 512) -> np.ndarray:
+        """Predicted labels for each query row."""
+        if self._x is None or self._y is None:
+            raise RuntimeError("fit() must be called before predict()")
+        x = np.asarray(x, dtype=float)
+        if x.ndim != 2 or x.shape[1] != self._x.shape[1]:
+            raise ValueError(
+                f"queries must be (m, {self._x.shape[1]}), got {x.shape}"
+            )
+        n_classes = int(self._y.max()) + 1
+        train_sq = np.sum(self._x**2, axis=1)
+        out = np.empty(x.shape[0], dtype=np.int64)
+        for start in range(0, x.shape[0], chunk):
+            q = x[start : start + chunk]
+            # squared distances via the expansion ||q||² - 2 q·x + ||x||²
+            d2 = np.sum(q**2, axis=1)[:, None] - 2.0 * (q @ self._x.T) + train_sq[None, :]
+            nearest = np.argpartition(d2, self.k - 1, axis=1)[:, : self.k]
+            votes = self._y[nearest]
+            counts = np.zeros((q.shape[0], n_classes), dtype=np.int64)
+            rows = np.repeat(np.arange(q.shape[0]), self.k)
+            np.add.at(counts, (rows, votes.ravel()), 1)
+            out[start : start + q.shape[0]] = counts.argmax(axis=1)
+        return out
+
+    def score_percent(self, x: np.ndarray, y: np.ndarray) -> float:
+        """Accuracy in percent on labelled queries."""
+        predictions = self.predict(x)
+        y = np.asarray(y)
+        return 100.0 * float(np.mean(predictions == y))

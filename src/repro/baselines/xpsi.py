@@ -1,0 +1,133 @@
+"""The XPSI baseline (Olaya et al. 2022): autoencoder features + kNN.
+
+The paper's state-of-the-art comparator (§4.4) trains in a fixed 15 h 27 m
+on one V100 and achieves 92 / 99 / 100% validation accuracy on low /
+medium / high beam intensities.  This module reproduces the pipeline —
+autoencoder feature extraction followed by kNN classification — on the
+same simulated datasets A4NN uses, and reports both measured CPU wall
+time and a paper-scale wall time mapped through the shared cost model.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.baselines.autoencoder import Autoencoder
+from repro.baselines.knn import KNNClassifier
+from repro.scheduler.costmodel import EpochCostModel
+from repro.utils.rng import derive_rng
+from repro.utils.timing import Stopwatch
+from repro.xfel.dataset import DiffractionDataset
+
+__all__ = ["XPSIConfig", "XPSIResult", "run_xpsi", "PAPER_XPSI_HOURS", "PAPER_XPSI_ACCURACY"]
+
+#: XPSI's fixed single-V100 training time reported by the paper (15 h 27 m).
+PAPER_XPSI_HOURS = 15.45
+
+#: XPSI validation accuracy per beam intensity reported by the paper.
+PAPER_XPSI_ACCURACY = {"low": 92.0, "medium": 99.0, "high": 100.0}
+
+
+@dataclass(frozen=True)
+class XPSIConfig:
+    """XPSI pipeline hyper-parameters."""
+
+    latent_dim: int = 32
+    hidden_dim: int = 256
+    autoencoder_epochs: int = 25
+    k_neighbours: int = 7
+    batch_size: int = 32
+    seed: int = 7
+
+
+@dataclass
+class XPSIResult:
+    """Outcome of one XPSI run on one dataset."""
+
+    intensity: str
+    accuracy: float
+    measured_seconds: float
+    simulated_hours: float
+    reconstruction_mse: float
+    config: XPSIConfig
+
+    def to_dict(self) -> dict:
+        return {
+            "intensity": self.intensity,
+            "accuracy": self.accuracy,
+            "measured_seconds": self.measured_seconds,
+            "simulated_hours": self.simulated_hours,
+            "reconstruction_mse": self.reconstruction_mse,
+        }
+
+
+def _pipeline_flops(config: XPSIConfig, input_dim: int) -> float:
+    """Per-sample forward FLOPs of the autoencoder (encoder + decoder)."""
+    return 4.0 * (input_dim * config.hidden_dim + config.hidden_dim * config.latent_dim)
+
+
+#: Cost-model calibration chosen so the *default* XPSI configuration on
+#: the default 32×32 detector maps to the paper's fixed 15.45 h; scaling
+#: the pipeline up or down moves the simulated time proportionally.
+_CALIBRATION = (
+    PAPER_XPSI_HOURS
+    * 3600.0
+    / (
+        EpochCostModel(jitter=0.0).mean_epoch_seconds(_pipeline_flops(XPSIConfig(), 32 * 32))
+        * XPSIConfig().autoencoder_epochs
+    )
+)
+
+
+def _simulated_hours(config: XPSIConfig, dataset: DiffractionDataset) -> float:
+    """Map the pipeline's arithmetic onto paper-scale wall time.
+
+    XPSI is a fixed pipeline — the paper reports the same 15.45 h for
+    every intensity — so the simulated time depends only on the
+    configuration, not the data, via the same FLOPs→seconds cost model
+    the NAS uses (calibrated so the default configuration lands on the
+    paper's 15.45 h).
+    """
+    input_dim = int(np.prod(dataset.input_shape))
+    cost = EpochCostModel(jitter=0.0)
+    per_epoch = cost.mean_epoch_seconds(_pipeline_flops(config, input_dim))
+    return per_epoch * config.autoencoder_epochs * _CALIBRATION / 3600.0
+
+
+def run_xpsi(dataset: DiffractionDataset, config: XPSIConfig | None = None) -> XPSIResult:
+    """Train and evaluate the XPSI pipeline on one dataset."""
+    config = config or XPSIConfig()
+    rng = derive_rng(config.seed, "xpsi", dataset.intensity.label)
+
+    clock = Stopwatch().start()
+    autoencoder = Autoencoder(
+        input_dim=int(np.prod(dataset.input_shape)),
+        hidden_dim=config.hidden_dim,
+        latent_dim=config.latent_dim,
+        rng=rng,
+    )
+    autoencoder.fit(
+        dataset.x_train, epochs=config.autoencoder_epochs, batch_size=config.batch_size
+    )
+    features_train = autoencoder.encode(dataset.x_train)
+    features_test = autoencoder.encode(dataset.x_test)
+
+    knn = KNNClassifier(k=config.k_neighbours).fit(features_train, dataset.y_train)
+    accuracy = knn.score_percent(features_test, dataset.y_test)
+    clock.stop()
+
+    flat_test = dataset.x_test.reshape(len(dataset.x_test), -1)
+    recon = autoencoder.reconstruct(dataset.x_test)
+    rescaled = Autoencoder._rescale(flat_test)
+    mse = float(np.mean((recon - rescaled) ** 2))
+
+    return XPSIResult(
+        intensity=dataset.intensity.label,
+        accuracy=accuracy,
+        measured_seconds=clock.total,
+        simulated_hours=_simulated_hours(config, dataset),
+        reconstruction_mse=mse,
+        config=config,
+    )

@@ -1,0 +1,236 @@
+"""Command-line interface for the A4NN workflow.
+
+Mirrors the paper's user-interface layer (§2.6): NAS settings, the data
+path, and prediction-engine settings are supplied as one JSON document
+(or built from flags), and runs are launched, compared, and analyzed
+without writing Python.
+
+Usage::
+
+    python -m repro run --intensity medium --mode surrogate --commons ./commons
+    python -m repro compare --intensity high --seed 7
+    python -m repro analyze --commons ./commons --run-id a4nn_surrogate_medium_seed42
+    python -m repro report --commons ./commons
+    python -m repro verify --commons ./commons
+    python -m repro config --intensity low > low.json
+    python -m repro run --config low.json
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from pathlib import Path
+
+from repro.analysis import (
+    CommonsQuery,
+    flops_accuracy_correlation,
+    pareto_frontier,
+    prediction_error_summary,
+    sparkline,
+    termination_histogram,
+    write_run_report,
+)
+from repro.experiments.reporting import ReportTable
+from repro.lineage import DataCommons, verify_run
+from repro.utils.io import read_json
+from repro.utils.logging import configure_logging
+from repro.utils.timing import format_hours
+from repro.workflow import WorkflowConfig, run_comparison, run_workflow
+from repro.xfel import BeamIntensity, DatasetConfig
+
+__all__ = ["main", "build_parser"]
+
+
+def _config_from_args(args: argparse.Namespace) -> WorkflowConfig:
+    if args.config:
+        return WorkflowConfig.from_dict(read_json(args.config))
+    config = WorkflowConfig(
+        dataset=DatasetConfig(intensity=BeamIntensity.from_label(args.intensity)),
+        mode=args.mode,
+        seed=args.seed,
+    )
+    return config
+
+
+def _add_common_run_flags(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument("--config", type=Path, help="JSON WorkflowConfig document")
+    parser.add_argument(
+        "--intensity", default="medium", choices=[m.label for m in BeamIntensity]
+    )
+    parser.add_argument("--mode", default="surrogate", choices=["surrogate", "real"])
+    parser.add_argument("--seed", type=int, default=42)
+    parser.add_argument("--commons", type=Path, help="data-commons directory")
+
+
+def _cmd_run(args: argparse.Namespace) -> int:
+    config = _config_from_args(args)
+    result = run_workflow(config, commons_path=args.commons)
+    budget = config.nas.max_epochs * len(result.search.archive)
+    print(f"run id            : {result.run_id}")
+    print(f"networks evaluated: {len(result.search.archive)}")
+    print(
+        f"epochs            : {result.total_epochs_trained}/{budget} "
+        f"({100 * result.epochs_saved_fraction():.1f}% saved)"
+    )
+    for n_gpus, report in sorted(result.walltime.items()):
+        print(
+            f"wall time {n_gpus} gpu  : {format_hours(report.wall_seconds)} "
+            f"(utilization {100 * report.utilization:.0f}%)"
+        )
+    print(f"best accuracy     : {result.search.population.best_fitness():.2f}%")
+    return 0
+
+
+def _cmd_compare(args: argparse.Namespace) -> int:
+    config = _config_from_args(args)
+    comparison = run_comparison(config, commons_path=args.commons)
+    table = ReportTable("metric", "standalone", "A4NN")
+    table.row(
+        "epochs trained",
+        comparison.standalone.total_epochs_trained,
+        comparison.a4nn.total_epochs_trained,
+    )
+    table.row(
+        "wall time 1 gpu (h)",
+        comparison.standalone.walltime[1].wall_hours,
+        comparison.a4nn.walltime[1].wall_hours,
+    )
+    table.row(
+        "best accuracy %",
+        comparison.standalone.search.population.best_fitness(),
+        comparison.a4nn.search.population.best_fitness(),
+    )
+    print(table.render(f"A4NN vs standalone ({config.intensity.label}, seed {config.seed})"))
+    print(f"epochs saved   : {comparison.epochs_saved_percent:.1f}%")
+    print(f"hours saved    : {comparison.walltime_saved_hours(1):.1f} (1 gpu)")
+    if 4 in comparison.a4nn.walltime:
+        print(f"4-gpu speedup  : {comparison.speedup(1, 4):.2f}x")
+    return 0
+
+
+def _cmd_analyze(args: argparse.Namespace) -> int:
+    commons = DataCommons(args.commons)
+    run_ids = commons.run_ids()
+    if not run_ids:
+        print(f"no runs published under {args.commons}", file=sys.stderr)
+        return 1
+    run_id = args.run_id or run_ids[0]
+    records = commons.load_models(run_id)
+    query = CommonsQuery(records)
+
+    print(f"run {run_id}: {len(records)} models")
+    summary = termination_histogram(records, max_epochs=records[0].max_epochs or 25)
+    print(
+        f"terminated early  : {summary.percent_terminated:.0f}% "
+        f"(mean e_t {summary.mean_termination_epoch:.1f})"
+    )
+    print(f"mean fitness      : {query.mean_fitness():.2f}%")
+    corr = flops_accuracy_correlation(records)
+    print(f"flops~accuracy rho: {corr.rho:+.2f} (p={corr.p_value:.3f})")
+    try:
+        errors = prediction_error_summary(records)
+        print(f"prediction |err|  : {errors.mean_abs_error:.2f}% mean over {errors.n} models")
+    except ValueError:
+        print("prediction |err|  : n/a (no early-terminated models)")
+    print("pareto frontier   :")
+    for point in pareto_frontier(records):
+        print(f"  model {point.model_id:4d}: {point.fitness:6.2f}%  {point.flops / 1e6:8.2f} MFLOPs")
+    best = query.top_by_fitness(1)[0]
+    print(f"best model {best.model_id} curve: {sparkline(best.fitness_history)}")
+    return 0
+
+
+def _cmd_verify(args: argparse.Namespace) -> int:
+    commons = DataCommons(args.commons)
+    run_ids = [args.run_id] if args.run_id else commons.run_ids()
+    if not run_ids:
+        print(f"no runs published under {args.commons}", file=sys.stderr)
+        return 1
+    all_match = True
+    for run_id in run_ids:
+        report = verify_run(commons, run_id)
+        print(report.summary())
+        all_match &= report.matches
+    return 0 if all_match else 2
+
+
+def _cmd_report(args: argparse.Namespace) -> int:
+    commons = DataCommons(args.commons)
+    run_ids = commons.run_ids()
+    if not run_ids:
+        print(f"no runs published under {args.commons}", file=sys.stderr)
+        return 1
+    run_id = args.run_id or run_ids[0]
+    out_path = args.output or (Path(args.commons) / f"{run_id}_report.md")
+    path = write_run_report(commons, run_id, out_path)
+    print(f"wrote {path}")
+    return 0
+
+
+def _cmd_config(args: argparse.Namespace) -> int:
+    config = _config_from_args(args)
+    json.dump(config.to_dict(), sys.stdout, indent=2, sort_keys=True)
+    print()
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """Construct the argument parser with all subcommands."""
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="A4NN: composable NAS workflow with in situ fitness prediction",
+    )
+    parser.add_argument("-v", "--verbose", action="store_true", help="enable INFO logging")
+    subparsers = parser.add_subparsers(dest="command", required=True)
+
+    run_parser = subparsers.add_parser("run", help="run one A4NN workflow")
+    _add_common_run_flags(run_parser)
+    run_parser.set_defaults(handler=_cmd_run)
+
+    compare_parser = subparsers.add_parser(
+        "compare", help="run A4NN and the standalone-NAS baseline"
+    )
+    _add_common_run_flags(compare_parser)
+    compare_parser.set_defaults(handler=_cmd_compare)
+
+    analyze_parser = subparsers.add_parser("analyze", help="analyze a data commons")
+    analyze_parser.add_argument("--commons", type=Path, required=True)
+    analyze_parser.add_argument("--run-id", help="defaults to the first published run")
+    analyze_parser.set_defaults(handler=_cmd_analyze)
+
+    verify_parser = subparsers.add_parser(
+        "verify", help="replay published runs and verify their record trails"
+    )
+    verify_parser.add_argument("--commons", type=Path, required=True)
+    verify_parser.add_argument("--run-id", help="defaults to every published run")
+    verify_parser.set_defaults(handler=_cmd_verify)
+
+    report_parser = subparsers.add_parser(
+        "report", help="write a Markdown analysis report for a run"
+    )
+    report_parser.add_argument("--commons", type=Path, required=True)
+    report_parser.add_argument("--run-id", help="defaults to the first published run")
+    report_parser.add_argument("--output", type=Path, help="report path (.md)")
+    report_parser.set_defaults(handler=_cmd_report)
+
+    config_parser = subparsers.add_parser(
+        "config", help="emit a WorkflowConfig JSON document"
+    )
+    _add_common_run_flags(config_parser)
+    config_parser.set_defaults(handler=_cmd_config)
+
+    return parser
+
+
+def main(argv: list[str] | None = None) -> int:
+    """CLI entry point; returns a process exit code."""
+    args = build_parser().parse_args(argv)
+    if args.verbose:
+        configure_logging()
+    return args.handler(args)
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -1,0 +1,143 @@
+"""Least-squares fitting of parametric functions to partial learning curves.
+
+The paper (§2.1.1): *"We attain the values for the function parameters
+using the least squares regression of the fitting."*  We use bounded
+trust-region least squares (``scipy.optimize.least_squares``), which is
+robust to the short, noisy curves seen early in training, and we treat a
+failed or degenerate fit as "no prediction available this epoch" rather
+than an error — the engine simply lets training continue.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Sequence
+
+import numpy as np
+from scipy.optimize import least_squares
+
+from repro.core.parametric import ParametricFunction
+
+__all__ = ["CurveFit", "fit_curve", "FitError"]
+
+
+class FitError(RuntimeError):
+    """Raised by :func:`fit_curve` when ``strict=True`` and the fit fails."""
+
+
+@dataclass(frozen=True)
+class CurveFit:
+    """Result of fitting a parametric family to a partial learning curve.
+
+    Attributes
+    ----------
+    function:
+        The fitted family.
+    theta:
+        Fitted parameter vector.
+    residual_norm:
+        Euclidean norm of the residuals at the solution.
+    rmse:
+        Root-mean-square error over the fitted points.
+    n_points:
+        Number of curve points used.
+    """
+
+    function: ParametricFunction
+    theta: tuple
+    residual_norm: float
+    rmse: float
+    n_points: int
+
+    def predict(self, x) -> np.ndarray | float:
+        """Evaluate the fitted curve at epoch(s) ``x``."""
+        result = self.function(x, *self.theta)
+        if np.ndim(x) == 0:
+            return float(result)
+        return result
+
+
+def fit_curve(
+    function: ParametricFunction,
+    epochs: Sequence[float],
+    fitness: Sequence[float],
+    *,
+    strict: bool = False,
+    max_nfev: int = 200,
+) -> CurveFit | None:
+    """Fit ``function`` to the observed ``(epochs, fitness)`` curve.
+
+    Parameters
+    ----------
+    function:
+        Parametric family to fit.
+    epochs, fitness:
+        Observed partial learning curve; must have equal length of at
+        least ``function.n_params`` points (otherwise the system is
+        underdetermined and ``None`` is returned).
+    strict:
+        When true, raise :class:`FitError` instead of returning ``None``
+        on failure.
+    max_nfev:
+        Budget of residual evaluations for the optimizer.  The engine is
+        called once per epoch per model, so this bounds its overhead.
+
+    Returns
+    -------
+    CurveFit or None
+        ``None`` signals "cannot produce a prediction from this curve";
+        callers (the prediction engine) treat it as not-yet-converged.
+    """
+    x = np.asarray(epochs, dtype=float)
+    y = np.asarray(fitness, dtype=float)
+    if x.shape != y.shape or x.ndim != 1:
+        raise ValueError(
+            f"epochs and fitness must be equal-length 1-D sequences, "
+            f"got shapes {x.shape} and {y.shape}"
+        )
+
+    def fail(reason: str) -> None:
+        if strict:
+            raise FitError(f"cannot fit {function.name}: {reason}")
+        return None
+
+    if len(x) < function.n_params:
+        return fail(f"need >= {function.n_params} points, have {len(x)}")
+    if not (np.all(np.isfinite(x)) and np.all(np.isfinite(y))):
+        return fail("curve contains non-finite values")
+
+    theta0 = np.asarray(function.guess(x, y), dtype=float)
+
+    def residuals(theta: np.ndarray) -> np.ndarray:
+        pred = function.fn(x, *theta)
+        res = pred - y
+        # Penalize non-finite model output heavily but finitely so the
+        # trust-region step can recover.
+        return np.where(np.isfinite(res), res, 1e6)
+
+    try:
+        solution = least_squares(
+            residuals,
+            theta0,
+            bounds=(np.asarray(function.lower), np.asarray(function.upper)),
+            method="trf",
+            max_nfev=max_nfev,
+        )
+    except Exception as exc:  # scipy can raise on pathological inputs
+        return fail(f"optimizer error: {exc}")
+
+    if not np.all(np.isfinite(solution.x)):
+        return fail("optimizer returned non-finite parameters")
+
+    fitted = function.fn(x, *solution.x)
+    if not np.all(np.isfinite(fitted)):
+        return fail("fitted curve is non-finite on the data")
+
+    rmse = float(np.sqrt(np.mean((fitted - y) ** 2)))
+    return CurveFit(
+        function=function,
+        theta=tuple(float(t) for t in solution.x),
+        residual_norm=float(np.linalg.norm(solution.fun)),
+        rmse=rmse,
+        n_points=len(x),
+    )

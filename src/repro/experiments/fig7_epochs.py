@@ -1,0 +1,95 @@
+"""Figure 7: training epochs required for 100 architectures, and % saved.
+
+The standalone NAS always trains ``100 × 25 = 2,500`` epochs; A4NN's
+early termination cuts that by 13.3% / 34.1% / 30.5% (low / medium /
+high) in the paper.  The paper also runs A4NN on four GPUs and observes
+slightly different epoch counts (1.13-1.2× fewer); since scheduling
+cannot change a deterministic search's epoch demand, we reproduce the
+4-GPU column as an independent run (different seed) — run-to-run
+variation, which is what the paper's own hypothesis ("balance of breadth
+and depth") amounts to for epoch counting.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.experiments.configs import DEFAULT_SEED, PAPER_EPOCH_SAVINGS_PERCENT
+from repro.experiments.reporting import ReportTable, shape_check
+from repro.experiments.runner import get_comparison
+from repro.xfel.intensity import BeamIntensity
+
+__all__ = ["Fig7Result", "run_fig7", "format_fig7"]
+
+
+@dataclass
+class Fig7Result:
+    """Per-intensity epoch accounting."""
+
+    standalone_epochs: dict  # label -> int (always the full budget)
+    a4nn_epochs_1gpu: dict   # label -> int
+    a4nn_epochs_4gpu: dict   # label -> int (independent run)
+    budget: int
+
+    def saved_percent(self, intensity: str, *, gpus: int = 1) -> float:
+        epochs = (self.a4nn_epochs_1gpu if gpus == 1 else self.a4nn_epochs_4gpu)[intensity]
+        return 100.0 * (self.budget - epochs) / self.budget
+
+
+def run_fig7(*, seed: int = DEFAULT_SEED) -> Fig7Result:
+    """Count epochs for standalone and A4NN (two independent A4NN runs)."""
+    standalone: dict[str, int] = {}
+    one_gpu: dict[str, int] = {}
+    four_gpu: dict[str, int] = {}
+    budget = None
+    for intensity in BeamIntensity:
+        comparison = get_comparison(intensity, seed=seed)
+        second = get_comparison(intensity, seed=seed + 1)
+        budget = comparison.a4nn.config.nas.max_epochs * len(
+            comparison.a4nn.search.archive
+        )
+        standalone[intensity.label] = comparison.standalone.total_epochs_trained
+        one_gpu[intensity.label] = comparison.a4nn.total_epochs_trained
+        four_gpu[intensity.label] = second.a4nn.total_epochs_trained
+    return Fig7Result(
+        standalone_epochs=standalone,
+        a4nn_epochs_1gpu=one_gpu,
+        a4nn_epochs_4gpu=four_gpu,
+        budget=budget,
+    )
+
+
+def format_fig7(result: Fig7Result) -> str:
+    """Epoch table with the paper's savings shape checks."""
+    table = ReportTable(
+        "intensity",
+        "standalone epochs",
+        "a4nn epochs (1 gpu)",
+        "saved % (paper)",
+        "saved % (measured)",
+    )
+    for intensity in BeamIntensity:
+        label = intensity.label
+        table.row(
+            label,
+            result.standalone_epochs[label],
+            result.a4nn_epochs_1gpu[label],
+            PAPER_EPOCH_SAVINGS_PERCENT[label],
+            result.saved_percent(label),
+        )
+    saved = {i.label: result.saved_percent(i.label) for i in BeamIntensity}
+    checks = [
+        shape_check(
+            "standalone always trains the full 2,500-epoch budget",
+            all(v == result.budget for v in result.standalone_epochs.values()),
+        ),
+        shape_check(
+            "A4NN saves epochs on every intensity",
+            all(v > 0 for v in saved.values()),
+        ),
+        shape_check(
+            "low intensity saves the least (noisy curves stabilize late)",
+            saved["low"] < saved["medium"] and saved["low"] < saved["high"],
+        ),
+    ]
+    return "\n".join([table.render("Figure 7: epochs required & saved"), *checks])

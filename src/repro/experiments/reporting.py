@@ -1,0 +1,48 @@
+"""Paper-vs-measured report formatting shared by all benchmarks."""
+
+from __future__ import annotations
+
+__all__ = ["ReportTable", "shape_check"]
+
+
+class ReportTable:
+    """Accumulates rows and renders an aligned text table.
+
+    >>> t = ReportTable("metric", "paper", "measured")
+    >>> t.row("epochs saved %", 13.3, 13.6)
+    >>> print(t.render("Figure 7"))
+    """
+
+    def __init__(self, *columns: str) -> None:
+        self.columns = list(columns)
+        self.rows: list[list[str]] = []
+
+    def row(self, *values) -> None:
+        if len(values) != len(self.columns):
+            raise ValueError(
+                f"row has {len(values)} values for {len(self.columns)} columns"
+            )
+        self.rows.append([self._fmt(v) for v in values])
+
+    @staticmethod
+    def _fmt(value) -> str:
+        if isinstance(value, float):
+            return f"{value:.2f}"
+        return str(value)
+
+    def render(self, title: str) -> str:
+        widths = [
+            max(len(self.columns[i]), *(len(r[i]) for r in self.rows)) if self.rows else len(self.columns[i])
+            for i in range(len(self.columns))
+        ]
+        header = "  ".join(c.ljust(widths[i]) for i, c in enumerate(self.columns))
+        sep = "-" * len(header)
+        lines = [f"== {title} ==", header, sep]
+        for r in self.rows:
+            lines.append("  ".join(v.rjust(widths[i]) for i, v in enumerate(r)))
+        return "\n".join(lines)
+
+
+def shape_check(name: str, condition: bool) -> str:
+    """One-line pass/fail marker for a qualitative shape property."""
+    return f"[{'ok' if condition else 'MISMATCH'}] {name}"

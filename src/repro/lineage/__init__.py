@@ -1,0 +1,30 @@
+"""Lineage tracking and the NN data commons (paper §2.3, §4.5).
+
+Record trails — genome, architecture table, per-epoch accuracies and
+times, predictions, engine parameters — are collected live by the
+:class:`~repro.lineage.tracker.LineageTracker`, published to a durable
+:class:`~repro.lineage.commons.DataCommons` (the Dataverse substitute),
+and analyzed via :class:`~repro.lineage.provenance.ProvenanceGraph`.
+"""
+
+from repro.lineage.commons import DataCommons
+from repro.lineage.dataverse import CitationMetadata, export_bundle, import_bundle
+from repro.lineage.provenance import ProvenanceGraph
+from repro.lineage.replay import ReplayReport, replay_run, verify_run
+from repro.lineage.records import EpochRecord, ModelRecord, RunRecord
+from repro.lineage.tracker import LineageTracker
+
+__all__ = [
+    "DataCommons",
+    "CitationMetadata",
+    "export_bundle",
+    "import_bundle",
+    "ProvenanceGraph",
+    "ReplayReport",
+    "replay_run",
+    "verify_run",
+    "EpochRecord",
+    "ModelRecord",
+    "RunRecord",
+    "LineageTracker",
+]

@@ -1,0 +1,134 @@
+"""Evaluators: how the NAS measures an individual.
+
+Two interchangeable implementations of the :class:`Evaluator` protocol:
+
+* :class:`TrainingEvaluator` — decodes the genome and actually trains
+  the NumPy network on a generated XFEL dataset (*real mode*).
+* :class:`~repro.nas.surrogate.SurrogateEvaluator` — drives the same
+  Algorithm-1 loop with an architecture-conditioned synthetic learning
+  curve (*surrogate mode*, for paper-scale sweeps).
+
+Both fill the same :class:`~repro.nas.population.Individual` fields, so
+the search, scheduler, and lineage tracker cannot tell them apart.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Protocol, runtime_checkable
+
+import numpy as np
+
+from repro.core.engine import PredictionEngine
+from repro.core.plugin import run_training_loop
+from repro.nas.decoder import DecoderConfig, decode_genome
+from repro.nas.population import Individual
+from repro.nn.flops import network_flops
+from repro.nn.optimizers import Adam
+from repro.nn.trainer import Trainer
+from repro.utils.rng import RngStream
+from repro.xfel.dataset import DiffractionDataset
+
+__all__ = ["Evaluator", "TrainingEvaluator", "EpochObserver"]
+
+#: Callback signature invoked after every trained epoch:
+#: ``observer(individual, epoch, fitness, prediction, context)`` where
+#: ``context`` carries evaluator-specific extras (e.g. the live network).
+EpochObserver = Callable[[Individual, int, float, float | None, dict], None]
+
+
+@runtime_checkable
+class Evaluator(Protocol):
+    """What the search requires of an evaluation backend."""
+
+    max_epochs: int
+
+    def evaluate(self, individual: Individual) -> Individual:
+        """Train/score ``individual`` in place and return it."""
+
+
+class TrainingEvaluator:
+    """Real-mode evaluation: decode and train the network (Algorithm 1).
+
+    Parameters
+    ----------
+    dataset:
+        The XFEL train/test split.
+    engine:
+        Prediction engine; ``None`` gives the standalone-NAS baseline
+        (full-budget truncated training).
+    max_epochs:
+        Training budget per network (paper: 25).
+    decoder_config:
+        Channel widths / head geometry for genome decoding.
+    batch_size, learning_rate:
+        Training hyper-parameters shared by all candidates.
+    rng_stream:
+        Deterministic stream; each model derives its own init/shuffle
+        generators from its model id.
+    observers:
+        Per-epoch callbacks (the workflow orchestrator hooks lineage
+        tracking and checkpointing in here).
+    """
+
+    def __init__(
+        self,
+        dataset: DiffractionDataset,
+        engine: PredictionEngine | None,
+        *,
+        max_epochs: int = 25,
+        decoder_config: DecoderConfig | None = None,
+        batch_size: int = 16,
+        learning_rate: float = 1e-3,
+        rng_stream: RngStream | None = None,
+        observers: list[EpochObserver] | None = None,
+    ) -> None:
+        self.dataset = dataset
+        self.engine = engine
+        self.max_epochs = int(max_epochs)
+        self.decoder_config = decoder_config or DecoderConfig(
+            input_shape=dataset.input_shape, n_classes=dataset.n_classes
+        )
+        self.batch_size = int(batch_size)
+        self.learning_rate = float(learning_rate)
+        self.rng_stream = rng_stream or RngStream(0)
+        self.observers = list(observers or [])
+
+    def evaluate(self, individual: Individual) -> Individual:
+        """Decode, train with the Algorithm-1 loop, and fill the individual."""
+        init_rng = self.rng_stream.generator("init", individual.model_id)
+        shuffle_rng = self.rng_stream.generator("shuffle", individual.model_id)
+        network = decode_genome(
+            individual.genome,
+            self.decoder_config,
+            rng=init_rng,
+            name=f"model-{individual.model_id}",
+        )
+        trainer = Trainer(
+            network,
+            self.dataset.x_train,
+            self.dataset.y_train,
+            self.dataset.x_test,
+            self.dataset.y_test,
+            optimizer=Adam(network, self.learning_rate),
+            batch_size=self.batch_size,
+            rng=shuffle_rng,
+        )
+
+        def on_epoch(epoch: int, fitness: float, prediction: float | None) -> None:
+            context = {
+                "network": network,
+                "trainer": trainer,
+                "epoch_stats": trainer.history[-1],
+            }
+            for observer in self.observers:
+                observer(individual, epoch, fitness, prediction, context)
+
+        result = run_training_loop(
+            trainer, self.engine, self.max_epochs, epoch_callback=on_epoch
+        )
+
+        individual.fitness = result.fitness
+        individual.flops = network_flops(network)
+        individual.result = result
+        individual.epoch_seconds = [stats.wall_seconds for stats in trainer.history]
+        return individual

@@ -1,0 +1,155 @@
+"""NSGA-II machinery: non-dominated sorting, crowding, selection.
+
+All routines operate on plain objective arrays shaped
+``(n_individuals, n_objectives)`` under the *minimization* convention
+(the search negates accuracy before calling in here), keeping this
+module reusable and easy to property-test.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = [
+    "dominates",
+    "fast_non_dominated_sort",
+    "crowding_distance",
+    "crowded_compare",
+    "environmental_selection",
+    "binary_tournament",
+    "pareto_front_mask",
+]
+
+
+def _as_objectives(objectives) -> np.ndarray:
+    arr = np.asarray(objectives, dtype=float)
+    if arr.ndim != 2:
+        raise ValueError(f"objectives must be (n, m), got shape {arr.shape}")
+    if not np.all(np.isfinite(arr)):
+        raise ValueError("objectives must be finite")
+    return arr
+
+
+def dominates(a, b) -> bool:
+    """Pareto dominance for minimization: a <= b everywhere, < somewhere."""
+    a = np.asarray(a, dtype=float)
+    b = np.asarray(b, dtype=float)
+    return bool(np.all(a <= b) and np.any(a < b))
+
+
+def fast_non_dominated_sort(objectives) -> list[np.ndarray]:
+    """Deb's fast non-dominated sort.
+
+    Returns fronts as index arrays; front 0 is the Pareto-optimal set.
+    Dominance counting is fully vectorized (pairwise comparisons in one
+    broadcasted pass) — O(m·n²) memory-light boolean work instead of a
+    Python triple loop.
+    """
+    arr = _as_objectives(objectives)
+    n = arr.shape[0]
+    if n == 0:
+        return []
+    # dom[i, j] = i dominates j
+    less_equal = (arr[:, None, :] <= arr[None, :, :]).all(axis=2)
+    strictly_less = (arr[:, None, :] < arr[None, :, :]).any(axis=2)
+    dom = less_equal & strictly_less
+
+    dominated_count = dom.sum(axis=0)  # how many dominate each j
+    fronts: list[np.ndarray] = []
+    remaining = np.ones(n, dtype=bool)
+    counts = dominated_count.copy()
+    while remaining.any():
+        current = remaining & (counts == 0)
+        if not current.any():
+            raise RuntimeError("non-dominated sort failed to make progress")
+        fronts.append(np.flatnonzero(current))
+        remaining &= ~current
+        # removing the current front decrements dominated counts
+        counts = counts - dom[current].sum(axis=0)
+    return fronts
+
+
+def crowding_distance(objectives) -> np.ndarray:
+    """Crowding distance of each individual *within the given set*.
+
+    Boundary points per objective get infinite distance; interior points
+    accumulate normalized neighbour gaps.  Constant objectives
+    contribute nothing.
+    """
+    arr = _as_objectives(objectives)
+    n, m = arr.shape
+    distance = np.zeros(n)
+    if n <= 2:
+        return np.full(n, np.inf)
+    for k in range(m):
+        order = np.argsort(arr[:, k], kind="stable")
+        values = arr[order, k]
+        span = values[-1] - values[0]
+        distance[order[0]] = np.inf
+        distance[order[-1]] = np.inf
+        if span > 0:
+            distance[order[1:-1]] += (values[2:] - values[:-2]) / span
+    return distance
+
+
+def crowded_compare(rank_a: int, dist_a: float, rank_b: int, dist_b: float) -> bool:
+    """NSGA-II's partial order: True when a beats b."""
+    if rank_a != rank_b:
+        return rank_a < rank_b
+    return dist_a > dist_b
+
+
+def environmental_selection(objectives, k: int) -> np.ndarray:
+    """Select ``k`` survivor indices by rank, then crowding within the cut front."""
+    arr = _as_objectives(objectives)
+    if not 0 <= k <= arr.shape[0]:
+        raise ValueError(f"k must be in [0, {arr.shape[0]}], got {k}")
+    survivors: list[int] = []
+    for front in fast_non_dominated_sort(arr):
+        if len(survivors) + len(front) <= k:
+            survivors.extend(front.tolist())
+            if len(survivors) == k:
+                break
+        else:
+            need = k - len(survivors)
+            dist = crowding_distance(arr[front])
+            # most-crowded-last: take the `need` largest distances
+            keep = front[np.argsort(-dist, kind="stable")[:need]]
+            survivors.extend(keep.tolist())
+            break
+    return np.asarray(survivors, dtype=int)
+
+
+def binary_tournament(
+    objectives, rng: np.random.Generator, *, n_winners: int
+) -> np.ndarray:
+    """Binary tournament selection with the crowded-comparison operator.
+
+    Ranks and crowding are computed once over the whole pool; each
+    winner comes from an independent random pairing.
+    """
+    arr = _as_objectives(objectives)
+    n = arr.shape[0]
+    if n == 0:
+        raise ValueError("cannot run a tournament on an empty pool")
+    ranks = np.empty(n, dtype=int)
+    for rank, front in enumerate(fast_non_dominated_sort(arr)):
+        ranks[front] = rank
+    distances = np.empty(n)
+    for front in fast_non_dominated_sort(arr):
+        distances[front] = crowding_distance(arr[front])
+
+    winners = np.empty(n_winners, dtype=int)
+    for t in range(n_winners):
+        i, j = rng.integers(0, n, size=2)
+        winners[t] = i if crowded_compare(ranks[i], distances[i], ranks[j], distances[j]) else j
+    return winners
+
+
+def pareto_front_mask(objectives) -> np.ndarray:
+    """Boolean mask of Pareto-optimal individuals (minimization)."""
+    arr = _as_objectives(objectives)
+    mask = np.zeros(arr.shape[0], dtype=bool)
+    if arr.shape[0]:
+        mask[fast_non_dominated_sort(arr)[0]] = True
+    return mask

@@ -1,0 +1,63 @@
+"""Genetic operators on NSGA-Net genomes.
+
+NSGA-Net evolves bit-string genomes with crossover between two parents
+and per-bit mutation.  Both operators act on the flat bit representation
+and rebuild structured genomes, so they are agnostic to phase layout.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.nas.genome import Genome
+
+__all__ = ["uniform_crossover", "point_crossover", "bitflip_mutation"]
+
+
+def _check_compatible(a: Genome, b: Genome) -> None:
+    if a.nodes_per_phase != b.nodes_per_phase:
+        raise ValueError(
+            f"cannot cross genomes with phase layouts {a.nodes_per_phase} "
+            f"and {b.nodes_per_phase}"
+        )
+
+
+def uniform_crossover(
+    a: Genome, b: Genome, rng: np.random.Generator, *, swap_probability: float = 0.5
+) -> tuple[Genome, Genome]:
+    """Exchange each bit between parents independently with ``swap_probability``."""
+    _check_compatible(a, b)
+    if not 0.0 <= swap_probability <= 1.0:
+        raise ValueError(f"swap_probability must be in [0, 1], got {swap_probability}")
+    bits_a = np.array(a.to_bits())
+    bits_b = np.array(b.to_bits())
+    swap = rng.random(bits_a.size) < swap_probability
+    child_a = np.where(swap, bits_b, bits_a)
+    child_b = np.where(swap, bits_a, bits_b)
+    layout = a.nodes_per_phase
+    return Genome.from_bits(child_a, layout), Genome.from_bits(child_b, layout)
+
+
+def point_crossover(a: Genome, b: Genome, rng: np.random.Generator) -> tuple[Genome, Genome]:
+    """Single-point crossover at a uniformly random cut."""
+    _check_compatible(a, b)
+    bits_a = list(a.to_bits())
+    bits_b = list(b.to_bits())
+    cut = int(rng.integers(1, len(bits_a)))  # at least one bit from each side
+    child_a = bits_a[:cut] + bits_b[cut:]
+    child_b = bits_b[:cut] + bits_a[cut:]
+    layout = a.nodes_per_phase
+    return Genome.from_bits(child_a, layout), Genome.from_bits(child_b, layout)
+
+
+def bitflip_mutation(
+    genome: Genome, rng: np.random.Generator, *, rate: float | None = None
+) -> Genome:
+    """Flip each bit independently; default rate is ``1 / genome_length``."""
+    bits = np.array(genome.to_bits())
+    if rate is None:
+        rate = 1.0 / bits.size
+    if not 0.0 <= rate <= 1.0:
+        raise ValueError(f"rate must be in [0, 1], got {rate}")
+    flips = rng.random(bits.size) < rate
+    return Genome.from_bits(np.where(flips, 1 - bits, bits), genome.nodes_per_phase)

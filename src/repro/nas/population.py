@@ -1,0 +1,109 @@
+"""Individuals and populations for the NAS.
+
+An :class:`Individual` couples a genome with its evaluation outcome
+(fitness, FLOPs, training trace) and identity metadata (model id,
+generation) used by the lineage tracker.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.core.plugin import TrainingResult
+from repro.nas.genome import Genome
+
+__all__ = ["Individual", "Population"]
+
+
+@dataclass
+class Individual:
+    """One candidate architecture and everything measured about it.
+
+    Attributes
+    ----------
+    genome:
+        The NSGA-Net encoding.
+    model_id:
+        Unique, monotonically assigned id within a search run.
+    generation:
+        Generation in which this individual was created (0 = initial).
+    fitness:
+        Validation accuracy in percent, as reported to the NAS (the
+        engine's converged prediction, or the last measured value).
+    flops:
+        Forward FLOPs per sample of the decoded network.
+    result:
+        Full Algorithm-1 trace (histories, epochs, overhead).
+    epoch_seconds:
+        Per-epoch wall times (measured or cost-modelled) for the epochs
+        actually trained; the scheduler replays these.
+    """
+
+    genome: Genome
+    model_id: int
+    generation: int
+    fitness: float | None = None
+    flops: int | None = None
+    result: TrainingResult | None = None
+    epoch_seconds: list = field(default_factory=list)
+
+    @property
+    def evaluated(self) -> bool:
+        return self.fitness is not None and self.flops is not None
+
+    def objectives(self) -> tuple[float, float]:
+        """Minimization objectives: (-accuracy, flops)."""
+        if not self.evaluated:
+            raise ValueError(f"model {self.model_id} has not been evaluated")
+        return (-float(self.fitness), float(self.flops))
+
+    def to_dict(self) -> dict:
+        """Lineage-record form."""
+        return {
+            "model_id": self.model_id,
+            "generation": self.generation,
+            "genome": self.genome.to_dict(),
+            "fitness": self.fitness,
+            "flops": self.flops,
+            "epoch_seconds": list(self.epoch_seconds),
+            "result": self.result.to_dict() if self.result else None,
+        }
+
+
+class Population:
+    """An ordered collection of individuals with objective-array views."""
+
+    def __init__(self, members: list[Individual] | None = None) -> None:
+        self.members: list[Individual] = list(members or [])
+
+    def __len__(self) -> int:
+        return len(self.members)
+
+    def __iter__(self):
+        return iter(self.members)
+
+    def __getitem__(self, idx):
+        return self.members[idx]
+
+    def append(self, individual: Individual) -> None:
+        self.members.append(individual)
+
+    def extend(self, individuals) -> None:
+        self.members.extend(individuals)
+
+    def objective_array(self) -> np.ndarray:
+        """Stacked minimization objectives, shape ``(n, 2)``."""
+        if not all(m.evaluated for m in self.members):
+            missing = [m.model_id for m in self.members if not m.evaluated]
+            raise ValueError(f"unevaluated members: {missing}")
+        return np.array([m.objectives() for m in self.members], dtype=float)
+
+    def subset(self, indices) -> "Population":
+        """New population holding the members at ``indices`` (shared objects)."""
+        return Population([self.members[i] for i in np.asarray(indices, dtype=int)])
+
+    def best_fitness(self) -> float:
+        """Highest validation accuracy in the population."""
+        return max(float(m.fitness) for m in self.members if m.evaluated)

@@ -1,0 +1,351 @@
+"""NSGA-Net search driver.
+
+Implements the evolutionary loop the paper plugs A4NN into (§3.2):
+genomes encode macro-space connectivity; the first generation is random;
+offspring come from binary-tournament parent selection, crossover, and
+bit-flip mutation; survivors are chosen by NSGA-II environmental
+selection on the two objectives (maximize validation accuracy, minimize
+FLOPs).
+
+With the paper's Table 2 settings — population 10, 10 offspring per
+generation, 10 generations (the initial population counts as generation
+1) — a run evaluates exactly ``10 + 9 × 10 = 100`` networks, matching
+"each test produces 100 networks in total".
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable
+
+import numpy as np
+
+from repro.nas.evaluation import Evaluator
+from repro.nas.genome import Genome, random_genome
+from repro.nas.nsga2 import binary_tournament, environmental_selection, pareto_front_mask
+from repro.nas.operators import bitflip_mutation, point_crossover, uniform_crossover
+from repro.nas.population import Individual, Population
+from repro.utils.logging import get_logger
+from repro.utils.rng import RngStream
+from repro.utils.validation import ensure_positive
+
+__all__ = ["NSGANetConfig", "GenerationStats", "SearchResult", "SearchState", "NSGANet"]
+
+_LOG = get_logger("nas.search")
+
+_CROSSOVERS = {"uniform": uniform_crossover, "point": point_crossover}
+
+
+@dataclass(frozen=True)
+class NSGANetConfig:
+    """NSGA-Net settings (paper Table 2 defaults).
+
+    Attributes
+    ----------
+    population_size:
+        Size of the starting population (and of every survivor set).
+    nodes_per_phase:
+        Nodes in each phase's DAG.
+    n_phases:
+        Number of phases (NSGA-Net uses 3 in its macro space).
+    offspring_per_generation:
+        Offspring produced in each generation after the first.
+    generations:
+        Total generations *including* the initial population.
+    max_epochs:
+        Per-network training budget.
+    mutation_rate:
+        Per-bit flip probability; ``None`` means ``1 / genome_length``.
+    crossover:
+        ``"uniform"`` or ``"point"``.
+    initial_density:
+        Bernoulli density of initial random genomes.
+    """
+
+    population_size: int = 10
+    nodes_per_phase: int = 4
+    n_phases: int = 3
+    offspring_per_generation: int = 10
+    generations: int = 10
+    max_epochs: int = 25
+    mutation_rate: float | None = None
+    crossover: str = "uniform"
+    initial_density: float = 0.5
+
+    def __post_init__(self) -> None:
+        ensure_positive(self.population_size, "population_size")
+        ensure_positive(self.offspring_per_generation, "offspring_per_generation")
+        ensure_positive(self.generations, "generations")
+        ensure_positive(self.max_epochs, "max_epochs")
+        if self.crossover not in _CROSSOVERS:
+            raise ValueError(
+                f"crossover must be one of {sorted(_CROSSOVERS)}, got {self.crossover!r}"
+            )
+
+    @property
+    def total_evaluations(self) -> int:
+        """Networks evaluated in a full run."""
+        return self.population_size + (self.generations - 1) * self.offspring_per_generation
+
+    def to_dict(self) -> dict:
+        """Lineage-record form (paper Table 2)."""
+        return {
+            "population_size": self.population_size,
+            "nodes_per_phase": self.nodes_per_phase,
+            "n_phases": self.n_phases,
+            "offspring_per_generation": self.offspring_per_generation,
+            "generations": self.generations,
+            "max_epochs": self.max_epochs,
+            "mutation_rate": self.mutation_rate,
+            "crossover": self.crossover,
+            "initial_density": self.initial_density,
+        }
+
+
+@dataclass
+class GenerationStats:
+    """Aggregates recorded after each generation's evaluation."""
+
+    generation: int
+    n_evaluated: int
+    best_fitness: float
+    mean_fitness: float
+    epochs_trained: int
+    epochs_saved: int
+    pareto_size: int
+
+
+@dataclass
+class SearchState:
+    """Mid-search snapshot sufficient to continue a run exactly.
+
+    Because every stochastic draw in the search derives from the root
+    seed plus stable keys (generation number for variation, model id for
+    evaluation), continuing from a completed generation reproduces the
+    identical run an uninterrupted search would have produced.
+
+    Attributes
+    ----------
+    population:
+        Current survivor set (evaluated individuals).
+    archive:
+        Every individual evaluated so far, in evaluation order.
+    next_generation:
+        First generation still to run (1-based; generation 0 is the
+        initial population).
+    next_model_id:
+        Model id the next created individual receives.
+    generation_stats:
+        Stats of the generations already completed.
+    """
+
+    population: Population
+    archive: Population
+    next_generation: int
+    next_model_id: int
+    generation_stats: list = field(default_factory=list)
+
+
+@dataclass
+class SearchResult:
+    """Everything a completed search produced.
+
+    Attributes
+    ----------
+    archive:
+        Every individual ever evaluated, in evaluation order.
+    population:
+        Final survivor set.
+    generations:
+        Per-generation statistics.
+    config:
+        The settings used.
+    """
+
+    archive: Population
+    population: Population
+    generations: list = field(default_factory=list)
+    config: NSGANetConfig | None = None
+
+    @property
+    def total_epochs_trained(self) -> int:
+        return sum(m.result.epochs_trained for m in self.archive if m.result)
+
+    @property
+    def total_epochs_saved(self) -> int:
+        budget = (self.config.max_epochs if self.config else 0) * len(self.archive)
+        return budget - self.total_epochs_trained
+
+    def pareto_individuals(self) -> list[Individual]:
+        """Pareto-optimal members of the archive (accuracy ↑, FLOPs ↓)."""
+        mask = pareto_front_mask(self.archive.objective_array())
+        return [m for m, keep in zip(self.archive.members, mask) if keep]
+
+
+class NSGANet:
+    """The evolutionary search loop.
+
+    Parameters
+    ----------
+    config:
+        Search settings.
+    evaluator:
+        Real or surrogate evaluation backend; must expose
+        ``evaluate(individual)``.
+    rng_stream:
+        Deterministic stream for initialization and genetic operators.
+    on_individual:
+        Optional callback after each evaluation (lineage hook).
+    on_generation:
+        Optional callback with each :class:`GenerationStats`.
+    executor:
+        Optional generation executor ``executor(individuals) ->
+        individuals`` that runs a whole generation's evaluations (e.g.
+        :class:`~repro.scheduler.pool.FifoWorkerPool` for real parallel
+        hardware).  Defaults to serial evaluation through ``evaluator``.
+    """
+
+    def __init__(
+        self,
+        config: NSGANetConfig,
+        evaluator: Evaluator,
+        *,
+        rng_stream: RngStream | None = None,
+        on_individual: Callable[[Individual], None] | None = None,
+        on_generation: Callable[[GenerationStats], None] | None = None,
+        executor: Callable[[list], list] | None = None,
+    ) -> None:
+        self.config = config
+        self.evaluator = evaluator
+        self.rng_stream = rng_stream or RngStream(0)
+        self.on_individual = on_individual
+        self.on_generation = on_generation
+        self.executor = executor
+        self._next_model_id = 0
+
+    def _new_individual(self, genome: Genome, generation: int) -> Individual:
+        individual = Individual(genome=genome, model_id=self._next_model_id, generation=generation)
+        self._next_model_id += 1
+        return individual
+
+    def _evaluate_all(self, individuals: list[Individual]) -> None:
+        if self.executor is not None:
+            self.executor(individuals)
+        else:
+            for individual in individuals:
+                self.evaluator.evaluate(individual)
+        for individual in individuals:
+            if not individual.evaluated:
+                raise RuntimeError(
+                    f"model {individual.model_id} was not evaluated by the executor"
+                )
+            if self.on_individual is not None:
+                self.on_individual(individual)
+
+    def _record_generation(
+        self, generation: int, evaluated: list[Individual], population: Population
+    ) -> GenerationStats:
+        fitnesses = [float(m.fitness) for m in evaluated]
+        epochs = sum(m.result.epochs_trained for m in evaluated)
+        budget = self.config.max_epochs * len(evaluated)
+        stats = GenerationStats(
+            generation=generation,
+            n_evaluated=len(evaluated),
+            best_fitness=max(fitnesses),
+            mean_fitness=float(np.mean(fitnesses)),
+            epochs_trained=epochs,
+            epochs_saved=budget - epochs,
+            pareto_size=int(pareto_front_mask(population.objective_array()).sum()),
+        )
+        _LOG.info(
+            "generation %d: best %.2f%%, mean %.2f%%, epochs %d/%d",
+            generation,
+            stats.best_fitness,
+            stats.mean_fitness,
+            epochs,
+            budget,
+        )
+        if self.on_generation is not None:
+            self.on_generation(stats)
+        return stats
+
+    def _make_offspring(
+        self, population: Population, generation: int
+    ) -> list[Individual]:
+        rng = self.rng_stream.generator("variation", generation)
+        objectives = population.objective_array()
+        n = self.config.offspring_per_generation
+        parent_idx = binary_tournament(objectives, rng, n_winners=2 * ((n + 1) // 2))
+        crossover = _CROSSOVERS[self.config.crossover]
+
+        children: list[Individual] = []
+        for pair_start in range(0, len(parent_idx), 2):
+            a = population[int(parent_idx[pair_start])].genome
+            b = population[int(parent_idx[pair_start + 1])].genome
+            child_a, child_b = crossover(a, b, rng)
+            for child in (child_a, child_b):
+                if len(children) >= n:
+                    break
+                mutated = bitflip_mutation(child, rng, rate=self.config.mutation_rate)
+                children.append(self._new_individual(mutated, generation))
+        return children
+
+    def run(self, *, resume: SearchState | None = None) -> SearchResult:
+        """Execute the search (optionally continuing from ``resume``).
+
+        With ``resume``, the initial population phase is skipped and
+        evolution continues from ``resume.next_generation``; the result
+        covers the whole run (resumed archive included).
+        """
+        config = self.config
+        if resume is None:
+            init_rng = self.rng_stream.generator("init-population")
+            initial = [
+                self._new_individual(
+                    random_genome(
+                        init_rng,
+                        n_phases=config.n_phases,
+                        nodes_per_phase=config.nodes_per_phase,
+                        density=config.initial_density,
+                    ),
+                    generation=0,
+                )
+                for _ in range(config.population_size)
+            ]
+            self._evaluate_all(initial)
+            population = Population(initial)
+            archive = Population(list(initial))
+            generation_stats = [self._record_generation(0, initial, population)]
+            start_generation = 1
+        else:
+            population = resume.population
+            archive = resume.archive
+            generation_stats = list(resume.generation_stats)
+            start_generation = resume.next_generation
+            self._next_model_id = resume.next_model_id
+            if len(population) != config.population_size:
+                raise ValueError(
+                    f"resume population has {len(population)} members, "
+                    f"config expects {config.population_size}"
+                )
+
+        for generation in range(start_generation, config.generations):
+            offspring = self._make_offspring(population, generation)
+            self._evaluate_all(offspring)
+            archive.extend(offspring)
+
+            combined = Population(population.members + offspring)
+            survivors = environmental_selection(
+                combined.objective_array(), config.population_size
+            )
+            population = combined.subset(survivors)
+            generation_stats.append(
+                self._record_generation(generation, offspring, population)
+            )
+
+        return SearchResult(
+            archive=archive,
+            population=population,
+            generations=generation_stats,
+            config=config,
+        )

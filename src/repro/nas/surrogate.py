@@ -1,0 +1,271 @@
+"""Surrogate evaluation: architecture-conditioned synthetic learning curves.
+
+Paper-scale experiments (100 networks × 25 epochs × 63k images) are far
+beyond a single CPU core, so — mirroring how Rorabaugh et al. validated
+the PENGUIN engine by simulation on MENNDL — the surrogate evaluator
+replaces *only* the gradient-descent inner loop with a stochastic
+learning-curve generator.  Everything the paper evaluates (the
+prediction engine, Algorithm 1, NSGA-II selection, FIFO scheduling,
+lineage records) runs unchanged on these curves.
+
+The generator is conditioned on:
+
+* **architecture** — genomes with more connections/skips get higher
+  asymptotic accuracy but cost more FLOPs (computed from the *actually
+  decoded* network, so the accuracy/FLOPs trade-off is real); and
+* **beam intensity** — each intensity has a curve *regime* calibrated to
+  reproduce the paper's three convergence behaviours (Fig. 8):
+  low = slow, noisy curves that stabilize late; medium = fast clean
+  curves that stabilize early; high = a bimodal mix of very fast
+  learners and erratic curves whose predictions never settle.
+
+Curves are deterministic per (root seed, model id, intensity).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.core.engine import PredictionEngine
+from repro.core.plugin import run_training_loop
+from repro.nas.decoder import DecoderConfig, decode_genome
+from repro.nas.genome import Genome, n_connection_bits
+from repro.nas.population import Individual
+from repro.nn.flops import network_flops
+from repro.scheduler.costmodel import EpochCostModel
+from repro.utils.rng import RngStream
+from repro.xfel.intensity import BeamIntensity
+
+__all__ = ["CurveRegime", "REGIMES", "LearningCurveModel", "SurrogateEvaluator", "sample_curve"]
+
+
+@dataclass(frozen=True)
+class CurveRegime:
+    """Distribution of learning-curve shapes for one beam intensity.
+
+    A sampled curve is ``acc(e) = a - (a - s) * exp(-k * e)`` plus
+    Gaussian measurement noise.  Three sub-populations:
+
+    * with probability ``fail_probability`` the network is a flat
+      non-learner near 50% (cf. Johnston et al.: a large share of NAS
+      candidates fail to learn);
+    * with probability ``erratic_probability`` the curve is *erratic*:
+      it rises, peaks early, then declines toward a floor
+      (overfitting-style collapse) under ``erratic_sigma`` noise.  The
+      monotone parametric family cannot settle on such data, so the
+      engine's successive extrapolations keep moving — the paper's
+      never-terminated models;
+    * otherwise the curve is "clean" (``clean_sigma``) and the engine
+      terminates it once predictions stabilize.
+
+    The per-intensity constants are calibrated against the engine's
+    Table-1 configuration so the three intensities reproduce the
+    paper's Fig. 8 convergence regimes (see
+    ``benchmarks/test_fig8_convergence.py``).
+    """
+
+    asymptote_range: tuple[float, float]
+    rate_range: tuple[float, float]
+    start_range: tuple[float, float]
+    clean_sigma: float
+    erratic_probability: float
+    erratic_sigma: float
+    fail_probability: float
+
+
+#: Per-intensity regimes calibrated against the paper's Fig. 8 (see
+#: benchmarks/test_fig8_convergence.py for the reproduction check).
+REGIMES: dict[BeamIntensity, CurveRegime] = {
+    # Low intensity: noisy data make every learning curve noisy and slow;
+    # ~2/3 of models stabilize late (mean e_t > 18), the rest never do.
+    BeamIntensity.LOW: CurveRegime(
+        asymptote_range=(88.0, 99.8),
+        rate_range=(0.06, 0.16),
+        start_range=(48.0, 58.0),
+        clean_sigma=2.7,
+        erratic_probability=0.0,
+        erratic_sigma=3.0,
+        fail_probability=0.06,
+    ),
+    # Medium intensity: mostly clean, mid-rate curves terminating around
+    # half the budget; a quarter stay erratic.
+    BeamIntensity.MEDIUM: CurveRegime(
+        asymptote_range=(96.0, 100.0),
+        rate_range=(0.24, 0.48),
+        start_range=(52.0, 65.0),
+        clean_sigma=1.15,
+        erratic_probability=0.42,
+        erratic_sigma=2.2,
+        fail_probability=0.06,
+    ),
+    # High intensity: bimodal — very fast clean learners that terminate
+    # early, against a large erratic share that trains the full budget
+    # (the paper's "inverted bell").
+    BeamIntensity.HIGH: CurveRegime(
+        asymptote_range=(98.5, 100.0),
+        rate_range=(0.25, 0.55),
+        start_range=(55.0, 72.0),
+        clean_sigma=0.6,
+        erratic_probability=0.68,
+        erratic_sigma=2.0,
+        fail_probability=0.05,
+    ),
+}
+
+
+
+def _capacity_score(genome: Genome) -> float:
+    """Architecture capacity in [0, 1] from connectivity density."""
+    max_connections = sum(n_connection_bits(n) for n in genome.nodes_per_phase)
+    max_skips = genome.n_phases
+    raw = (genome.n_connections + genome.n_skips) / max(max_connections + max_skips, 1)
+    return float(np.clip(raw, 0.0, 1.0))
+
+
+def sample_curve(
+    genome: Genome,
+    regime: CurveRegime,
+    rng: np.random.Generator,
+    n_epochs: int,
+) -> np.ndarray:
+    """Draw one noisy learning curve of length ``n_epochs`` (percent accuracy).
+
+    The architecture's capacity score shifts the asymptote within the
+    regime's range (denser genomes learn more) and nudges the learning
+    rate, so selection pressure toward accuracy is real.
+    """
+    capacity = _capacity_score(genome)
+    epochs = np.arange(1, n_epochs + 1, dtype=float)
+
+    if rng.random() < regime.fail_probability * (1.5 - capacity):
+        # non-learner: flat around chance with mild noise
+        base = np.full(n_epochs, rng.uniform(48.0, 52.0))
+        noise = rng.normal(0.0, 1.0, size=n_epochs)
+        return np.clip(base + noise, 0.0, 100.0)
+
+    lo_a, hi_a = regime.asymptote_range
+    asymptote = lo_a + (hi_a - lo_a) * (0.35 * rng.random() + 0.65 * capacity)
+    lo_k, hi_k = regime.rate_range
+    rate = lo_k + (hi_k - lo_k) * (0.7 * rng.random() + 0.3 * capacity)
+    start = rng.uniform(*regime.start_range)
+
+    curve = asymptote - (asymptote - start) * np.exp(-rate * epochs)
+
+    if rng.random() < regime.erratic_probability:
+        # overfitting-style collapse: early peak, steady decline, floor
+        peak_epoch = rng.uniform(1.0, 4.0)
+        slope = rng.uniform(1.5, 2.5)
+        floor = rng.uniform(55.0, 70.0)
+        curve = np.maximum(curve - slope * np.maximum(epochs - peak_epoch, 0.0), floor)
+        sigma = regime.erratic_sigma
+    else:
+        sigma = regime.clean_sigma
+    curve = curve + rng.normal(0.0, sigma, size=n_epochs)
+    return np.clip(curve, 0.0, 100.0)
+
+
+class LearningCurveModel:
+    """A :class:`~repro.core.plugin.TrainableModel` replaying a fixed curve."""
+
+    def __init__(self, curve: np.ndarray) -> None:
+        curve = np.asarray(curve, dtype=float)
+        if curve.ndim != 1 or curve.size == 0:
+            raise ValueError(f"curve must be non-empty 1-D, got shape {curve.shape}")
+        self.curve = curve
+        self.epoch = 0
+
+    def train(self) -> None:
+        if self.epoch >= len(self.curve):
+            raise RuntimeError(f"curve exhausted after {len(self.curve)} epochs")
+        self.epoch += 1
+
+    def validate(self) -> float:
+        if self.epoch == 0:
+            raise RuntimeError("validate() before any train() call")
+        return float(self.curve[self.epoch - 1])
+
+
+class SurrogateEvaluator:
+    """Paper-scale evaluator driving Algorithm 1 on synthetic curves.
+
+    Parameters
+    ----------
+    intensity:
+        Beam setting selecting the curve regime.
+    engine:
+        Prediction engine; ``None`` for the standalone-NAS baseline.
+    max_epochs:
+        Training budget per network (paper: 25).
+    decoder_config:
+        Used to decode genomes for *real* FLOP counting.
+    cost_model:
+        Maps FLOPs to simulated per-epoch seconds.
+    rng_stream:
+        Root stream; curves/costs derive per model id.
+    observers:
+        Same per-epoch hook contract as the real evaluator.
+    """
+
+    def __init__(
+        self,
+        intensity: BeamIntensity,
+        engine: PredictionEngine | None,
+        *,
+        max_epochs: int = 25,
+        decoder_config: DecoderConfig | None = None,
+        cost_model: EpochCostModel | None = None,
+        rng_stream: RngStream | None = None,
+        observers: list | None = None,
+        regime: CurveRegime | None = None,
+    ) -> None:
+        self.intensity = intensity
+        self.engine = engine
+        self.max_epochs = int(max_epochs)
+        self.decoder_config = decoder_config or DecoderConfig()
+        self.cost_model = cost_model or EpochCostModel()
+        self.rng_stream = rng_stream or RngStream(0)
+        self.observers = list(observers or [])
+        self.regime = regime or REGIMES[intensity]
+        self._flops_cache: dict[str, int] = {}
+
+    def _flops_for(self, genome: Genome) -> int:
+        key = genome.key()
+        if key not in self._flops_cache:
+            network = decode_genome(
+                genome, self.decoder_config, rng=np.random.default_rng(0)
+            )
+            self._flops_cache[key] = network_flops(network)
+        return self._flops_cache[key]
+
+    def evaluate(self, individual: Individual) -> Individual:
+        """Sample a curve, run Algorithm 1 on it, and fill the individual."""
+        curve_rng = self.rng_stream.generator(
+            "curve", individual.model_id, self.intensity.label
+        )
+        cost_rng = self.rng_stream.generator(
+            "cost", individual.model_id, self.intensity.label
+        )
+        curve = sample_curve(individual.genome, self.regime, curve_rng, self.max_epochs)
+        model = LearningCurveModel(curve)
+
+        def on_epoch(epoch: int, fitness: float, prediction: float | None) -> None:
+            context = {"curve": curve, "model": model}
+            for observer in self.observers:
+                observer(individual, epoch, fitness, prediction, context)
+
+        result = run_training_loop(
+            model, self.engine, self.max_epochs, epoch_callback=on_epoch
+        )
+
+        flops = self._flops_for(individual.genome)
+        individual.fitness = result.fitness
+        individual.flops = flops
+        individual.result = result
+        individual.epoch_seconds = list(
+            self.cost_model.sample_epoch_seconds(
+                flops, cost_rng, size=result.epochs_trained
+            )
+        )
+        return individual

@@ -1,0 +1,73 @@
+"""Weight initialization schemes for the NumPy NN framework.
+
+The genome decoder builds many small CNNs; stable training across random
+architectures needs variance-preserving initialization, so He-normal is
+the default for ReLU stacks and Glorot-uniform for linear outputs.
+"""
+
+from __future__ import annotations
+
+from typing import Callable
+
+import numpy as np
+
+__all__ = ["he_normal", "glorot_uniform", "zeros", "ones", "get_initializer"]
+
+Initializer = Callable[[tuple, np.random.Generator], np.ndarray]
+
+
+def _fans(shape: tuple) -> tuple[int, int]:
+    """Compute (fan_in, fan_out) for dense and conv kernels.
+
+    Dense kernels are ``(in, out)``; conv kernels are
+    ``(out_channels, in_channels, kh, kw)``.
+    """
+    if len(shape) == 2:
+        return shape[0], shape[1]
+    if len(shape) == 4:
+        receptive = shape[2] * shape[3]
+        return shape[1] * receptive, shape[0] * receptive
+    size = int(np.prod(shape))
+    return size, size
+
+
+def he_normal(shape: tuple, rng: np.random.Generator) -> np.ndarray:
+    """He-normal: N(0, sqrt(2 / fan_in)); standard for ReLU networks."""
+    fan_in, _ = _fans(shape)
+    std = np.sqrt(2.0 / max(fan_in, 1))
+    return rng.normal(0.0, std, size=shape).astype(np.float64)
+
+
+def glorot_uniform(shape: tuple, rng: np.random.Generator) -> np.ndarray:
+    """Glorot-uniform: U(-limit, limit), limit = sqrt(6 / (fan_in + fan_out))."""
+    fan_in, fan_out = _fans(shape)
+    limit = np.sqrt(6.0 / max(fan_in + fan_out, 1))
+    return rng.uniform(-limit, limit, size=shape).astype(np.float64)
+
+
+def zeros(shape: tuple, rng: np.random.Generator) -> np.ndarray:
+    """All-zero initialization (biases, batch-norm shift)."""
+    return np.zeros(shape, dtype=np.float64)
+
+
+def ones(shape: tuple, rng: np.random.Generator) -> np.ndarray:
+    """All-one initialization (batch-norm scale)."""
+    return np.ones(shape, dtype=np.float64)
+
+
+_REGISTRY: dict[str, Initializer] = {
+    "he_normal": he_normal,
+    "glorot_uniform": glorot_uniform,
+    "zeros": zeros,
+    "ones": ones,
+}
+
+
+def get_initializer(name: str) -> Initializer:
+    """Look up an initializer by name."""
+    try:
+        return _REGISTRY[name]
+    except KeyError:
+        raise KeyError(
+            f"unknown initializer {name!r}; known: {sorted(_REGISTRY)}"
+        ) from None

@@ -1,0 +1,121 @@
+"""Layer abstraction for the NumPy NN framework.
+
+Every layer implements a ``forward``/``backward`` pair operating on
+batched ``float64`` arrays, exposes its trainable parameters and their
+gradients by name, reports its output shape and FLOP cost for a given
+input shape, and serializes its configuration.  Convolutional data
+layout is NCHW throughout (batch, channels, height, width) — channel-
+contiguous inner dimensions keep the im2col hot loops cache friendly.
+"""
+
+from __future__ import annotations
+
+from typing import Iterator
+
+import numpy as np
+
+__all__ = ["Layer", "Parameter"]
+
+
+class Parameter:
+    """A trainable array with its gradient accumulator."""
+
+    __slots__ = ("value", "grad")
+
+    def __init__(self, value: np.ndarray) -> None:
+        self.value = np.asarray(value, dtype=np.float64)
+        self.grad = np.zeros_like(self.value)
+
+    @property
+    def shape(self) -> tuple:
+        return self.value.shape
+
+    @property
+    def size(self) -> int:
+        return int(self.value.size)
+
+    def zero_grad(self) -> None:
+        """Reset the gradient accumulator in place (no reallocation)."""
+        self.grad[...] = 0.0
+
+
+class Layer:
+    """Base class: stateless by default, override what applies.
+
+    Subclasses with trainable parameters register them in
+    ``self.params`` (an ordered ``dict[str, Parameter]``).  Layers that
+    behave differently in training vs. evaluation (dropout, batch norm)
+    read the ``training`` flag passed to :meth:`forward`.
+    """
+
+    def __init__(self) -> None:
+        self.params: dict[str, Parameter] = {}
+
+    # -- computation ---------------------------------------------------------
+
+    def forward(self, x: np.ndarray, training: bool = False) -> np.ndarray:
+        """Compute the layer output; cache what backward needs."""
+        raise NotImplementedError
+
+    def backward(self, grad_out: np.ndarray) -> np.ndarray:
+        """Given dL/d(output), accumulate parameter grads and return dL/d(input)."""
+        raise NotImplementedError
+
+    # -- shape and cost ------------------------------------------------------
+
+    def output_shape(self, input_shape: tuple) -> tuple:
+        """Per-sample output shape for a per-sample ``input_shape``.
+
+        Defaults to shape-preserving (elementwise layers).
+        """
+        return tuple(input_shape)
+
+    def flops(self, input_shape: tuple) -> int:
+        """Forward-pass floating-point operations per sample.
+
+        Defaults to 0 for layers that are pure data movement.
+        Multiply-accumulate counts as 2 FLOPs.
+        """
+        return 0
+
+    # -- parameters ------------------------------------------------------------
+
+    def parameters(self) -> Iterator[tuple[str, Parameter]]:
+        """Iterate ``(name, parameter)`` pairs."""
+        yield from self.params.items()
+
+    def n_parameters(self) -> int:
+        """Total trainable scalar count."""
+        return sum(p.size for p in self.params.values())
+
+    def zero_grad(self) -> None:
+        """Reset all parameter gradients."""
+        for param in self.params.values():
+            param.zero_grad()
+
+    # -- non-trainable state ------------------------------------------------
+
+    def state(self) -> dict[str, np.ndarray]:
+        """Non-trainable mutable arrays (e.g. batch-norm running stats).
+
+        Checkpointing saves these alongside parameters; layers without
+        such state return an empty dict.
+        """
+        return {}
+
+    def load_state(self, state: dict[str, np.ndarray]) -> None:
+        """Restore arrays produced by :meth:`state`."""
+        if state:
+            raise KeyError(
+                f"{type(self).__name__} holds no state, got keys {sorted(state)}"
+            )
+
+    # -- serialization ----------------------------------------------------------
+
+    def get_config(self) -> dict:
+        """Constructor arguments needed to rebuild this layer."""
+        return {}
+
+    def __repr__(self) -> str:
+        config = ", ".join(f"{k}={v!r}" for k, v in self.get_config().items())
+        return f"{type(self).__name__}({config})"

@@ -1,0 +1,186 @@
+"""2-D convolution via im2col.
+
+The im2col transform turns convolution into one large matrix multiply,
+which is the standard way to get BLAS-speed convolutions out of NumPy
+(vectorize the loop, let the optimized GEMM do the work).  Patch
+extraction uses ``sliding_window_view`` so the forward pass allocates no
+per-patch copies beyond the final contiguous column matrix.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+from numpy.lib.stride_tricks import sliding_window_view
+
+from repro.nn.initializers import get_initializer
+from repro.nn.layers.base import Layer, Parameter
+
+__all__ = ["Conv2D", "im2col", "col2im"]
+
+
+def im2col(x: np.ndarray, kh: int, kw: int, stride: int) -> np.ndarray:
+    """Extract sliding patches: ``(N, C, H, W) -> (N, oh*ow, C*kh*kw)``."""
+    n, c, h, w = x.shape
+    oh = (h - kh) // stride + 1
+    ow = (w - kw) // stride + 1
+    # windows: (N, C, H-kh+1, W-kw+1, kh, kw) — a view, no copy yet
+    windows = sliding_window_view(x, (kh, kw), axis=(2, 3))
+    windows = windows[:, :, ::stride, ::stride, :, :]
+    # one contiguous copy: (N, oh, ow, C, kh, kw) -> (N, oh*ow, C*kh*kw)
+    return np.ascontiguousarray(windows.transpose(0, 2, 3, 1, 4, 5)).reshape(
+        n, oh * ow, c * kh * kw
+    )
+
+
+def col2im(
+    cols: np.ndarray,
+    x_shape: tuple,
+    kh: int,
+    kw: int,
+    stride: int,
+) -> np.ndarray:
+    """Scatter-add column gradients back to image layout (im2col adjoint)."""
+    n, c, h, w = x_shape
+    oh = (h - kh) // stride + 1
+    ow = (w - kw) // stride + 1
+    grads = cols.reshape(n, oh, ow, c, kh, kw)
+    out = np.zeros(x_shape, dtype=cols.dtype)
+    # kh*kw is tiny (<= 49); vectorize over batch and spatial dims instead.
+    for i in range(kh):
+        for j in range(kw):
+            out[:, :, i : i + oh * stride : stride, j : j + ow * stride : stride] += (
+                grads[:, :, :, :, i, j].transpose(0, 3, 1, 2)
+            )
+    return out
+
+
+class Conv2D(Layer):
+    """Cross-correlation conv layer on NCHW inputs.
+
+    Parameters
+    ----------
+    in_channels, out_channels:
+        Channel counts.
+    kernel_size:
+        Square kernel side length.
+    stride:
+        Spatial stride (same in both dims).
+    padding:
+        Symmetric zero padding; ``"same"`` resolves to
+        ``kernel_size // 2`` (exact only for stride 1 + odd kernels).
+    """
+
+    def __init__(
+        self,
+        in_channels: int,
+        out_channels: int,
+        kernel_size: int = 3,
+        *,
+        stride: int = 1,
+        padding: int | str = "same",
+        use_bias: bool = True,
+        weight_init: str = "he_normal",
+        rng: np.random.Generator | None = None,
+    ) -> None:
+        super().__init__()
+        if min(in_channels, out_channels, kernel_size, stride) <= 0:
+            raise ValueError("channels, kernel_size and stride must be positive")
+        if padding == "same":
+            padding = kernel_size // 2
+        if int(padding) < 0:
+            raise ValueError(f"padding must be non-negative, got {padding}")
+        rng = rng if rng is not None else np.random.default_rng()
+        self.in_channels = int(in_channels)
+        self.out_channels = int(out_channels)
+        self.kernel_size = int(kernel_size)
+        self.stride = int(stride)
+        self.padding = int(padding)
+        self.use_bias = bool(use_bias)
+        self.weight_init = weight_init
+        kernel_shape = (self.out_channels, self.in_channels, self.kernel_size, self.kernel_size)
+        self.params["weight"] = Parameter(get_initializer(weight_init)(kernel_shape, rng))
+        if self.use_bias:
+            self.params["bias"] = Parameter(np.zeros(self.out_channels))
+        self._cache: tuple | None = None
+
+    def _pad(self, x: np.ndarray) -> np.ndarray:
+        if self.padding == 0:
+            return x
+        p = self.padding
+        return np.pad(x, ((0, 0), (0, 0), (p, p), (p, p)))
+
+    def _out_hw(self, h: int, w: int) -> tuple[int, int]:
+        k, s, p = self.kernel_size, self.stride, self.padding
+        oh = (h + 2 * p - k) // s + 1
+        ow = (w + 2 * p - k) // s + 1
+        if oh <= 0 or ow <= 0:
+            raise ValueError(
+                f"Conv2D(k={k}, s={s}, p={p}) produces empty output for input {h}x{w}"
+            )
+        return oh, ow
+
+    def forward(self, x: np.ndarray, training: bool = False) -> np.ndarray:
+        if x.ndim != 4 or x.shape[1] != self.in_channels:
+            raise ValueError(
+                f"Conv2D expects (N, {self.in_channels}, H, W), got {x.shape}"
+            )
+        n = x.shape[0]
+        oh, ow = self._out_hw(x.shape[2], x.shape[3])
+        padded = self._pad(x)
+        cols = im2col(padded, self.kernel_size, self.kernel_size, self.stride)
+        kernel = self.params["weight"].value.reshape(self.out_channels, -1)
+        # (N, oh*ow, C*k*k) @ (C*k*k, out_c) -> (N, oh*ow, out_c)
+        out = cols @ kernel.T
+        if self.use_bias:
+            out += self.params["bias"].value
+        out = out.transpose(0, 2, 1).reshape(n, self.out_channels, oh, ow)
+        self._cache = (cols, padded.shape, x.shape) if training else None
+        return out
+
+    def backward(self, grad_out: np.ndarray) -> np.ndarray:
+        if self._cache is None:
+            raise RuntimeError("backward called before a training-mode forward")
+        cols, padded_shape, x_shape = self._cache
+        n, _, oh, ow = grad_out.shape
+        # (N, out_c, oh, ow) -> (N, oh*ow, out_c)
+        grad_flat = grad_out.reshape(n, self.out_channels, oh * ow).transpose(0, 2, 1)
+
+        kernel = self.params["weight"].value.reshape(self.out_channels, -1)
+        # dW: sum over batch of grad_flat^T @ cols
+        grad_kernel = np.einsum("npo,npk->ok", grad_flat, cols)
+        self.params["weight"].grad += grad_kernel.reshape(self.params["weight"].shape)
+        if self.use_bias:
+            self.params["bias"].grad += grad_flat.sum(axis=(0, 1))
+
+        grad_cols = grad_flat @ kernel  # (N, oh*ow, C*k*k)
+        grad_padded = col2im(grad_cols, padded_shape, self.kernel_size, self.kernel_size, self.stride)
+        if self.padding:
+            p = self.padding
+            return grad_padded[:, :, p:-p, p:-p]
+        return grad_padded
+
+    def output_shape(self, input_shape: tuple) -> tuple:
+        c, h, w = input_shape
+        if c != self.in_channels:
+            raise ValueError(
+                f"Conv2D expects {self.in_channels} channels, got shape {input_shape}"
+            )
+        oh, ow = self._out_hw(h, w)
+        return (self.out_channels, oh, ow)
+
+    def flops(self, input_shape: tuple) -> int:
+        _, oh, ow = self.output_shape(input_shape)
+        k2c = self.kernel_size * self.kernel_size * self.in_channels
+        per_output = 2 * k2c + (1 if self.use_bias else 0)
+        return per_output * self.out_channels * oh * ow
+
+    def get_config(self) -> dict:
+        return {
+            "in_channels": self.in_channels,
+            "out_channels": self.out_channels,
+            "kernel_size": self.kernel_size,
+            "stride": self.stride,
+            "padding": self.padding,
+            "use_bias": self.use_bias,
+            "weight_init": self.weight_init,
+        }

@@ -1,0 +1,46 @@
+"""Inverted dropout."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.nn.layers.base import Layer
+
+__all__ = ["Dropout"]
+
+
+class Dropout(Layer):
+    """Inverted dropout: scaling happens at train time, eval is identity.
+
+    Parameters
+    ----------
+    rate:
+        Probability of zeroing each activation during training.
+    rng:
+        Generator for mask sampling; injectable for reproducibility.
+    """
+
+    def __init__(self, rate: float = 0.5, *, rng: np.random.Generator | None = None) -> None:
+        super().__init__()
+        if not 0.0 <= rate < 1.0:
+            raise ValueError(f"rate must be in [0, 1), got {rate}")
+        self.rate = float(rate)
+        self.rng = rng if rng is not None else np.random.default_rng()
+        self._mask: np.ndarray | None = None
+
+    def forward(self, x: np.ndarray, training: bool = False) -> np.ndarray:
+        if not training or self.rate == 0.0:
+            self._mask = None
+            return x
+        keep = 1.0 - self.rate
+        self._mask = (self.rng.random(x.shape) < keep) / keep
+        return x * self._mask
+
+    def backward(self, grad_out: np.ndarray) -> np.ndarray:
+        if self._mask is None:
+            # rate == 0 or eval-mode forward: gradient passes through
+            return grad_out
+        return grad_out * self._mask
+
+    def get_config(self) -> dict:
+        return {"rate": self.rate}

@@ -1,0 +1,115 @@
+"""Batch normalization for NCHW feature maps and flat features."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.nn.layers.base import Layer, Parameter
+
+__all__ = ["BatchNorm2D", "BatchNorm1D"]
+
+
+class _BatchNorm(Layer):
+    """Shared machinery; subclasses define the reduction axes."""
+
+    def __init__(self, num_features: int, *, momentum: float = 0.9, eps: float = 1e-5) -> None:
+        super().__init__()
+        if num_features <= 0:
+            raise ValueError(f"num_features must be positive, got {num_features}")
+        if not 0.0 <= momentum < 1.0:
+            raise ValueError(f"momentum must be in [0, 1), got {momentum}")
+        self.num_features = int(num_features)
+        self.momentum = float(momentum)
+        self.eps = float(eps)
+        self.params["gamma"] = Parameter(np.ones(self.num_features))
+        self.params["beta"] = Parameter(np.zeros(self.num_features))
+        # running statistics are state, not trainable parameters
+        self.running_mean = np.zeros(self.num_features)
+        self.running_var = np.ones(self.num_features)
+        self._cache: tuple | None = None
+
+    _axes: tuple = ()
+
+    def _shape_params(self, arr: np.ndarray, ndim: int) -> np.ndarray:
+        """Broadcast a per-channel vector against an ndim input."""
+        shape = [1] * ndim
+        shape[1] = self.num_features
+        return arr.reshape(shape)
+
+    def forward(self, x: np.ndarray, training: bool = False) -> np.ndarray:
+        if x.shape[1] != self.num_features:
+            raise ValueError(
+                f"expected {self.num_features} channels, got input shape {x.shape}"
+            )
+        if training:
+            mean = x.mean(axis=self._axes)
+            var = x.var(axis=self._axes)
+            self.running_mean = self.momentum * self.running_mean + (1 - self.momentum) * mean
+            self.running_var = self.momentum * self.running_var + (1 - self.momentum) * var
+        else:
+            mean, var = self.running_mean, self.running_var
+
+        inv_std = 1.0 / np.sqrt(var + self.eps)
+        x_hat = (x - self._shape_params(mean, x.ndim)) * self._shape_params(inv_std, x.ndim)
+        out = (
+            self._shape_params(self.params["gamma"].value, x.ndim) * x_hat
+            + self._shape_params(self.params["beta"].value, x.ndim)
+        )
+        self._cache = (x_hat, inv_std) if training else None
+        return out
+
+    def backward(self, grad_out: np.ndarray) -> np.ndarray:
+        if self._cache is None:
+            raise RuntimeError("backward called before a training-mode forward")
+        x_hat, inv_std = self._cache
+        m = grad_out.size // self.num_features  # elements per channel
+
+        self.params["gamma"].grad += (grad_out * x_hat).sum(axis=self._axes)
+        self.params["beta"].grad += grad_out.sum(axis=self._axes)
+
+        gamma = self._shape_params(self.params["gamma"].value, grad_out.ndim)
+        inv = self._shape_params(inv_std, grad_out.ndim)
+        g = grad_out * gamma
+        sum_g = self._shape_params(g.sum(axis=self._axes), grad_out.ndim)
+        sum_gx = self._shape_params((g * x_hat).sum(axis=self._axes), grad_out.ndim)
+        return (inv / m) * (m * g - sum_g - x_hat * sum_gx)
+
+    def flops(self, input_shape: tuple) -> int:
+        # normalize + scale + shift: ~4 ops per element
+        return 4 * int(np.prod(input_shape))
+
+    def state(self) -> dict[str, np.ndarray]:
+        return {
+            "running_mean": self.running_mean.copy(),
+            "running_var": self.running_var.copy(),
+        }
+
+    def load_state(self, state: dict[str, np.ndarray]) -> None:
+        for key in ("running_mean", "running_var"):
+            if key not in state:
+                raise KeyError(f"batch-norm state missing {key!r}")
+            value = np.asarray(state[key], dtype=np.float64)
+            if value.shape != (self.num_features,):
+                raise ValueError(
+                    f"{key} shape {value.shape} != ({self.num_features},)"
+                )
+            setattr(self, key, value)
+
+    def get_config(self) -> dict:
+        return {
+            "num_features": self.num_features,
+            "momentum": self.momentum,
+            "eps": self.eps,
+        }
+
+
+class BatchNorm2D(_BatchNorm):
+    """Per-channel normalization over (batch, H, W) for NCHW inputs."""
+
+    _axes = (0, 2, 3)
+
+
+class BatchNorm1D(_BatchNorm):
+    """Per-feature normalization over the batch for (batch, features) inputs."""
+
+    _axes = (0,)

@@ -1,0 +1,136 @@
+"""Spatial pooling layers (max and average) and global average pooling."""
+
+from __future__ import annotations
+
+import numpy as np
+from numpy.lib.stride_tricks import sliding_window_view
+
+from repro.nn.layers.base import Layer
+
+__all__ = ["MaxPool2D", "AvgPool2D", "GlobalAvgPool2D"]
+
+
+class _Pool2D(Layer):
+    """Shared shape logic for fixed-window pooling."""
+
+    def __init__(self, pool_size: int = 2, stride: int | None = None) -> None:
+        super().__init__()
+        if pool_size <= 0:
+            raise ValueError(f"pool_size must be positive, got {pool_size}")
+        self.pool_size = int(pool_size)
+        self.stride = int(stride) if stride is not None else self.pool_size
+        if self.stride <= 0:
+            raise ValueError(f"stride must be positive, got {stride}")
+
+    def _out_hw(self, h: int, w: int) -> tuple[int, int]:
+        k, s = self.pool_size, self.stride
+        oh = (h - k) // s + 1
+        ow = (w - k) // s + 1
+        if oh <= 0 or ow <= 0:
+            raise ValueError(
+                f"{type(self).__name__}(k={k}, s={s}) empty output for input {h}x{w}"
+            )
+        return oh, ow
+
+    def _windows(self, x: np.ndarray) -> np.ndarray:
+        # (N, C, oh, ow, k, k) strided view
+        view = sliding_window_view(x, (self.pool_size, self.pool_size), axis=(2, 3))
+        return view[:, :, :: self.stride, :: self.stride, :, :]
+
+    def output_shape(self, input_shape: tuple) -> tuple:
+        c, h, w = input_shape
+        oh, ow = self._out_hw(h, w)
+        return (c, oh, ow)
+
+    def get_config(self) -> dict:
+        return {"pool_size": self.pool_size, "stride": self.stride}
+
+
+class MaxPool2D(_Pool2D):
+    """Max pooling; backward routes gradient to each window's argmax."""
+
+    def forward(self, x: np.ndarray, training: bool = False) -> np.ndarray:
+        windows = self._windows(x)
+        n, c, oh, ow, k, _ = windows.shape
+        flat = windows.reshape(n, c, oh, ow, k * k)
+        out = flat.max(axis=-1)
+        if training:
+            argmax = flat.argmax(axis=-1)
+            self._cache = (x.shape, argmax)
+        else:
+            self._cache = None
+        return out
+
+    def backward(self, grad_out: np.ndarray) -> np.ndarray:
+        if self._cache is None:
+            raise RuntimeError("backward called before a training-mode forward")
+        x_shape, argmax = self._cache
+        n, c, oh, ow = grad_out.shape
+        k = self.pool_size
+        grad_x = np.zeros(x_shape, dtype=grad_out.dtype)
+        rows = argmax // k  # offset within window
+        cols = argmax % k
+        base_i = np.arange(oh)[None, None, :, None] * self.stride
+        base_j = np.arange(ow)[None, None, None, :] * self.stride
+        ii = (base_i + rows).ravel()
+        jj = (base_j + cols).ravel()
+        nn = np.repeat(np.arange(n), c * oh * ow)
+        cc = np.tile(np.repeat(np.arange(c), oh * ow), n)
+        np.add.at(grad_x, (nn, cc, ii, jj), grad_out.ravel())
+        return grad_x
+
+    def flops(self, input_shape: tuple) -> int:
+        c, oh, ow = self.output_shape(input_shape)
+        # k*k - 1 comparisons per output element
+        return (self.pool_size * self.pool_size - 1) * c * oh * ow
+
+
+class AvgPool2D(_Pool2D):
+    """Average pooling; backward spreads gradient uniformly over the window."""
+
+    def forward(self, x: np.ndarray, training: bool = False) -> np.ndarray:
+        windows = self._windows(x)
+        out = windows.mean(axis=(-2, -1))
+        self._cache = x.shape if training else None
+        return out
+
+    def backward(self, grad_out: np.ndarray) -> np.ndarray:
+        if self._cache is None:
+            raise RuntimeError("backward called before a training-mode forward")
+        x_shape = self._cache
+        k, s = self.pool_size, self.stride
+        n, c, oh, ow = grad_out.shape
+        grad_x = np.zeros(x_shape, dtype=grad_out.dtype)
+        share = grad_out / (k * k)
+        for i in range(k):
+            for j in range(k):
+                grad_x[:, :, i : i + oh * s : s, j : j + ow * s : s] += share
+        return grad_x
+
+    def flops(self, input_shape: tuple) -> int:
+        c, oh, ow = self.output_shape(input_shape)
+        return self.pool_size * self.pool_size * c * oh * ow
+
+
+class GlobalAvgPool2D(Layer):
+    """Collapse each channel's spatial map to its mean: NCHW -> (N, C)."""
+
+    def forward(self, x: np.ndarray, training: bool = False) -> np.ndarray:
+        self._cache = x.shape if training else None
+        return x.mean(axis=(2, 3))
+
+    def backward(self, grad_out: np.ndarray) -> np.ndarray:
+        if self._cache is None:
+            raise RuntimeError("backward called before a training-mode forward")
+        n, c, h, w = self._cache
+        return np.broadcast_to(
+            grad_out[:, :, None, None] / (h * w), (n, c, h, w)
+        ).copy()
+
+    def output_shape(self, input_shape: tuple) -> tuple:
+        c, h, w = input_shape
+        return (c,)
+
+    def flops(self, input_shape: tuple) -> int:
+        c, h, w = input_shape
+        return c * h * w

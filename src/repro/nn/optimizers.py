@@ -1,0 +1,127 @@
+"""Gradient-descent optimizers.
+
+Optimizers operate on the ``(name, Parameter)`` pairs a
+:class:`~repro.nn.network.Network` exposes; per-parameter state (momenta)
+is keyed by parameter name so that checkpoint/restore round-trips keep
+optimizer state aligned with weights.
+"""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+
+from repro.nn.network import Network
+from repro.utils.validation import ensure_non_negative, ensure_positive
+
+__all__ = ["Optimizer", "SGD", "Adam", "clip_grad_norm"]
+
+
+def clip_grad_norm(network: Network, max_norm: float) -> float:
+    """Scale all gradients so their global L2 norm is at most ``max_norm``.
+
+    Returns the pre-clipping norm.  Standard protection against the
+    exploding gradients random NAS architectures occasionally produce.
+    """
+    if max_norm <= 0:
+        raise ValueError(f"max_norm must be positive, got {max_norm}")
+    total = 0.0
+    for _, param in network.parameters():
+        total += float(np.sum(param.grad**2))
+    norm = math.sqrt(total)
+    if norm > max_norm:
+        scale = max_norm / (norm + 1e-12)
+        for _, param in network.parameters():
+            param.grad *= scale
+    return norm
+
+
+class Optimizer:
+    """Base optimizer bound to a network."""
+
+    def __init__(self, network: Network, lr: float) -> None:
+        self.network = network
+        self.lr = ensure_positive(float(lr), "lr")
+
+    def step(self) -> None:
+        """Apply one update from the accumulated gradients."""
+        raise NotImplementedError
+
+    def zero_grad(self) -> None:
+        """Convenience passthrough to the network."""
+        self.network.zero_grad()
+
+
+class SGD(Optimizer):
+    """SGD with classical momentum and decoupled L2 weight decay."""
+
+    def __init__(
+        self,
+        network: Network,
+        lr: float = 0.01,
+        *,
+        momentum: float = 0.0,
+        weight_decay: float = 0.0,
+    ) -> None:
+        super().__init__(network, lr)
+        if not 0.0 <= momentum < 1.0:
+            raise ValueError(f"momentum must be in [0, 1), got {momentum}")
+        self.momentum = float(momentum)
+        self.weight_decay = ensure_non_negative(float(weight_decay), "weight_decay")
+        self._velocity: dict[str, np.ndarray] = {}
+
+    def step(self) -> None:
+        for name, param in self.network.parameters():
+            grad = param.grad
+            if self.weight_decay:
+                grad = grad + self.weight_decay * param.value
+            if self.momentum:
+                vel = self._velocity.get(name)
+                if vel is None:
+                    vel = np.zeros_like(param.value)
+                vel *= self.momentum
+                vel += grad
+                self._velocity[name] = vel
+                grad = vel
+            param.value -= self.lr * grad
+
+
+class Adam(Optimizer):
+    """Adam with bias correction (Kingma & Ba, 2015)."""
+
+    def __init__(
+        self,
+        network: Network,
+        lr: float = 1e-3,
+        *,
+        beta1: float = 0.9,
+        beta2: float = 0.999,
+        eps: float = 1e-8,
+        weight_decay: float = 0.0,
+    ) -> None:
+        super().__init__(network, lr)
+        if not 0.0 <= beta1 < 1.0 or not 0.0 <= beta2 < 1.0:
+            raise ValueError(f"betas must be in [0, 1), got {beta1}, {beta2}")
+        self.beta1, self.beta2 = float(beta1), float(beta2)
+        self.eps = ensure_positive(float(eps), "eps")
+        self.weight_decay = ensure_non_negative(float(weight_decay), "weight_decay")
+        self._m: dict[str, np.ndarray] = {}
+        self._v: dict[str, np.ndarray] = {}
+        self._t = 0
+
+    def step(self) -> None:
+        self._t += 1
+        bias1 = 1.0 - self.beta1**self._t
+        bias2 = 1.0 - self.beta2**self._t
+        for name, param in self.network.parameters():
+            grad = param.grad
+            if self.weight_decay:
+                grad = grad + self.weight_decay * param.value
+            m = self._m.setdefault(name, np.zeros_like(param.value))
+            v = self._v.setdefault(name, np.zeros_like(param.value))
+            m *= self.beta1
+            m += (1.0 - self.beta1) * grad
+            v *= self.beta2
+            v += (1.0 - self.beta2) * grad**2
+            param.value -= self.lr * (m / bias1) / (np.sqrt(v / bias2) + self.eps)

@@ -1,0 +1,85 @@
+"""Learning-rate schedules.
+
+The paper's lineage records include the learning rate among the training
+parameters it tracks; real NAS training stacks anneal it.  Schedules
+wrap an optimizer and update its ``lr`` once per epoch.
+"""
+
+from __future__ import annotations
+
+import math
+
+from repro.nn.optimizers import Optimizer
+from repro.utils.validation import ensure_positive
+
+__all__ = ["LRSchedule", "StepDecay", "CosineAnnealing", "ExponentialDecay"]
+
+
+class LRSchedule:
+    """Base schedule bound to an optimizer.
+
+    Call :meth:`step` once per completed epoch; the schedule assigns
+    ``optimizer.lr`` for the *next* epoch.
+    """
+
+    def __init__(self, optimizer: Optimizer) -> None:
+        self.optimizer = optimizer
+        self.base_lr = float(optimizer.lr)
+        self.epoch = 0
+
+    def lr_at(self, epoch: int) -> float:
+        """The learning rate used during ``epoch`` (0-based)."""
+        raise NotImplementedError
+
+    def step(self) -> float:
+        """Advance one epoch; returns the new learning rate."""
+        self.epoch += 1
+        self.optimizer.lr = self.lr_at(self.epoch)
+        return self.optimizer.lr
+
+
+class StepDecay(LRSchedule):
+    """Multiply the rate by ``gamma`` every ``step_size`` epochs."""
+
+    def __init__(self, optimizer: Optimizer, *, step_size: int = 10, gamma: float = 0.1) -> None:
+        super().__init__(optimizer)
+        ensure_positive(step_size, "step_size")
+        if not 0.0 < gamma <= 1.0:
+            raise ValueError(f"gamma must be in (0, 1], got {gamma}")
+        self.step_size = int(step_size)
+        self.gamma = float(gamma)
+
+    def lr_at(self, epoch: int) -> float:
+        return self.base_lr * self.gamma ** (epoch // self.step_size)
+
+
+class ExponentialDecay(LRSchedule):
+    """Multiply the rate by ``gamma`` every epoch."""
+
+    def __init__(self, optimizer: Optimizer, *, gamma: float = 0.95) -> None:
+        super().__init__(optimizer)
+        if not 0.0 < gamma <= 1.0:
+            raise ValueError(f"gamma must be in (0, 1], got {gamma}")
+        self.gamma = float(gamma)
+
+    def lr_at(self, epoch: int) -> float:
+        return self.base_lr * self.gamma**epoch
+
+
+class CosineAnnealing(LRSchedule):
+    """Cosine decay from the base rate to ``min_lr`` over ``t_max`` epochs."""
+
+    def __init__(self, optimizer: Optimizer, *, t_max: int = 25, min_lr: float = 0.0) -> None:
+        super().__init__(optimizer)
+        ensure_positive(t_max, "t_max")
+        if min_lr < 0 or min_lr > self.base_lr:
+            raise ValueError(
+                f"min_lr must be in [0, base_lr={self.base_lr}], got {min_lr}"
+            )
+        self.t_max = int(t_max)
+        self.min_lr = float(min_lr)
+
+    def lr_at(self, epoch: int) -> float:
+        clamped = min(epoch, self.t_max)
+        cosine = (1 + math.cos(math.pi * clamped / self.t_max)) / 2
+        return self.min_lr + (self.base_lr - self.min_lr) * cosine

@@ -1,0 +1,42 @@
+"""Workflow resource manager (Ray substitute).
+
+FIFO dynamic scheduling of per-network training jobs onto accelerators
+(paper §2.5), in two forms: a deterministic discrete-event simulator
+that replays recorded epoch durations on an N-GPU pool
+(:mod:`repro.scheduler.simulator`), and a real thread-worker pool for
+machines with actual parallelism (:mod:`repro.scheduler.pool`).  The
+FLOPs→seconds cost model (:mod:`repro.scheduler.costmodel`) calibrates
+simulated epoch durations to the paper's single-V100 wall times.
+"""
+
+from repro.scheduler.costmodel import PAPER_TRAIN_IMAGES, EpochCostModel
+from repro.scheduler.fifo import (
+    Job,
+    JobPlacement,
+    ScheduleResult,
+    schedule_generation,
+    schedule_run,
+)
+from repro.scheduler.pool import FifoWorkerPool, PoolReport
+from repro.scheduler.resources import Gpu, GpuPool
+from repro.scheduler.simulator import WallTimeReport, jobs_by_generation, simulate_walltime
+from repro.scheduler.trace import ascii_timeline, chrome_trace
+
+__all__ = [
+    "PAPER_TRAIN_IMAGES",
+    "EpochCostModel",
+    "Job",
+    "JobPlacement",
+    "ScheduleResult",
+    "schedule_generation",
+    "schedule_run",
+    "FifoWorkerPool",
+    "PoolReport",
+    "Gpu",
+    "GpuPool",
+    "WallTimeReport",
+    "jobs_by_generation",
+    "simulate_walltime",
+    "ascii_timeline",
+    "chrome_trace",
+]

@@ -1,0 +1,74 @@
+"""Epoch-duration cost model.
+
+The paper's wall-time results come from measured GPU training; we have
+no GPU, so simulated runs need a model mapping an architecture's
+per-sample FLOPs and the dataset size to a per-epoch duration on one
+(simulated) V100.  A linear model
+
+.. math::  t_{epoch} = t_{fixed} + \\kappa \\cdot FLOPs \\cdot n_{images}
+
+captures the dominant behaviour (arithmetic-bound training with a fixed
+per-epoch overhead for data movement and validation).  The default
+constants are calibrated so a standalone NSGA-Net run — 100 networks ×
+25 epochs over the paper's 63,508-image training split — lands near the
+paper's ~50-hour single-GPU wall times (Table 3 plus the Figure 9
+savings), making simulated wall-time *shapes* directly comparable.
+
+A small multiplicative jitter models epoch-to-epoch variance ("the
+length of each epoch may vary from iteration to iteration", §4.3).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+__all__ = ["EpochCostModel", "PAPER_TRAIN_IMAGES"]
+
+#: Training-split size of the paper's full-scale dataset.
+PAPER_TRAIN_IMAGES = 63_508
+
+
+@dataclass(frozen=True)
+class EpochCostModel:
+    """Linear FLOPs→seconds model with multiplicative jitter.
+
+    Attributes
+    ----------
+    fixed_seconds:
+        Per-epoch overhead independent of the architecture.
+    seconds_per_flop_image:
+        Marginal cost per (per-sample FLOP × training image).
+    jitter:
+        Std-dev of the multiplicative noise factor (0 disables).
+    n_images:
+        Training images per epoch.
+    """
+
+    fixed_seconds: float = 12.0
+    seconds_per_flop_image: float = 6.4e-11
+    jitter: float = 0.05
+    n_images: int = PAPER_TRAIN_IMAGES
+
+    def __post_init__(self) -> None:
+        if self.fixed_seconds < 0 or self.seconds_per_flop_image < 0:
+            raise ValueError("cost-model coefficients must be non-negative")
+        if self.jitter < 0:
+            raise ValueError(f"jitter must be non-negative, got {self.jitter}")
+        if self.n_images <= 0:
+            raise ValueError(f"n_images must be positive, got {self.n_images}")
+
+    def mean_epoch_seconds(self, flops: float) -> float:
+        """Expected duration of one epoch for a ``flops``-per-sample model."""
+        return self.fixed_seconds + self.seconds_per_flop_image * float(flops) * self.n_images
+
+    def sample_epoch_seconds(
+        self, flops: float, rng: np.random.Generator, size: int | None = None
+    ):
+        """Draw jittered epoch duration(s); never below 10% of the mean."""
+        mean = self.mean_epoch_seconds(flops)
+        if self.jitter == 0:
+            return mean if size is None else np.full(size, mean)
+        factors = rng.normal(1.0, self.jitter, size=size)
+        return np.maximum(mean * factors, 0.1 * mean)

@@ -1,0 +1,85 @@
+"""Simulated accelerator resources.
+
+The resource manager (paper §2.5) distributes per-network training jobs
+over GPUs.  A :class:`GpuPool` tracks each device's busy-until horizon;
+the FIFO scheduler queries and advances these horizons.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+__all__ = ["Gpu", "GpuPool"]
+
+
+@dataclass
+class Gpu:
+    """One simulated accelerator.
+
+    Attributes
+    ----------
+    index:
+        Device id.
+    available_at:
+        Simulated time at which the device becomes free.
+    busy_seconds:
+        Accumulated compute time (for utilization accounting).
+    jobs:
+        Model ids executed on this device, in order.
+    """
+
+    index: int
+    available_at: float = 0.0
+    busy_seconds: float = 0.0
+    jobs: list = field(default_factory=list)
+
+    def run(self, job_id, start: float, duration: float) -> float:
+        """Occupy the device from ``start`` for ``duration``; return finish time."""
+        if duration < 0:
+            raise ValueError(f"duration must be non-negative, got {duration}")
+        if start < self.available_at:
+            raise ValueError(
+                f"GPU {self.index} busy until {self.available_at}, cannot start at {start}"
+            )
+        finish = start + duration
+        self.available_at = finish
+        self.busy_seconds += duration
+        self.jobs.append(job_id)
+        return finish
+
+
+class GpuPool:
+    """A fixed set of simulated GPUs."""
+
+    def __init__(self, n_gpus: int) -> None:
+        if n_gpus < 1:
+            raise ValueError(f"n_gpus must be >= 1, got {n_gpus}")
+        self.gpus = [Gpu(i) for i in range(n_gpus)]
+
+    def __len__(self) -> int:
+        return len(self.gpus)
+
+    def __iter__(self):
+        return iter(self.gpus)
+
+    def next_free(self) -> Gpu:
+        """Device that becomes available first (ties: lowest index)."""
+        return min(self.gpus, key=lambda g: (g.available_at, g.index))
+
+    def horizon(self) -> float:
+        """Time when every device is free (the pool-wide makespan)."""
+        return max(g.available_at for g in self.gpus)
+
+    def advance_all(self, time: float) -> None:
+        """Barrier: no device may start before ``time`` (generation boundary)."""
+        for gpu in self.gpus:
+            if gpu.available_at < time:
+                gpu.available_at = time
+
+    def utilization(self, *, until: float | None = None) -> float:
+        """Fraction of pool time spent computing, up to ``until`` (default: makespan)."""
+        horizon = self.horizon() if until is None else float(until)
+        if horizon <= 0:
+            return 0.0
+        busy = sum(g.busy_seconds for g in self.gpus)
+        return busy / (horizon * len(self.gpus))

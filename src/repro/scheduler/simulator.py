@@ -1,0 +1,110 @@
+"""Wall-time simulation of a completed search on an N-GPU cluster.
+
+Takes the per-epoch durations recorded for every evaluated network (real
+measurements in real mode, cost-model draws in surrogate mode) and
+replays them through the FIFO generational scheduler, yielding the wall
+time the paper plots in Figure 9 for 1 and 4 GPUs.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.nas.search import SearchResult
+from repro.scheduler.fifo import Job, ScheduleResult, schedule_run
+
+__all__ = ["WallTimeReport", "simulate_walltime", "jobs_by_generation"]
+
+
+@dataclass(frozen=True)
+class WallTimeReport:
+    """Simulated wall-clock outcome for one search on one pool size.
+
+    Attributes
+    ----------
+    n_gpus:
+        Pool size.
+    wall_seconds:
+        Makespan of the schedule (incl. prediction-engine overhead when
+        supplied).
+    busy_seconds:
+        Aggregate GPU compute time.
+    idle_seconds:
+        Aggregate GPU downtime (generation-barrier effect).
+    utilization:
+        ``busy / (makespan * n_gpus)``.
+    engine_overhead_seconds:
+        Total prediction-engine time folded into the jobs.
+    total_epochs:
+        Epochs actually executed across all jobs.
+    """
+
+    n_gpus: int
+    wall_seconds: float
+    busy_seconds: float
+    idle_seconds: float
+    utilization: float
+    engine_overhead_seconds: float
+    total_epochs: int
+
+    @property
+    def wall_hours(self) -> float:
+        return self.wall_seconds / 3600.0
+
+
+def jobs_by_generation(
+    result: SearchResult, *, include_engine_overhead: bool = True
+) -> list[list[Job]]:
+    """Convert a search archive into generation-grouped scheduler jobs.
+
+    Engine overhead is amortized into each job's epochs (the engine runs
+    in situ, on the same resources, between epochs — Algorithm 1), so it
+    lengthens the schedule exactly where it occurred.
+    """
+    by_generation: dict[int, list[Job]] = {}
+    for member in result.archive:
+        if member.result is None:
+            raise ValueError(f"model {member.model_id} has no training result")
+        epoch_seconds = list(member.epoch_seconds)
+        if len(epoch_seconds) != member.result.epochs_trained:
+            raise ValueError(
+                f"model {member.model_id}: {len(epoch_seconds)} epoch durations "
+                f"for {member.result.epochs_trained} trained epochs"
+            )
+        if include_engine_overhead and epoch_seconds:
+            per_epoch = member.result.engine_overhead_seconds / len(epoch_seconds)
+            epoch_seconds = [s + per_epoch for s in epoch_seconds]
+        by_generation.setdefault(member.generation, []).append(
+            Job(member.model_id, tuple(epoch_seconds))
+        )
+    return [by_generation[g] for g in sorted(by_generation)]
+
+
+def simulate_walltime(
+    result: SearchResult,
+    n_gpus: int,
+    *,
+    include_engine_overhead: bool = True,
+    barrier: bool = True,
+) -> WallTimeReport:
+    """Replay a search's training workload on an ``n_gpus`` pool.
+
+    ``barrier=False`` removes the generation barrier (asynchronous-NAS
+    ablation; see :func:`repro.scheduler.fifo.schedule_run`).
+    """
+    generations = jobs_by_generation(
+        result, include_engine_overhead=include_engine_overhead
+    )
+    schedule: ScheduleResult = schedule_run(generations, n_gpus, barrier=barrier)
+    overhead = sum(
+        m.result.engine_overhead_seconds for m in result.archive if m.result
+    )
+    return WallTimeReport(
+        n_gpus=n_gpus,
+        wall_seconds=schedule.makespan,
+        busy_seconds=schedule.busy_seconds,
+        idle_seconds=schedule.idle_seconds,
+        utilization=schedule.utilization,
+        engine_overhead_seconds=overhead if include_engine_overhead else 0.0,
+        total_epochs=sum(job.n_epochs for gen in generations for job in gen),
+    )

@@ -1,0 +1,98 @@
+"""Schedule traces: timeline exports of simulated schedules.
+
+Two renderings of a :class:`~repro.scheduler.fifo.ScheduleResult`:
+
+* :func:`ascii_timeline` — a per-GPU text Gantt chart for terminals and
+  reports;
+* :func:`chrome_trace` — the Chrome ``chrome://tracing`` / Perfetto JSON
+  event format, so schedules can be inspected interactively.
+"""
+
+from __future__ import annotations
+
+import json
+
+from repro.scheduler.fifo import ScheduleResult
+
+__all__ = ["ascii_timeline", "chrome_trace"]
+
+
+def ascii_timeline(result: ScheduleResult, *, width: int = 80) -> str:
+    """Render the schedule as one text lane per GPU.
+
+    Each job is drawn as a run of its id's last digit; idle time is
+    ``.``; generation boundaries are marked under the lanes.
+    """
+    if not result.placements:
+        return "(empty schedule)"
+    if width < 10:
+        raise ValueError(f"width must be >= 10, got {width}")
+    makespan = result.makespan or max(p.finish for p in result.placements)
+    scale = (width - 1) / makespan if makespan > 0 else 0.0
+
+    lanes = {gpu: ["."] * width for gpu in range(result.n_gpus)}
+    for placement in result.placements:
+        start = int(placement.start * scale)
+        finish = max(int(placement.finish * scale), start + 1)
+        glyph = str(placement.job_id % 10)
+        for col in range(start, min(finish, width)):
+            lanes[placement.gpu][col] = glyph
+
+    marker_row = [" "] * width
+    for end in result.generation_ends:
+        col = min(int(end * scale), width - 1)
+        marker_row[col] = "|"
+
+    lines = [
+        f"gpu{gpu} {''.join(cells)}" for gpu, cells in sorted(lanes.items())
+    ]
+    lines.append("gen  " + "".join(marker_row))
+    lines.append(
+        f"time 0 .. {makespan:.0f}s  (utilization {100 * result.utilization:.0f}%, "
+        f"idle {result.idle_seconds:.0f}s)"
+    )
+    return "\n".join(lines)
+
+
+def chrome_trace(result: ScheduleResult) -> str:
+    """Serialize the schedule as Chrome trace-event JSON.
+
+    Load the returned text into ``chrome://tracing`` or Perfetto; each
+    GPU is a thread, each job a complete event (microsecond units).
+    """
+    events = [
+        {
+            "name": f"job {p.job_id}",
+            "cat": "training",
+            "ph": "X",
+            "ts": p.start * 1e6,
+            "dur": (p.finish - p.start) * 1e6,
+            "pid": 0,
+            "tid": p.gpu,
+            "args": {"job_id": p.job_id},
+        }
+        for p in result.placements
+    ]
+    events.extend(
+        {
+            "name": f"generation {idx} barrier",
+            "cat": "barrier",
+            "ph": "i",
+            "ts": end * 1e6,
+            "pid": 0,
+            "tid": 0,
+            "s": "g",
+        }
+        for idx, end in enumerate(result.generation_ends)
+    )
+    metadata = [
+        {
+            "name": "thread_name",
+            "ph": "M",
+            "pid": 0,
+            "tid": gpu,
+            "args": {"name": f"GPU {gpu}"},
+        }
+        for gpu in range(result.n_gpus)
+    ]
+    return json.dumps({"traceEvents": metadata + events}, indent=2)

@@ -1,0 +1,31 @@
+"""Structured logging for workflow components.
+
+A thin wrapper over :mod:`logging` that gives every component a
+namespaced logger under ``repro.*`` and a single opt-in console
+configuration, so that library users control verbosity the standard way.
+"""
+
+from __future__ import annotations
+
+import logging
+
+__all__ = ["get_logger", "configure_logging"]
+
+_ROOT = "repro"
+
+
+def get_logger(component: str) -> logging.Logger:
+    """Return the logger for a component, e.g. ``get_logger("core.engine")``."""
+    return logging.getLogger(f"{_ROOT}.{component}")
+
+
+def configure_logging(level: int = logging.INFO) -> None:
+    """Attach a console handler to the ``repro`` root logger (idempotent)."""
+    root = logging.getLogger(_ROOT)
+    root.setLevel(level)
+    if not any(isinstance(h, logging.StreamHandler) for h in root.handlers):
+        handler = logging.StreamHandler()
+        handler.setFormatter(
+            logging.Formatter("%(asctime)s %(name)s %(levelname)s %(message)s")
+        )
+        root.addHandler(handler)

@@ -1,0 +1,57 @@
+"""Shared fitness/prediction history store.
+
+Paper §2.2.2: "The NAS and the A4NN engine share the fitness and
+prediction history, optimizing the memory usage in the training loop."
+The store keeps one append-only pair of histories per model id; both the
+training loop and the lineage tracker read the same lists, so no copies
+are made per epoch.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+__all__ = ["ModelHistory", "HistoryStore"]
+
+
+@dataclass
+class ModelHistory:
+    """Histories ``H`` and ``P`` for one model (shared, append-only)."""
+
+    model_id: int
+    fitness: list = field(default_factory=list)
+    predictions: list = field(default_factory=list)
+
+    def record_epoch(self, fitness: float, prediction: float | None) -> None:
+        """Append one epoch's measurement and (optional) prediction."""
+        self.fitness.append(float(fitness))
+        if prediction is not None:
+            self.predictions.append(float(prediction))
+
+    @property
+    def n_epochs(self) -> int:
+        return len(self.fitness)
+
+
+class HistoryStore:
+    """Process-wide registry of per-model histories."""
+
+    def __init__(self) -> None:
+        self._histories: dict[int, ModelHistory] = {}
+
+    def for_model(self, model_id: int) -> ModelHistory:
+        """Get (or create) the shared history of a model."""
+        history = self._histories.get(model_id)
+        if history is None:
+            history = ModelHistory(model_id)
+            self._histories[model_id] = history
+        return history
+
+    def __contains__(self, model_id: int) -> bool:
+        return model_id in self._histories
+
+    def __len__(self) -> int:
+        return len(self._histories)
+
+    def model_ids(self) -> list[int]:
+        return sorted(self._histories)

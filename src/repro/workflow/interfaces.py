@@ -1,0 +1,143 @@
+"""User-facing workflow configuration (paper §2.6).
+
+One document controls the three independently swappable pieces the
+paper's user interface exposes: NAS settings (§2.6.1), the data path /
+dataset definition (§2.6.2), and the prediction-engine settings
+(§2.6.3).  ``WorkflowConfig`` round-trips to plain dicts, so it can be
+driven from JSON files or command-line tooling.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+
+from repro.core.engine import EngineConfig
+from repro.nas.search import NSGANetConfig
+from repro.utils.validation import ValidationError
+from repro.xfel.dataset import DatasetConfig
+from repro.xfel.intensity import BeamIntensity
+
+__all__ = ["WorkflowConfig"]
+
+_MODES = ("real", "surrogate")
+
+
+@dataclass(frozen=True)
+class WorkflowConfig:
+    """Everything a user sets to launch an A4NN run.
+
+    Attributes
+    ----------
+    nas:
+        NSGA-Net settings (Table 2).
+    engine:
+        Prediction-engine settings (Table 1); ``None`` disables the
+        engine, giving the standalone-NAS baseline.
+    dataset:
+        XFEL dataset definition (real mode) — also fixes the beam
+        intensity in surrogate mode.
+    mode:
+        ``"real"`` (train NumPy CNNs) or ``"surrogate"`` (paper-scale
+        synthetic curves).
+    n_gpus:
+        Pool sizes to simulate wall time for (paper: 1 and 4).
+    seed:
+        Root seed; the whole run is reproducible from it.
+    run_id:
+        Commons identifier; auto-derived when empty.
+    checkpoint_models:
+        Persist per-epoch model state (real mode only).
+    n_workers:
+        Concurrent evaluations per generation (real parallel execution
+        via the FIFO worker pool; 1 = serial).
+    """
+
+    nas: NSGANetConfig = field(default_factory=NSGANetConfig)
+    engine: EngineConfig | None = field(default_factory=EngineConfig)
+    dataset: DatasetConfig = field(default_factory=DatasetConfig)
+    mode: str = "surrogate"
+    n_gpus: tuple = (1, 4)
+    seed: int = 42
+    run_id: str = ""
+    checkpoint_models: bool = False
+    n_workers: int = 1
+
+    def __post_init__(self) -> None:
+        if int(self.n_workers) < 1:
+            raise ValidationError(f"n_workers must be >= 1, got {self.n_workers}")
+        if self.mode not in _MODES:
+            raise ValidationError(f"mode must be one of {_MODES}, got {self.mode!r}")
+        if not self.n_gpus or any(int(n) < 1 for n in self.n_gpus):
+            raise ValidationError(f"n_gpus must be positive pool sizes, got {self.n_gpus}")
+        if self.engine is not None and self.engine.e_pred != self.nas.max_epochs:
+            # Not fatal in general, but in the paper e_pred is the NAS
+            # budget; silently different values usually mean a typo.
+            raise ValidationError(
+                f"engine.e_pred ({self.engine.e_pred}) should equal "
+                f"nas.max_epochs ({self.nas.max_epochs}); construct the "
+                f"engine config explicitly if this is intentional"
+            )
+
+    @property
+    def intensity(self) -> BeamIntensity:
+        return self.dataset.intensity
+
+    def resolved_run_id(self) -> str:
+        """The commons run id, derived when not set explicitly."""
+        if self.run_id:
+            return self.run_id
+        engine_tag = "a4nn" if self.engine is not None else "standalone"
+        return f"{engine_tag}_{self.mode}_{self.intensity.label}_seed{self.seed}"
+
+    def standalone(self) -> "WorkflowConfig":
+        """A copy with the prediction engine disabled (baseline runs)."""
+        return replace(self, engine=None, run_id="")
+
+    def to_dict(self) -> dict:
+        return {
+            "nas": self.nas.to_dict(),
+            "engine": self.engine.to_dict() if self.engine else None,
+            "dataset": {
+                "intensity": self.dataset.intensity.label,
+                "images_per_class": self.dataset.images_per_class,
+                "image_size": self.dataset.image_size,
+                "train_fraction": self.dataset.train_fraction,
+                "seed": self.dataset.seed,
+                "n_atoms": self.dataset.n_atoms,
+                "q_max": self.dataset.q_max,
+                "orientation_spread": self.dataset.orientation_spread,
+            },
+            "mode": self.mode,
+            "n_gpus": list(self.n_gpus),
+            "seed": self.seed,
+            "run_id": self.run_id,
+            "checkpoint_models": self.checkpoint_models,
+            "n_workers": self.n_workers,
+        }
+
+    @classmethod
+    def from_dict(cls, payload: dict) -> "WorkflowConfig":
+        dataset_payload = dict(payload.get("dataset", {}))
+        if "intensity" in dataset_payload:
+            dataset_payload["intensity"] = BeamIntensity.from_label(
+                dataset_payload["intensity"]
+            )
+        engine_payload = payload.get("engine")
+        return cls(
+            nas=NSGANetConfig(**payload.get("nas", {})),
+            engine=None
+            if engine_payload is None
+            else EngineConfig(
+                **{
+                    k: tuple(v) if k == "fitness_bounds" else v
+                    for k, v in engine_payload.items()
+                }
+            ),
+            dataset=DatasetConfig(**dataset_payload),
+            mode=payload.get("mode", "surrogate"),
+            n_gpus=tuple(payload.get("n_gpus", (1, 4))),
+            seed=payload.get("seed", 42),
+            run_id=payload.get("run_id", ""),
+            checkpoint_models=payload.get("checkpoint_models", False),
+            n_workers=payload.get("n_workers", 1),
+        )

@@ -1,0 +1,208 @@
+"""The A4NN workflow orchestrator.
+
+Ties together the components of the paper's Fig. 1: it instantiates the
+prediction engine from user settings, plugs it into the NAS through the
+Algorithm-1 evaluator, routes per-epoch data to the shared history store
+and the lineage tracker, publishes record trails to the data commons,
+and hands the recorded workload to the resource manager for wall-time
+accounting on each requested GPU-pool size.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from pathlib import Path
+
+from repro.core.engine import PredictionEngine
+from repro.lineage.commons import DataCommons
+from repro.lineage.records import RunRecord
+from repro.lineage.tracker import LineageTracker
+from repro.nas.evaluation import TrainingEvaluator
+from repro.nas.search import NSGANet, SearchResult
+from repro.nas.surrogate import SurrogateEvaluator
+from repro.scheduler.pool import FifoWorkerPool
+from repro.scheduler.simulator import WallTimeReport, simulate_walltime
+from repro.utils.logging import get_logger
+from repro.utils.rng import RngStream
+from repro.workflow.history import HistoryStore
+from repro.workflow.interfaces import WorkflowConfig
+from repro.xfel.dataset import load_or_generate
+
+__all__ = ["WorkflowResult", "A4NNOrchestrator"]
+
+_LOG = get_logger("workflow.orchestrator")
+
+
+@dataclass
+class WorkflowResult:
+    """Everything one orchestrated run produced.
+
+    Attributes
+    ----------
+    config:
+        The settings the run used.
+    search:
+        The NAS outcome (archive, survivors, per-generation stats).
+    tracker:
+        Lineage records for every evaluated model.
+    walltime:
+        Wall-time report per simulated pool size, keyed by GPU count.
+    run_id:
+        Commons identifier (set when published).
+    """
+
+    config: WorkflowConfig
+    search: SearchResult
+    tracker: LineageTracker
+    walltime: dict = field(default_factory=dict)
+    run_id: str = ""
+
+    @property
+    def total_epochs_trained(self) -> int:
+        return self.search.total_epochs_trained
+
+    @property
+    def total_epochs_saved(self) -> int:
+        return self.search.total_epochs_saved
+
+    def epochs_saved_fraction(self) -> float:
+        """Fraction of the 25-epoch budget the engine saved."""
+        budget = self.config.nas.max_epochs * len(self.search.archive)
+        return self.total_epochs_saved / budget if budget else 0.0
+
+
+class A4NNOrchestrator:
+    """Build and run the composed workflow from one configuration.
+
+    Parameters
+    ----------
+    config:
+        The user-facing workflow settings (§2.6).
+    commons:
+        Optional data commons to publish record trails into.
+    checkpoint_dir:
+        Directory for per-epoch model state (real mode with
+        ``config.checkpoint_models``).
+    """
+
+    def __init__(
+        self,
+        config: WorkflowConfig,
+        *,
+        commons: DataCommons | None = None,
+        checkpoint_dir: str | Path | None = None,
+    ) -> None:
+        self.config = config
+        self.commons = commons
+        self.checkpoint_dir = checkpoint_dir
+        self.history_store = HistoryStore()
+
+    # -- assembly ---------------------------------------------------------------
+
+    def build_engine(self) -> PredictionEngine | None:
+        """The prediction engine, or ``None`` for standalone baselines."""
+        if self.config.engine is None:
+            return None
+        return PredictionEngine(self.config.engine)
+
+    def _history_observer(self, individual, epoch, fitness, prediction, context) -> None:
+        self.history_store.for_model(individual.model_id).record_epoch(fitness, prediction)
+
+    def build_evaluator(self, tracker: LineageTracker, engine: PredictionEngine | None):
+        """The evaluation backend for the configured mode, with observers wired."""
+        observers = [self._history_observer, tracker.observe_epoch]
+        stream = RngStream(self.config.seed)
+        if self.config.mode == "real":
+            dataset = load_or_generate(self.config.dataset)
+            return TrainingEvaluator(
+                dataset,
+                engine,
+                max_epochs=self.config.nas.max_epochs,
+                rng_stream=stream.child("eval"),
+                observers=observers,
+            )
+        return SurrogateEvaluator(
+            self.config.intensity,
+            engine,
+            max_epochs=self.config.nas.max_epochs,
+            rng_stream=stream.child("eval"),
+            observers=observers,
+        )
+
+    # -- execution ----------------------------------------------------------------
+
+    def run(self) -> WorkflowResult:
+        """Execute search → lineage → wall-time accounting → publish."""
+        config = self.config
+        engine = self.build_engine()
+        tracker = LineageTracker(
+            engine_parameters=engine.describe() if engine else None,
+            checkpoint_dir=self.checkpoint_dir if config.checkpoint_models else None,
+            training_parameters={
+                "mode": config.mode,
+                "intensity": config.intensity.label,
+                "fitness_measurement": "validation_accuracy_percent",
+                "max_epochs": config.nas.max_epochs,
+            },
+        )
+        evaluator = self.build_evaluator(tracker, engine)
+        executor = None
+        if config.n_workers > 1:
+            executor = FifoWorkerPool(evaluator, n_workers=config.n_workers).evaluate_generation
+        search = NSGANet(
+            config.nas,
+            evaluator,
+            rng_stream=RngStream(config.seed).child("search"),
+            on_individual=tracker.observe_individual,
+            executor=executor,
+        )
+        _LOG.info(
+            "starting %s run: mode=%s intensity=%s seed=%d",
+            "A4NN" if engine else "standalone NAS",
+            config.mode,
+            config.intensity.label,
+            config.seed,
+        )
+        result = search.run()
+
+        walltime: dict[int, WallTimeReport] = {
+            n: simulate_walltime(result, n) for n in config.n_gpus
+        }
+
+        workflow_result = WorkflowResult(
+            config=config,
+            search=result,
+            tracker=tracker,
+            walltime=walltime,
+            run_id=config.resolved_run_id(),
+        )
+        if self.commons is not None:
+            self.publish(workflow_result)
+        return workflow_result
+
+    def publish(self, result: WorkflowResult) -> None:
+        """Push the run's record trails into the data commons."""
+        if self.commons is None:
+            raise RuntimeError("orchestrator was built without a data commons")
+        run = RunRecord(
+            run_id=result.run_id,
+            intensity=self.config.intensity.label,
+            nas_parameters=self.config.nas.to_dict(),
+            engine_parameters=self.config.engine.to_dict() if self.config.engine else None,
+            notes=f"mode={self.config.mode}, seed={self.config.seed}",
+            workflow_config=self.config.to_dict(),
+            generation_stats=[
+                {
+                    "generation": g.generation,
+                    "n_evaluated": g.n_evaluated,
+                    "best_fitness": g.best_fitness,
+                    "mean_fitness": g.mean_fitness,
+                    "epochs_trained": g.epochs_trained,
+                    "epochs_saved": g.epochs_saved,
+                    "pareto_size": g.pareto_size,
+                }
+                for g in result.search.generations
+            ],
+        )
+        self.commons.publish_run(run, result.tracker)
+        _LOG.info("published run %s to commons", result.run_id)

@@ -1,0 +1,207 @@
+"""Resuming interrupted searches from the data commons.
+
+A paper-scale NAS run takes tens of (simulated) hours; real deployments
+get pre-empted.  Because every record trail lands in the commons as its
+model finishes, and every stochastic draw in the search derives from the
+root seed plus stable keys (generation number, model id), a run can be
+resumed from its last *complete* generation and will produce exactly the
+archive an uninterrupted run would have.
+
+The resume path reconstructs :class:`~repro.nas.population.Individual`
+objects from published :class:`~repro.lineage.records.ModelRecord`
+trails, replays NSGA-II environmental selection over them (deterministic
+given the records), and hands the search a
+:class:`~repro.nas.search.SearchState` to continue from.
+"""
+
+from __future__ import annotations
+
+from repro.core.plugin import TrainingResult
+from repro.lineage.commons import DataCommons
+from repro.lineage.records import ModelRecord
+from repro.nas.genome import Genome
+from repro.nas.nsga2 import environmental_selection
+from repro.nas.population import Individual, Population
+from repro.nas.search import GenerationStats, SearchState
+from repro.utils.logging import get_logger
+
+__all__ = ["individual_from_record", "rebuild_search_state", "resume_workflow"]
+
+_LOG = get_logger("workflow.resume")
+
+
+def individual_from_record(record: ModelRecord) -> Individual:
+    """Reconstruct an evaluated individual from its record trail."""
+    if record.fitness is None or record.flops is None:
+        raise ValueError(f"model {record.model_id} record is incomplete")
+    result = TrainingResult(
+        fitness=float(record.fitness),
+        epochs_trained=int(record.epochs_trained),
+        terminated_early=bool(record.terminated_early),
+        fitness_history=list(record.fitness_history),
+        prediction_history=list(record.prediction_history),
+        measured_fitness=float(record.measured_fitness)
+        if record.measured_fitness is not None
+        else float(record.fitness),
+        engine_overhead_seconds=float(record.engine_overhead_seconds),
+    )
+    result._max_epochs = int(record.max_epochs)
+    epoch_seconds = [
+        float(e["epoch_seconds"]) if e.get("epoch_seconds") is not None else 0.0
+        for e in record.epochs
+    ]
+    return Individual(
+        genome=Genome.from_dict(record.genome),
+        model_id=record.model_id,
+        generation=record.generation,
+        fitness=float(record.fitness),
+        flops=int(record.flops),
+        result=result,
+        epoch_seconds=epoch_seconds,
+    )
+
+
+def rebuild_search_state(
+    records: list[ModelRecord],
+    *,
+    population_size: int,
+    offspring_per_generation: int,
+) -> SearchState:
+    """Rebuild the search state from the complete generations in ``records``.
+
+    Incomplete trailing generations (interrupted mid-evaluation) are
+    dropped; their models will be re-evaluated identically on resume.
+    """
+    by_generation: dict[int, list[ModelRecord]] = {}
+    for record in records:
+        by_generation.setdefault(record.generation, []).append(record)
+    if 0 not in by_generation or len(by_generation[0]) < population_size:
+        raise ValueError("initial generation incomplete; nothing to resume from")
+
+    complete: list[list[ModelRecord]] = [
+        sorted(by_generation[0], key=lambda r: r.model_id)[:population_size]
+    ]
+    generation = 1
+    while (
+        generation in by_generation
+        and len(by_generation[generation]) >= offspring_per_generation
+    ):
+        complete.append(
+            sorted(by_generation[generation], key=lambda r: r.model_id)[
+                :offspring_per_generation
+            ]
+        )
+        generation += 1
+
+    from repro.nas.nsga2 import pareto_front_mask
+
+    def batch_stats(generation: int, evaluated: list[Individual], pop: Population):
+        import numpy as np
+
+        fitnesses = [float(m.fitness) for m in evaluated]
+        epochs = sum(m.result.epochs_trained for m in evaluated)
+        budget = sum(m.result._max_epochs for m in evaluated)
+        return GenerationStats(
+            generation=generation,
+            n_evaluated=len(evaluated),
+            best_fitness=max(fitnesses),
+            mean_fitness=float(np.mean(fitnesses)),
+            epochs_trained=epochs,
+            epochs_saved=budget - epochs,
+            pareto_size=int(pareto_front_mask(pop.objective_array()).sum()),
+        )
+
+    archive_members: list[Individual] = []
+    stats: list[GenerationStats] = []
+    population = Population(
+        [individual_from_record(r) for r in complete[0]]
+    )
+    archive_members.extend(population.members)
+    stats.append(batch_stats(0, population.members, population))
+    # replay environmental selection over each completed offspring batch
+    for generation, batch in enumerate(complete[1:], start=1):
+        offspring = [individual_from_record(r) for r in batch]
+        archive_members.extend(offspring)
+        combined = Population(population.members + offspring)
+        survivors = environmental_selection(
+            combined.objective_array(), population_size
+        )
+        population = combined.subset(survivors)
+        stats.append(batch_stats(generation, offspring, population))
+
+    next_model_id = max(m.model_id for m in archive_members) + 1
+    return SearchState(
+        population=population,
+        archive=Population(archive_members),
+        next_generation=len(complete),
+        next_model_id=next_model_id,
+        generation_stats=stats,
+    )
+
+
+def resume_workflow(commons: DataCommons, run_id: str):
+    """Continue a published (possibly partial) run to completion.
+
+    Returns a fresh :class:`~repro.workflow.orchestrator.WorkflowResult`
+    covering the whole run, and republishes the completed record trails
+    under the same run id.
+    """
+    from repro.lineage.tracker import LineageTracker
+    from repro.nas.search import NSGANet
+    from repro.scheduler.simulator import simulate_walltime
+    from repro.utils.rng import RngStream
+    from repro.workflow.interfaces import WorkflowConfig
+    from repro.workflow.orchestrator import A4NNOrchestrator, WorkflowResult
+
+    run = commons.load_run(run_id)
+    if run.workflow_config is None:
+        raise ValueError(f"run {run_id!r} has no stored configuration")
+    config = WorkflowConfig.from_dict(run.workflow_config)
+    records = commons.load_models(run_id)
+    state = rebuild_search_state(
+        records,
+        population_size=config.nas.population_size,
+        offspring_per_generation=config.nas.offspring_per_generation,
+    )
+    _LOG.info(
+        "resuming run %s from generation %d (%d models already evaluated)",
+        run_id,
+        state.next_generation,
+        len(state.archive),
+    )
+
+    orchestrator = A4NNOrchestrator(config, commons=commons)
+    engine = orchestrator.build_engine()
+    tracker = LineageTracker(
+        engine_parameters=engine.describe() if engine else None,
+        training_parameters={
+            "mode": config.mode,
+            "intensity": config.intensity.label,
+            "fitness_measurement": "validation_accuracy_percent",
+            "max_epochs": config.nas.max_epochs,
+        },
+    )
+    # seed the tracker with the already-published trails so the
+    # republished run is complete
+    for record in records:
+        if record.generation < state.next_generation:
+            tracker.records[record.model_id] = record
+    evaluator = orchestrator.build_evaluator(tracker, engine)
+    search = NSGANet(
+        config.nas,
+        evaluator,
+        rng_stream=RngStream(config.seed).child("search"),
+        on_individual=tracker.observe_individual,
+    )
+    result = search.run(resume=state)
+
+    walltime = {n: simulate_walltime(result, n) for n in config.n_gpus}
+    workflow_result = WorkflowResult(
+        config=config,
+        search=result,
+        tracker=tracker,
+        walltime=walltime,
+        run_id=run_id,
+    )
+    orchestrator.publish(workflow_result)
+    return workflow_result

@@ -1,0 +1,51 @@
+"""Terminal rendering of diffraction patterns (the paper's Fig. 5 view).
+
+Matplotlib is unavailable offline, so the gallery renders photon-count
+images as density plots using unicode shade blocks — enough to *see*
+the speckle structure and the photon starvation at low beam intensity.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = ["render_pattern", "render_intensity_gallery"]
+
+_SHADES = " .:-=+*#%@"
+
+
+def render_pattern(image: np.ndarray, *, width: int = 48, log_scale: bool = True) -> str:
+    """Render one 2-D pattern as shaded text, preserving aspect ratio.
+
+    ``log_scale`` compresses the central speckle's dynamic range, as a
+    detector colormap would.
+    """
+    image = np.asarray(image, dtype=float)
+    if image.ndim != 2:
+        raise ValueError(f"image must be 2-D, got shape {image.shape}")
+    if width < 4:
+        raise ValueError(f"width must be >= 4, got {width}")
+    data = np.log1p(image) if log_scale else image
+
+    # resample to (rows, width); terminal cells are ~2x taller than wide
+    rows = max(2, width // 2)
+    row_idx = np.linspace(0, data.shape[0] - 1, rows).astype(int)
+    col_idx = np.linspace(0, data.shape[1] - 1, width).astype(int)
+    resampled = data[np.ix_(row_idx, col_idx)]
+
+    lo, hi = float(resampled.min()), float(resampled.max())
+    span = hi - lo if hi > lo else 1.0
+    levels = ((resampled - lo) / span * (len(_SHADES) - 1)).round().astype(int)
+    return "\n".join("".join(_SHADES[v] for v in row) for row in levels)
+
+
+def render_intensity_gallery(
+    images: dict, *, width: int = 40, log_scale: bool = True
+) -> str:
+    """Render labelled patterns stacked vertically (e.g. low/medium/high)."""
+    blocks = []
+    for label, image in images.items():
+        total = float(np.asarray(image).sum())
+        blocks.append(f"--- {label} ({total:,.0f} photons) ---")
+        blocks.append(render_pattern(image, width=width, log_scale=log_scale))
+    return "\n".join(blocks)

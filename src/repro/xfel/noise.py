@@ -1,0 +1,90 @@
+"""Photon-counting noise and image preprocessing.
+
+The XFEL detector counts photons; at fixed geometry the expected count
+per image scales with the beam fluence, so lower beam intensity means a
+smaller photon budget and a noisier pattern (the paper's noise proxy).
+We allocate each image's photon budget across pixels proportionally to
+the noise-free intensity and draw Poisson counts, then log-compress and
+standardize — diffraction intensities span orders of magnitude, and the
+central speckle would otherwise dominate the dynamic range.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.xfel.intensity import BeamIntensity
+
+__all__ = ["apply_photon_noise", "normalize_patterns", "snr_estimate"]
+
+
+def apply_photon_noise(
+    patterns: np.ndarray,
+    intensity: BeamIntensity,
+    rng: np.random.Generator,
+) -> np.ndarray:
+    """Convert noise-free intensities to Poisson photon-count images.
+
+    Parameters
+    ----------
+    patterns:
+        Noise-free intensities, ``(n, h, w)`` or ``(h, w)``; non-negative.
+    intensity:
+        Beam setting; fixes the expected photons per image.
+    rng:
+        Noise generator.
+
+    Returns
+    -------
+    Integer photon counts with the same shape, as float64.
+    """
+    patterns = np.asarray(patterns, dtype=float)
+    squeeze = patterns.ndim == 2
+    if squeeze:
+        patterns = patterns[None]
+    if patterns.ndim != 3:
+        raise ValueError(f"patterns must be (n, h, w) or (h, w), got {patterns.shape}")
+    if np.any(patterns < 0):
+        raise ValueError("intensities must be non-negative")
+
+    totals = patterns.sum(axis=(1, 2), keepdims=True)
+    if np.any(totals == 0):
+        raise ValueError("each pattern must have positive total intensity")
+    expected = patterns / totals * intensity.photon_budget
+    counts = rng.poisson(expected).astype(np.float64)
+    return counts[0] if squeeze else counts
+
+
+def normalize_patterns(counts: np.ndarray) -> np.ndarray:
+    """Log-compress and per-image standardize photon-count images.
+
+    ``log1p`` keeps zero-count pixels at zero while compressing the
+    central speckle; per-image zero-mean/unit-variance standardization
+    removes the overall photon-budget scale so the classifier sees
+    pattern *shape*, not brightness.
+    """
+    counts = np.asarray(counts, dtype=float)
+    squeeze = counts.ndim == 2
+    if squeeze:
+        counts = counts[None]
+    logged = np.log1p(counts)
+    mean = logged.mean(axis=(1, 2), keepdims=True)
+    std = logged.std(axis=(1, 2), keepdims=True)
+    normalized = (logged - mean) / np.maximum(std, 1e-8)
+    return normalized[0] if squeeze else normalized
+
+
+def snr_estimate(noise_free: np.ndarray, noisy: np.ndarray) -> float:
+    """Crude SNR in dB between a noise-free pattern and its noisy render.
+
+    Both inputs are rescaled to unit total so the photon-budget scale
+    cancels; used in tests to confirm that higher beam intensity yields
+    higher SNR.
+    """
+    clean = np.asarray(noise_free, float)
+    noisy = np.asarray(noisy, float)
+    clean = clean / clean.sum()
+    noisy = noisy / max(noisy.sum(), 1e-300)
+    noise_power = float(np.mean((clean - noisy) ** 2))
+    signal_power = float(np.mean(clean**2))
+    return 10.0 * np.log10(signal_power / max(noise_power, 1e-300))

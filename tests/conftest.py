@@ -1,0 +1,44 @@
+"""Shared fixtures for the test suite."""
+
+import logging
+
+import numpy as np
+import pytest
+
+from repro.xfel import BeamIntensity, DatasetConfig, generate_dataset
+
+logging.disable(logging.INFO)
+
+
+@pytest.fixture
+def rng():
+    """A fresh deterministic generator per test."""
+    return np.random.default_rng(12345)
+
+
+@pytest.fixture(scope="session")
+def tiny_dataset():
+    """A small high-intensity dataset shared across tests (16x16, 30/class)."""
+    return generate_dataset(
+        DatasetConfig(
+            intensity=BeamIntensity.HIGH, images_per_class=30, image_size=16
+        )
+    )
+
+
+@pytest.fixture(scope="session")
+def tiny_noisy_dataset():
+    """A small low-intensity (noisy) dataset."""
+    return generate_dataset(
+        DatasetConfig(intensity=BeamIntensity.LOW, images_per_class=30, image_size=16)
+    )
+
+
+def make_concave_curve(n_epochs=25, asymptote=95.0, start=55.0, rate=0.35, noise=0.0, seed=0):
+    """A well-behaved learning curve for engine tests."""
+    rng = np.random.default_rng(seed)
+    epochs = np.arange(1, n_epochs + 1, dtype=float)
+    curve = asymptote - (asymptote - start) * np.exp(-rate * epochs)
+    if noise:
+        curve = curve + rng.normal(0, noise, n_epochs)
+    return np.clip(curve, 0.0, 100.0)

@@ -1,0 +1,52 @@
+"""Edge-case tests for paired-run comparison analytics."""
+
+import math
+
+import pytest
+
+from repro.analysis import compare_runs
+from repro.lineage.records import ModelRecord
+from repro.nas import random_genome
+
+
+def record(model_id, fitness, flops, rng, generation=0, epochs=25):
+    return ModelRecord(
+        model_id=model_id,
+        generation=generation,
+        genome=random_genome(rng).to_dict(),
+        fitness=fitness,
+        flops=flops,
+        epochs_trained=epochs,
+        max_epochs=25,
+    )
+
+
+class TestCompareEdges:
+    def test_identical_runs_are_neutral(self, rng):
+        a = [record(i, 90.0 + i, 100 * (i + 1), rng) for i in range(5)]
+        b = [record(10 + i, 90.0 + i, 100 * (i + 1), rng) for i in range(5)]
+        comparison = compare_runs(a, b)
+        assert comparison.epochs_saved_percent == 0.0
+        assert comparison.best_fitness_delta == 0.0
+        assert comparison.hypervolume_ratio == pytest.approx(1.0)
+
+    def test_single_point_frontiers(self, rng):
+        a = [record(0, 95.0, 100, rng)]
+        b = [record(1, 90.0, 100, rng)]
+        comparison = compare_runs(a, b)
+        assert comparison.frontier_sizes == (1, 1)
+        # degenerate shared box: ratio may be nan but must not raise
+        assert isinstance(comparison.hypervolume_ratio, float)
+
+    def test_unevaluated_records_excluded_from_means(self, rng):
+        a = [record(0, 95.0, 100, rng), record(1, None, None, rng)]
+        b = [record(2, 90.0, 100, rng)]
+        comparison = compare_runs(a, b)
+        means_a, _ = comparison.mean_generation_fitness
+        assert means_a[0] == 95.0
+
+    def test_negative_savings_when_a_trains_more(self, rng):
+        a = [record(0, 95.0, 100, rng, epochs=25)]
+        b = [record(1, 90.0, 100, rng, epochs=10)]
+        comparison = compare_runs(a, b)
+        assert comparison.epochs_saved_percent < 0

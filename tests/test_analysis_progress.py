@@ -1,0 +1,63 @@
+"""Unit tests for search-progress analytics (synthetic records)."""
+
+import numpy as np
+import pytest
+
+from repro.analysis import best_so_far, search_progress
+from repro.lineage.records import ModelRecord
+from repro.nas import random_genome
+
+
+def record(model_id, generation, fitness, rng):
+    return ModelRecord(
+        model_id=model_id,
+        generation=generation,
+        genome=random_genome(rng).to_dict(),
+        fitness=fitness,
+        flops=100,
+        epochs_trained=10,
+        max_epochs=25,
+    )
+
+
+class TestBestSoFar:
+    def test_running_maximum(self, rng):
+        fitnesses = [50.0, 60.0, 55.0, 70.0, 65.0]
+        records = [record(i, 0, f, rng) for i, f in enumerate(fitnesses)]
+        np.testing.assert_array_equal(
+            best_so_far(records), [50.0, 60.0, 60.0, 70.0, 70.0]
+        )
+
+    def test_ordering_by_model_id_not_input_order(self, rng):
+        records = [record(1, 0, 90.0, rng), record(0, 0, 50.0, rng)]
+        np.testing.assert_array_equal(best_so_far(records), [50.0, 90.0])
+
+    def test_skips_unevaluated(self, rng):
+        records = [record(0, 0, 50.0, rng), record(1, 0, None, rng)]
+        assert len(best_so_far(records)) == 1
+
+
+class TestSearchProgress:
+    def test_efficiency_metrics(self, rng):
+        # improvement concentrated early: 95% threshold reached quickly
+        fitnesses = [50.0, 90.0, 91.0, 91.0, 91.0, 91.5]
+        records = [record(i, i // 3, f, rng) for i, f in enumerate(fitnesses)]
+        progress = search_progress(records)
+        assert progress.final_best == 91.5
+        # 95% of 41.5-point improvement = 89.4 -> reached at evaluation 2
+        assert progress.evaluations_to_95_percent == 2
+        assert progress.stagnant_tail == 0  # last step improved
+        assert len(progress.generation_best) == 2
+        assert progress.generation_best[0] == 91.0
+
+    def test_stagnant_tail_counts_flat_end(self, rng):
+        fitnesses = [50.0, 90.0, 90.0, 90.0]
+        records = [record(i, 0, f, rng) for i, f in enumerate(fitnesses)]
+        progress = search_progress(records)
+        assert progress.stagnant_tail == 2
+
+    def test_flat_run_fully_stagnant(self, rng):
+        records = [record(i, 0, 75.0, rng) for i in range(4)]
+        progress = search_progress(records)
+        assert progress.stagnant_tail == 3
+        assert progress.evaluations_to_95_percent == 1

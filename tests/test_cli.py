@@ -1,0 +1,93 @@
+"""Tests for the command-line interface."""
+
+import json
+
+import pytest
+
+from repro.cli import build_parser, main
+from repro.utils.io import atomic_write_json
+
+
+def small_config_dict(intensity="medium", mode="surrogate", seed=5):
+    """A fast WorkflowConfig document for CLI runs."""
+    return {
+        "nas": {
+            "population_size": 3,
+            "offspring_per_generation": 3,
+            "generations": 2,
+            "max_epochs": 12,
+        },
+        "engine": {"e_pred": 12, "tolerance": 1.0},
+        "dataset": {"intensity": intensity, "images_per_class": 20, "image_size": 16},
+        "mode": mode,
+        "seed": seed,
+    }
+
+
+class TestParser:
+    def test_requires_subcommand(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_run_defaults(self):
+        args = build_parser().parse_args(["run"])
+        assert args.intensity == "medium"
+        assert args.mode == "surrogate"
+        assert args.seed == 42
+
+    def test_rejects_unknown_intensity(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["run", "--intensity", "ultra"])
+
+
+class TestConfigCommand:
+    def test_emits_valid_workflow_config(self, capsys):
+        assert main(["config", "--intensity", "low", "--seed", "9"]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["dataset"]["intensity"] == "low"
+        assert payload["seed"] == 9
+
+        from repro.workflow import WorkflowConfig
+
+        rebuilt = WorkflowConfig.from_dict(payload)
+        assert rebuilt.intensity.label == "low"
+
+
+class TestRunCommand:
+    def test_run_with_config_file_and_commons(self, tmp_path, capsys):
+        config_path = atomic_write_json(tmp_path / "cfg.json", small_config_dict())
+        commons_dir = tmp_path / "commons"
+        code = main(
+            ["run", "--config", str(config_path), "--commons", str(commons_dir)]
+        )
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "networks evaluated: 6" in out
+        assert "wall time 1 gpu" in out
+        assert (commons_dir / "manifest.json").exists()
+
+    def test_compare_reports_savings(self, tmp_path, capsys):
+        config_path = atomic_write_json(tmp_path / "cfg.json", small_config_dict(seed=0))
+        code = main(["compare", "--config", str(config_path)])
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "epochs saved" in out
+        assert "A4NN vs standalone" in out
+
+
+class TestAnalyzeCommand:
+    def test_analyze_published_run(self, tmp_path, capsys):
+        config_path = atomic_write_json(tmp_path / "cfg.json", small_config_dict())
+        commons_dir = tmp_path / "commons"
+        main(["run", "--config", str(config_path), "--commons", str(commons_dir)])
+        capsys.readouterr()
+        code = main(["analyze", "--commons", str(commons_dir)])
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "pareto frontier" in out
+        assert "terminated early" in out
+
+    def test_analyze_empty_commons_fails(self, tmp_path, capsys):
+        code = main(["analyze", "--commons", str(tmp_path / "empty")])
+        assert code == 1
+        assert "no runs" in capsys.readouterr().err

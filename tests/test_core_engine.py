@@ -1,0 +1,125 @@
+"""Tests for the prediction engine (paper §2.1, Table 1)."""
+
+import numpy as np
+import pytest
+
+from repro.core.engine import EngineConfig, PredictionEngine
+from repro.utils.validation import ValidationError
+
+from tests.conftest import make_concave_curve
+
+
+class TestEngineConfig:
+    def test_paper_defaults(self):
+        config = EngineConfig()
+        assert config.function == "exp3"
+        assert config.c_min == 3
+        assert config.e_pred == 25
+        assert config.n_predictions == 3
+        assert config.tolerance == 0.5
+
+    def test_to_dict_round_trip_fields(self):
+        d = EngineConfig().to_dict()
+        assert d["function"] == "exp3"
+        assert d["fitness_bounds"] == [0.0, 100.0]
+
+    def test_config_and_overrides_mutually_exclusive(self):
+        with pytest.raises(TypeError):
+            PredictionEngine(EngineConfig(), c_min=4)
+
+    def test_c_min_below_param_count_rejected(self):
+        with pytest.raises(ValidationError, match="underdetermined"):
+            PredictionEngine(EngineConfig(function="weibull", c_min=3))  # 4 params
+
+    def test_invalid_e_pred_rejected(self):
+        with pytest.raises(ValidationError):
+            PredictionEngine(EngineConfig(e_pred=0))
+
+
+class TestPredictor:
+    def test_no_prediction_before_c_min(self):
+        engine = PredictionEngine()
+        assert engine.predictor(1, [50.0]) is None
+        assert engine.predictor(2, [50.0, 60.0]) is None
+
+    def test_prediction_from_c_min_onwards(self):
+        engine = PredictionEngine()
+        curve = make_concave_curve(10)
+        prediction = engine.predictor(3, list(curve[:3]))
+        assert prediction is not None
+        assert np.isfinite(prediction)
+
+    def test_prediction_converges_to_asymptote(self):
+        engine = PredictionEngine()
+        curve = make_concave_curve(20, asymptote=95.0)
+        prediction = engine.predictor(20, list(curve))
+        # F(25) for this curve is ~95.0
+        assert prediction == pytest.approx(95.0, abs=0.5)
+
+    def test_epoch_history_mismatch_raises(self):
+        engine = PredictionEngine()
+        with pytest.raises(ValueError, match="disagrees"):
+            engine.predictor(5, [50.0, 60.0, 65.0])
+
+    def test_describe_includes_formula(self):
+        snapshot = PredictionEngine().describe()
+        assert snapshot["formula"] == "a - b**(c - x)"
+        assert snapshot["e_pred"] == 25
+
+
+class TestSession:
+    def test_converges_on_clean_curve(self):
+        session = PredictionEngine().session()
+        curve = make_concave_curve(25, rate=0.4)
+        for accuracy in curve:
+            session.observe(accuracy)
+            if session.converged:
+                break
+        assert session.converged
+        assert session.epoch < 25  # early termination happened
+        assert session.final_fitness == pytest.approx(95.0, abs=1.0)
+
+    def test_never_converges_on_wild_curve(self):
+        rng = np.random.default_rng(0)
+        session = PredictionEngine().session()
+        for _ in range(25):
+            session.observe(float(rng.uniform(20, 90)))
+        assert not session.converged
+        assert session.final_fitness is None
+
+    def test_observe_after_convergence_raises(self):
+        session = PredictionEngine().session()
+        for accuracy in make_concave_curve(25, rate=0.5):
+            if session.converged:
+                break
+            session.observe(accuracy)
+        assert session.converged
+        with pytest.raises(RuntimeError, match="already converged"):
+            session.observe(99.0)
+
+    def test_histories_grow_consistently(self):
+        session = PredictionEngine().session()
+        curve = make_concave_curve(6)
+        for accuracy in curve:
+            if session.converged:
+                break
+            session.observe(accuracy)
+        assert session.epoch == len(session.fitness_history)
+        # predictions start at epoch c_min = 3
+        assert len(session.prediction_history) == session.epoch - 2
+
+
+class TestAlternativeFunctions:
+    @pytest.mark.parametrize("name,c_min", [("pow3", 3), ("ilog2", 2), ("janoschek", 4)])
+    def test_engine_works_with_other_families(self, name, c_min):
+        engine = PredictionEngine(EngineConfig(function=name, c_min=c_min))
+        curve = make_concave_curve(25, rate=0.4)
+        session = engine.session()
+        for accuracy in curve:
+            session.observe(accuracy)
+            if session.converged:
+                break
+        # may or may not converge, but must never produce invalid state
+        assert len(session.fitness_history) <= 25
+        for p in session.prediction_history:
+            assert np.isfinite(p)

@@ -1,0 +1,103 @@
+"""Tests for the ensemble prediction engine extension."""
+
+import numpy as np
+import pytest
+
+from repro.core import (
+    EnsembleConfig,
+    EnsemblePredictionEngine,
+    PredictionEngine,
+    run_training_loop,
+)
+from repro.nas.surrogate import LearningCurveModel
+from repro.utils.validation import ValidationError
+
+from tests.conftest import make_concave_curve
+
+
+class TestConstruction:
+    def test_defaults(self):
+        engine = EnsemblePredictionEngine()
+        assert len(engine.members) == 4
+        # c_min derives from the widest member (janoschek: 4 params)
+        assert engine.c_min == 4
+
+    def test_unknown_function_rejected(self):
+        with pytest.raises(KeyError):
+            EnsemblePredictionEngine(EnsembleConfig(functions=("nope",)))
+
+    def test_empty_functions_rejected(self):
+        with pytest.raises(ValidationError):
+            EnsemblePredictionEngine(EnsembleConfig(functions=()))
+
+    def test_unknown_aggregator_rejected(self):
+        with pytest.raises(ValidationError):
+            EnsemblePredictionEngine(EnsembleConfig(aggregator="mode"))
+
+    def test_describe_lists_formulas(self):
+        snapshot = EnsemblePredictionEngine().describe()
+        assert snapshot["formulas"]["exp3"] == "a - b**(c - x)"
+        assert snapshot["c_min"] == 4
+
+
+class TestPrediction:
+    def test_no_prediction_before_c_min(self):
+        engine = EnsemblePredictionEngine()
+        history = list(make_concave_curve(3))
+        assert engine.predictor(3, history) is None
+
+    def test_member_predictions_per_family(self):
+        engine = EnsemblePredictionEngine()
+        history = list(make_concave_curve(12))
+        members = engine.member_predictions(history)
+        assert set(members) <= {m.name for m in engine.members}
+        assert len(members) >= 2
+        for value in members.values():
+            assert np.isfinite(value)
+
+    def test_median_aggregation(self):
+        engine = EnsemblePredictionEngine()
+        history = list(make_concave_curve(12))
+        members = engine.member_predictions(history)
+        prediction = engine.predictor(12, history)
+        assert prediction == pytest.approx(float(np.median(list(members.values()))))
+
+    def test_min_max_aggregators_bracket_median(self):
+        history = list(make_concave_curve(12))
+        lo = EnsemblePredictionEngine(EnsembleConfig(aggregator="min")).predictor(12, history)
+        hi = EnsemblePredictionEngine(EnsembleConfig(aggregator="max")).predictor(12, history)
+        mid = EnsemblePredictionEngine(EnsembleConfig(aggregator="median")).predictor(12, history)
+        assert lo <= mid <= hi
+
+    def test_epoch_mismatch_raises(self):
+        engine = EnsemblePredictionEngine()
+        with pytest.raises(ValueError):
+            engine.predictor(3, [50.0, 55.0])
+
+
+class TestAlgorithm1Compatibility:
+    def test_drives_training_loop(self):
+        curve = make_concave_curve(25, rate=0.45, noise=0.2, seed=4)
+        result = run_training_loop(LearningCurveModel(curve), EnsemblePredictionEngine(), 25)
+        assert result.terminated_early
+        assert result.epochs_trained < 25
+        assert result.fitness == pytest.approx(curve[-1], abs=3.0)
+
+    def test_session_interface(self):
+        engine = EnsemblePredictionEngine()
+        session = engine.session()
+        for accuracy in make_concave_curve(25, rate=0.5):
+            session.observe(accuracy)
+            if session.converged:
+                break
+        assert session.converged
+
+    def test_close_to_single_engine_on_clean_curves(self):
+        """On well-behaved curves both engines should predict similarly."""
+        curve = make_concave_curve(25, asymptote=96.0, rate=0.4)
+        single = run_training_loop(LearningCurveModel(curve), PredictionEngine(), 25)
+        ensemble = run_training_loop(
+            LearningCurveModel(curve.copy()), EnsemblePredictionEngine(), 25
+        )
+        assert single.terminated_early and ensemble.terminated_early
+        assert abs(single.fitness - ensemble.fitness) < 3.0

@@ -1,0 +1,41 @@
+"""Tests for the cheap experiment artifacts (Fig. 5; report plumbing)."""
+
+import numpy as np
+import pytest
+
+from repro.experiments.fig5_intensities import format_fig5, run_fig5
+from repro.xfel import BeamIntensity
+
+
+class TestFig5:
+    @pytest.fixture(scope="class")
+    def result(self):
+        return run_fig5(image_size=24)
+
+    def test_all_intensities_present(self, result):
+        assert set(result.noisy) == {i.label for i in BeamIntensity}
+        for image in result.noisy.values():
+            assert image.shape == (24, 24)
+            assert np.all(image >= 0)
+
+    def test_photon_budget_scaling(self, result):
+        assert result.photons["medium"] > 5 * result.photons["low"]
+        assert result.photons["high"] > 5 * result.photons["medium"]
+
+    def test_snr_ordering(self, result):
+        assert result.snr_db["low"] < result.snr_db["medium"] < result.snr_db["high"]
+
+    def test_zero_fraction_ordering(self, result):
+        assert result.zero_fraction["low"] > result.zero_fraction["high"]
+
+    def test_format_renders_checks(self, result):
+        report = format_fig5(result)
+        assert "Figure 5" in report
+        assert "[ok]" in report
+        assert "MISMATCH" not in report
+
+    def test_deterministic_per_seed(self):
+        a = run_fig5(image_size=16, seed=5)
+        b = run_fig5(image_size=16, seed=5)
+        for label in a.noisy:
+            np.testing.assert_array_equal(a.noisy[label], b.noisy[label])

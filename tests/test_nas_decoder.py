@@ -1,0 +1,130 @@
+"""Tests for the genome → network decoder and PhaseBlock routing."""
+
+import numpy as np
+import pytest
+
+from repro.nas.decoder import DecoderConfig, PhaseBlock, decode_genome
+from repro.nas.genome import Genome, PhaseGenome, random_genome
+from repro.nn import load_checkpoint, save_checkpoint
+from repro.nn.layers import Dense, GlobalAvgPool2D, MaxPool2D
+from repro.nn.losses import SoftmaxCrossEntropy
+
+
+class TestPhaseBlockRouting:
+    def test_no_connections_sums_all_nodes(self, rng):
+        # bits all zero: every node reads the input, all are sinks
+        block = PhaseBlock(3, (0, 0, 0, 0), 1, 2, rng=rng)
+        assert block._preds == [[], [], []]
+        assert block._sinks == [0, 1, 2]
+
+    def test_chain_topology(self, rng):
+        # 3 nodes, connections (0,1) and (1,2): single chain, node2 is sink
+        block = PhaseBlock(3, (1, 0, 1, 0), 1, 2, rng=rng)
+        assert block._preds == [[], [0], [1]]
+        assert block._sinks == [2]
+
+    def test_skip_adds_input_to_output(self, rng):
+        bits_no_skip = (0, 0, 0, 0)
+        bits_skip = (0, 0, 0, 1)
+        x = rng.normal(size=(2, 1, 4, 4))
+        block_a = PhaseBlock(3, bits_no_skip, 1, 2, rng=np.random.default_rng(0))
+        block_b = PhaseBlock(3, bits_skip, 1, 2, rng=np.random.default_rng(0))
+        out_a = block_a.forward(x)
+        out_b = block_b.forward(x)
+        adapted = block_b.adapter.forward(x)
+        np.testing.assert_allclose(out_b, out_a + adapted, atol=1e-10)
+
+    def test_output_shape_and_flops(self, rng):
+        block = PhaseBlock(4, (1,) * 7, 3, 8, rng=rng)
+        assert block.output_shape((3, 10, 10)) == (8, 10, 10)
+        assert block.flops((3, 10, 10)) > 0
+        with pytest.raises(ValueError):
+            block.output_shape((2, 10, 10))
+
+    def test_parameters_prefixed_and_unique(self, rng):
+        block = PhaseBlock(3, (1, 0, 1, 1), 2, 4, rng=rng)
+        names = [name for name, _ in block.parameters()]
+        assert len(names) == len(set(names))
+        assert any(name.startswith("adapter.") for name in names)
+        assert any(name.startswith("node0.conv.") for name in names)
+
+    def test_state_round_trip(self, rng):
+        block = PhaseBlock(2, (1, 0), 1, 3, rng=rng)
+        block.forward(rng.normal(size=(4, 1, 4, 4)), training=True)
+        state = block.state()
+        assert any("bn.running_mean" in k for k in state)
+        fresh = PhaseBlock(2, (1, 0), 1, 3, rng=np.random.default_rng(1))
+        fresh.load_state(state)
+        for key, value in fresh.state().items():
+            np.testing.assert_array_equal(value, state[key])
+
+
+class TestDecodeGenome:
+    def test_structure(self, rng):
+        genome = random_genome(rng)
+        net = decode_genome(genome, DecoderConfig((1, 16, 16), 2, (4, 8, 12)), rng=rng)
+        kinds = [type(l) for l in net.layers]
+        assert kinds == [
+            PhaseBlock, MaxPool2D, PhaseBlock, MaxPool2D, PhaseBlock,
+            GlobalAvgPool2D, Dense,
+        ]
+        assert net.output_shape() == (2,)
+
+    def test_channel_widths_applied(self, rng):
+        genome = random_genome(rng)
+        net = decode_genome(genome, DecoderConfig((1, 16, 16), 3, (4, 8, 12)), rng=rng)
+        phases = [l for l in net.layers if isinstance(l, PhaseBlock)]
+        assert [p.out_channels for p in phases] == [4, 8, 12]
+        assert net.layers[-1].out_features == 3
+
+    def test_phase_channel_mismatch_rejected(self, rng):
+        genome = random_genome(rng, n_phases=3)
+        with pytest.raises(ValueError, match="channel widths"):
+            decode_genome(genome, DecoderConfig((1, 16, 16), 2, (4, 8)), rng=rng)
+
+    def test_too_small_input_rejected(self, rng):
+        genome = random_genome(rng, n_phases=3)
+        with pytest.raises(ValueError, match="too small"):
+            decode_genome(genome, DecoderConfig((1, 2, 2), 2, (4, 8, 12)), rng=rng)
+
+    def test_forward_backward_runs(self, rng):
+        genome = random_genome(rng)
+        net = decode_genome(genome, DecoderConfig((1, 8, 8), 2, (2, 3, 4)), rng=rng)
+        x = rng.normal(size=(4, 1, 8, 8))
+        y = rng.integers(0, 2, 4)
+        logits = net.forward(x, training=True)
+        _, grad = SoftmaxCrossEntropy()(logits, y)
+        grad_in = net.backward(grad)
+        assert grad_in.shape == x.shape
+
+    def test_deterministic_weights_per_rng(self, rng):
+        genome = random_genome(rng)
+        net1 = decode_genome(genome, rng=np.random.default_rng(3))
+        net2 = decode_genome(genome, rng=np.random.default_rng(3))
+        for (n1, p1), (n2, p2) in zip(net1.parameters(), net2.parameters()):
+            assert n1 == n2
+            np.testing.assert_array_equal(p1.value, p2.value)
+
+    def test_checkpoint_round_trip_with_phase_blocks(self, rng, tmp_path):
+        genome = random_genome(rng)
+        net = decode_genome(genome, DecoderConfig((1, 8, 8), 2, (2, 3, 4)), rng=rng)
+        x = rng.normal(size=(3, 1, 8, 8))
+        net.forward(x, training=True)  # populate batch-norm state
+        save_checkpoint(net, tmp_path)
+        reloaded = load_checkpoint(tmp_path)
+        np.testing.assert_allclose(reloaded.predict(x), net.predict(x), atol=1e-12)
+
+    def test_flops_vary_with_connectivity(self, rng):
+        sparse = Genome.from_bits((0,) * 21, (4, 4, 4))
+        dense = Genome.from_bits((1,) * 21, (4, 4, 4))
+        config = DecoderConfig((1, 16, 16), 2, (4, 8, 12))
+        flops_sparse = decode_genome(sparse, config, rng=rng).flops()
+        flops_dense = decode_genome(dense, config, rng=rng).flops()
+        # node count is fixed, so conv cost is equal; dense genome adds
+        # elementwise-sum cost for multi-input nodes
+        assert flops_dense > flops_sparse
+
+    def test_default_name_includes_key(self, rng):
+        genome = random_genome(rng)
+        net = decode_genome(genome, rng=rng)
+        assert genome.key() in net.name

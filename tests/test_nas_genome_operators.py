@@ -1,0 +1,139 @@
+"""Tests for genome encoding and genetic operators."""
+
+import numpy as np
+import pytest
+
+from repro.nas.genome import Genome, PhaseGenome, n_connection_bits, random_genome
+from repro.nas.operators import bitflip_mutation, point_crossover, uniform_crossover
+
+
+class TestPhaseGenome:
+    def test_bit_width(self):
+        assert n_connection_bits(4) == 6
+        # 6 connection bits + 1 skip bit
+        phase = PhaseGenome(4, (1, 0, 1, 0, 1, 0, 1))
+        assert phase.skip
+
+    def test_wrong_width_rejected(self):
+        with pytest.raises(ValueError, match="needs 7 bits"):
+            PhaseGenome(4, (1, 0, 1))
+
+    def test_non_binary_rejected(self):
+        with pytest.raises(ValueError, match="0/1"):
+            PhaseGenome(2, (2, 0))
+
+    def test_connection_matrix_layout(self):
+        # bits order: (0,1), (0,2), (1,2), skip
+        phase = PhaseGenome(3, (1, 0, 1, 0))
+        matrix = phase.connection_matrix()
+        assert matrix[0, 1] and matrix[1, 2] and not matrix[0, 2]
+        assert not phase.skip
+
+    def test_predecessors_successors(self):
+        phase = PhaseGenome(3, (1, 0, 1, 0))
+        assert phase.predecessors(2) == [1]
+        assert phase.successors(0) == [1]
+        assert phase.predecessors(0) == []
+
+    def test_n_connections_excludes_skip(self):
+        phase = PhaseGenome(3, (1, 1, 1, 1))
+        assert phase.n_connections == 3
+
+
+class TestGenome:
+    def test_bits_round_trip(self, rng):
+        genome = random_genome(rng, n_phases=3, nodes_per_phase=4)
+        rebuilt = Genome.from_bits(genome.to_bits(), genome.nodes_per_phase)
+        assert rebuilt == genome
+        assert rebuilt.key() == genome.key()
+
+    def test_dict_round_trip(self, rng):
+        genome = random_genome(rng)
+        assert Genome.from_dict(genome.to_dict()) == genome
+
+    def test_paper_layout_bit_count(self, rng):
+        genome = random_genome(rng, n_phases=3, nodes_per_phase=4)
+        assert len(genome.to_bits()) == 3 * 7
+
+    def test_from_bits_length_mismatch(self):
+        with pytest.raises(ValueError):
+            Genome.from_bits((0, 1, 0), (4,))
+
+    def test_empty_genome_rejected(self):
+        with pytest.raises(ValueError):
+            Genome(())
+
+    def test_key_format(self, rng):
+        genome = random_genome(rng, n_phases=2, nodes_per_phase=3)
+        parts = genome.key().split("-")
+        assert len(parts) == 2
+        assert all(len(p) == 4 and set(p) <= {"0", "1"} for p in parts)
+
+    def test_random_genome_density(self, rng):
+        dense = random_genome(rng, density=1.0)
+        assert all(b == 1 for b in dense.to_bits())
+        sparse = random_genome(rng, density=0.0)
+        assert all(b == 0 for b in sparse.to_bits())
+
+
+class TestCrossover:
+    def test_uniform_children_bits_come_from_parents(self, rng):
+        a = random_genome(rng)
+        b = random_genome(rng)
+        child_a, child_b = uniform_crossover(a, b, rng)
+        for bit_a, bit_b, pa, pb in zip(
+            child_a.to_bits(), child_b.to_bits(), a.to_bits(), b.to_bits()
+        ):
+            assert {bit_a, bit_b} == {pa, pb}
+
+    def test_point_crossover_preserves_prefix_suffix(self, rng):
+        a = Genome.from_bits((0,) * 21, (4, 4, 4))
+        b = Genome.from_bits((1,) * 21, (4, 4, 4))
+        child_a, child_b = point_crossover(a, b, rng)
+        bits_a = child_a.to_bits()
+        # exactly one 0->1 switch point
+        transitions = sum(
+            1 for i in range(len(bits_a) - 1) if bits_a[i] != bits_a[i + 1]
+        )
+        assert transitions == 1
+
+    def test_incompatible_layouts_rejected(self, rng):
+        a = random_genome(rng, nodes_per_phase=4)
+        b = random_genome(rng, nodes_per_phase=3)
+        with pytest.raises(ValueError, match="phase layouts"):
+            uniform_crossover(a, b, rng)
+
+    def test_swap_probability_zero_clones(self, rng):
+        a, b = random_genome(rng), random_genome(rng)
+        child_a, child_b = uniform_crossover(a, b, rng, swap_probability=0.0)
+        assert child_a == a and child_b == b
+
+
+class TestMutation:
+    def test_rate_one_flips_everything(self, rng):
+        genome = random_genome(rng)
+        mutated = bitflip_mutation(genome, rng, rate=1.0)
+        assert all(m == 1 - g for m, g in zip(mutated.to_bits(), genome.to_bits()))
+
+    def test_rate_zero_is_identity(self, rng):
+        genome = random_genome(rng)
+        assert bitflip_mutation(genome, rng, rate=0.0) == genome
+
+    def test_default_rate_flips_about_one_bit(self, rng):
+        genome = random_genome(rng)
+        flips = []
+        for _ in range(300):
+            mutated = bitflip_mutation(genome, rng)
+            flips.append(
+                sum(m != g for m, g in zip(mutated.to_bits(), genome.to_bits()))
+            )
+        assert 0.5 < np.mean(flips) < 1.5
+
+    def test_layout_preserved(self, rng):
+        genome = random_genome(rng, n_phases=2, nodes_per_phase=3)
+        mutated = bitflip_mutation(genome, rng, rate=0.5)
+        assert mutated.nodes_per_phase == genome.nodes_per_phase
+
+    def test_invalid_rate(self, rng):
+        with pytest.raises(ValueError):
+            bitflip_mutation(random_genome(rng), rng, rate=1.5)

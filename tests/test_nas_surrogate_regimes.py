@@ -1,0 +1,100 @@
+"""Structural tests on the surrogate curve regimes and sub-populations."""
+
+import numpy as np
+import pytest
+
+from repro.nas.genome import Genome, random_genome
+from repro.nas.surrogate import REGIMES, CurveRegime, sample_curve
+from repro.utils.rng import derive_rng
+from repro.xfel import BeamIntensity
+
+
+class TestRegimeTable:
+    def test_all_intensities_have_regimes(self):
+        assert set(REGIMES) == set(BeamIntensity)
+
+    def test_parameter_sanity(self):
+        for intensity, regime in REGIMES.items():
+            lo_a, hi_a = regime.asymptote_range
+            assert 50.0 < lo_a < hi_a <= 100.0, intensity
+            lo_k, hi_k = regime.rate_range
+            assert 0.0 < lo_k < hi_k < 2.0, intensity
+            assert 0.0 <= regime.erratic_probability <= 1.0
+            assert 0.0 <= regime.fail_probability <= 1.0
+            assert regime.clean_sigma > 0 and regime.erratic_sigma > 0
+
+    def test_learning_rate_ordering_matches_noise_physics(self):
+        """Cleaner data → faster, cleaner learning curves."""
+        low, med, high = (
+            REGIMES[BeamIntensity.LOW],
+            REGIMES[BeamIntensity.MEDIUM],
+            REGIMES[BeamIntensity.HIGH],
+        )
+        assert low.rate_range[1] < med.rate_range[1] <= high.rate_range[1] + 0.2
+        assert low.clean_sigma > med.clean_sigma > high.clean_sigma
+
+
+class TestSubPopulations:
+    def _curves(self, regime, n, seed=0):
+        out = []
+        for i in range(n):
+            rng = derive_rng(seed, "sub", i)
+            out.append(sample_curve(random_genome(rng), regime, rng, 25))
+        return out
+
+    def test_fail_probability_one_gives_flat_curves(self, rng):
+        regime = CurveRegime(
+            asymptote_range=(95.0, 100.0),
+            rate_range=(0.3, 0.5),
+            start_range=(50.0, 60.0),
+            clean_sigma=0.5,
+            erratic_probability=0.0,
+            erratic_sigma=1.0,
+            fail_probability=10.0,  # scaled by capacity but always >= 1
+        )
+        for curve in self._curves(regime, 10):
+            assert abs(curve.mean() - 50.0) < 5.0
+            assert curve.std() < 3.0
+
+    def test_zero_fail_zero_erratic_gives_rising_curves(self):
+        regime = CurveRegime(
+            asymptote_range=(95.0, 100.0),
+            rate_range=(0.3, 0.5),
+            start_range=(50.0, 60.0),
+            clean_sigma=0.2,
+            erratic_probability=0.0,
+            erratic_sigma=1.0,
+            fail_probability=0.0,
+        )
+        for curve in self._curves(regime, 10):
+            assert curve[-1] > curve[0] + 20.0
+            # approximately monotone with tiny noise
+            assert np.mean(np.diff(curve) >= -1.0) > 0.9
+
+    def test_erratic_curves_peak_then_decline(self):
+        regime = CurveRegime(
+            asymptote_range=(95.0, 100.0),
+            rate_range=(0.4, 0.6),
+            start_range=(55.0, 65.0),
+            clean_sigma=0.2,
+            erratic_probability=1.0,
+            erratic_sigma=0.3,
+            fail_probability=0.0,
+        )
+        declined = 0
+        for curve in self._curves(regime, 10):
+            if curve[-1] < curve.max() - 5.0:
+                declined += 1
+        assert declined >= 8  # collapse is the defining feature
+
+    def test_curves_always_in_bounds(self):
+        for regime in REGIMES.values():
+            for curve in self._curves(regime, 15):
+                assert np.all((curve >= 0.0) & (curve <= 100.0))
+
+    def test_deterministic_per_rng_state(self):
+        genome = Genome.from_bits((1, 0) * 10 + (1,), (4, 4, 4))
+        regime = REGIMES[BeamIntensity.MEDIUM]
+        a = sample_curve(genome, regime, derive_rng(3, "x"), 25)
+        b = sample_curve(genome, regime, derive_rng(3, "x"), 25)
+        np.testing.assert_array_equal(a, b)

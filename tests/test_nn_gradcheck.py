@@ -1,0 +1,179 @@
+"""Numerical gradient checks for every trainable layer.
+
+For each layer we compare analytic backward() gradients — both with
+respect to the input and to every parameter — against central finite
+differences of a scalar loss ``sum(forward(x) * w)`` with fixed random
+weights ``w``.
+"""
+
+import numpy as np
+import pytest
+
+from repro.nas.decoder import PhaseBlock
+from repro.nn.layers import (
+    AvgPool2D,
+    BatchNorm1D,
+    BatchNorm2D,
+    Conv2D,
+    Dense,
+    Flatten,
+    GlobalAvgPool2D,
+    LeakyReLU,
+    MaxPool2D,
+    ReLU,
+    Sigmoid,
+    Tanh,
+)
+
+EPS = 1e-6
+TOL = 1e-5
+
+
+def numeric_vs_analytic(layer, x, rng):
+    """Return (max input-grad error, {param: max error})."""
+    out = layer.forward(x, training=True)
+    w = rng.normal(size=out.shape)
+
+    def loss_from(x_in):
+        return float(np.sum(layer.forward(x_in, training=True) * w))
+
+    # analytic gradients (recompute forward to leave caches fresh)
+    layer.zero_grad()
+    layer.forward(x, training=True)
+    grad_x = layer.backward(w)
+
+    # numeric input gradient
+    num_grad_x = np.zeros_like(x)
+    flat = x.ravel()
+    num_flat = num_grad_x.ravel()
+    for i in range(flat.size):
+        orig = flat[i]
+        flat[i] = orig + EPS
+        up = loss_from(x)
+        flat[i] = orig - EPS
+        down = loss_from(x)
+        flat[i] = orig
+        num_flat[i] = (up - down) / (2 * EPS)
+    err_x = float(np.max(np.abs(grad_x - num_grad_x)))
+
+    # numeric parameter gradients
+    param_errors = {}
+    for name, param in layer.parameters():
+        analytic = param.grad.copy()
+        numeric = np.zeros_like(param.value)
+        pflat = param.value.ravel()
+        nflat = numeric.ravel()
+        for i in range(pflat.size):
+            orig = pflat[i]
+            pflat[i] = orig + EPS
+            up = loss_from(x)
+            pflat[i] = orig - EPS
+            down = loss_from(x)
+            pflat[i] = orig
+            nflat[i] = (up - down) / (2 * EPS)
+        param_errors[name] = float(np.max(np.abs(analytic - numeric)))
+    return err_x, param_errors
+
+
+def assert_gradients_match(layer, x, rng):
+    err_x, param_errors = numeric_vs_analytic(layer, x, rng)
+    assert err_x < TOL, f"input gradient error {err_x}"
+    for name, err in param_errors.items():
+        assert err < TOL, f"parameter {name} gradient error {err}"
+
+
+@pytest.fixture
+def grad_rng():
+    return np.random.default_rng(99)
+
+
+class TestDenseGrad:
+    def test_dense(self, grad_rng):
+        layer = Dense(5, 4, rng=grad_rng)
+        assert_gradients_match(layer, grad_rng.normal(size=(3, 5)), grad_rng)
+
+    def test_dense_no_bias(self, grad_rng):
+        layer = Dense(4, 3, use_bias=False, rng=grad_rng)
+        assert_gradients_match(layer, grad_rng.normal(size=(2, 4)), grad_rng)
+
+
+class TestConvGrad:
+    def test_conv_same_padding(self, grad_rng):
+        layer = Conv2D(2, 3, kernel_size=3, rng=grad_rng)
+        assert_gradients_match(layer, grad_rng.normal(size=(2, 2, 5, 5)), grad_rng)
+
+    def test_conv_no_padding(self, grad_rng):
+        layer = Conv2D(1, 2, kernel_size=3, padding=0, rng=grad_rng)
+        assert_gradients_match(layer, grad_rng.normal(size=(2, 1, 6, 6)), grad_rng)
+
+    def test_conv_stride_2(self, grad_rng):
+        layer = Conv2D(2, 2, kernel_size=3, stride=2, padding=1, rng=grad_rng)
+        assert_gradients_match(layer, grad_rng.normal(size=(2, 2, 6, 6)), grad_rng)
+
+    def test_conv_1x1(self, grad_rng):
+        layer = Conv2D(3, 2, kernel_size=1, padding=0, rng=grad_rng)
+        assert_gradients_match(layer, grad_rng.normal(size=(2, 3, 4, 4)), grad_rng)
+
+
+class TestPoolingGrad:
+    def test_maxpool(self, grad_rng):
+        layer = MaxPool2D(2)
+        assert_gradients_match(layer, grad_rng.normal(size=(2, 2, 6, 6)), grad_rng)
+
+    def test_maxpool_overlapping(self, grad_rng):
+        layer = MaxPool2D(3, stride=2)
+        # well-separated values avoid argmax ties at finite-difference scale
+        x = grad_rng.permutation(np.arange(2 * 1 * 7 * 7)).reshape(2, 1, 7, 7) * 0.37
+        assert_gradients_match(layer, x.astype(float), grad_rng)
+
+    def test_avgpool(self, grad_rng):
+        layer = AvgPool2D(2)
+        assert_gradients_match(layer, grad_rng.normal(size=(2, 3, 4, 4)), grad_rng)
+
+    def test_global_avgpool(self, grad_rng):
+        layer = GlobalAvgPool2D()
+        assert_gradients_match(layer, grad_rng.normal(size=(3, 4, 5, 5)), grad_rng)
+
+
+class TestActivationGrad:
+    def test_relu(self, grad_rng):
+        # shift away from 0 to avoid kink non-differentiability
+        x = grad_rng.normal(size=(3, 7))
+        x[np.abs(x) < 0.01] += 0.05
+        assert_gradients_match(ReLU(), x, grad_rng)
+
+    def test_leaky_relu(self, grad_rng):
+        x = grad_rng.normal(size=(3, 7))
+        x[np.abs(x) < 0.01] += 0.05
+        assert_gradients_match(LeakyReLU(0.1), x, grad_rng)
+
+    def test_sigmoid(self, grad_rng):
+        assert_gradients_match(Sigmoid(), grad_rng.normal(size=(3, 6)), grad_rng)
+
+    def test_tanh(self, grad_rng):
+        assert_gradients_match(Tanh(), grad_rng.normal(size=(3, 6)), grad_rng)
+
+
+class TestNormGrad:
+    def test_batchnorm2d(self, grad_rng):
+        layer = BatchNorm2D(3)
+        assert_gradients_match(layer, grad_rng.normal(size=(4, 3, 3, 3)), grad_rng)
+
+    def test_batchnorm1d(self, grad_rng):
+        layer = BatchNorm1D(5)
+        assert_gradients_match(layer, grad_rng.normal(size=(6, 5)), grad_rng)
+
+
+class TestStructuralGrad:
+    def test_flatten(self, grad_rng):
+        assert_gradients_match(Flatten(), grad_rng.normal(size=(2, 3, 4, 4)), grad_rng)
+
+    def test_phase_block_dense_connectivity(self, grad_rng):
+        # all connections + skip: exercises multi-predecessor sums
+        layer = PhaseBlock(3, (1, 1, 1, 1), 2, 3, rng=grad_rng)
+        assert_gradients_match(layer, grad_rng.normal(size=(2, 2, 4, 4)), grad_rng)
+
+    def test_phase_block_sparse_connectivity(self, grad_rng):
+        # no connections, no skip: every node reads the input directly
+        layer = PhaseBlock(3, (0, 0, 0, 0), 2, 2, rng=grad_rng)
+        assert_gradients_match(layer, grad_rng.normal(size=(2, 2, 4, 4)), grad_rng)

@@ -1,0 +1,73 @@
+"""Parametrized config/serialization round-trips for every layer type."""
+
+import numpy as np
+import pytest
+
+from repro.nas.decoder import PhaseBlock
+from repro.nn.layers import (
+    LAYER_TYPES,
+    AvgPool2D,
+    BatchNorm1D,
+    BatchNorm2D,
+    Conv2D,
+    Dense,
+    Dropout,
+    Flatten,
+    GlobalAvgPool2D,
+    LeakyReLU,
+    MaxPool2D,
+    ReLU,
+    Sigmoid,
+    Tanh,
+)
+
+# (constructor, per-sample input shape) for each layer type
+LAYER_CASES = [
+    (lambda rng: Dense(6, 4, rng=rng), (6,)),
+    (lambda rng: Dense(6, 4, use_bias=False, rng=rng), (6,)),
+    (lambda rng: Conv2D(2, 3, kernel_size=3, rng=rng), (2, 6, 6)),
+    (lambda rng: Conv2D(2, 3, kernel_size=3, stride=2, padding=1, rng=rng), (2, 6, 6)),
+    (lambda rng: MaxPool2D(2), (2, 6, 6)),
+    (lambda rng: AvgPool2D(3, stride=1), (2, 6, 6)),
+    (lambda rng: GlobalAvgPool2D(), (2, 6, 6)),
+    (lambda rng: BatchNorm2D(2), (2, 4, 4)),
+    (lambda rng: BatchNorm1D(5), (5,)),
+    (lambda rng: Dropout(0.3, rng=rng), (7,)),
+    (lambda rng: Flatten(), (2, 3, 3)),
+    (lambda rng: ReLU(), (5,)),
+    (lambda rng: LeakyReLU(0.2), (5,)),
+    (lambda rng: Sigmoid(), (5,)),
+    (lambda rng: Tanh(), (5,)),
+    (lambda rng: PhaseBlock(3, (1, 0, 1, 1), 2, 4, rng=rng), (2, 5, 5)),
+]
+
+
+@pytest.mark.parametrize("factory,shape", LAYER_CASES)
+class TestLayerRoundTrips:
+    def test_config_rebuilds_same_type(self, factory, shape, rng):
+        layer = factory(rng)
+        cls = LAYER_TYPES[type(layer).__name__]
+        rebuilt = cls(**layer.get_config())
+        assert type(rebuilt) is type(layer)
+        assert rebuilt.get_config() == layer.get_config()
+
+    def test_output_shape_matches_execution(self, factory, shape, rng):
+        layer = factory(rng)
+        x = rng.normal(size=(3, *shape))
+        out = layer.forward(x, training=False)
+        assert out.shape == (3, *layer.output_shape(shape))
+
+    def test_flops_non_negative(self, factory, shape, rng):
+        layer = factory(rng)
+        assert layer.flops(shape) >= 0
+
+    def test_repr_mentions_type(self, factory, shape, rng):
+        layer = factory(rng)
+        assert type(layer).__name__ in repr(layer)
+
+
+def test_all_registered_types_covered():
+    covered = {
+        type(factory(np.random.default_rng(0))).__name__ for factory, _ in LAYER_CASES
+    }
+    assert covered == set(LAYER_TYPES)

@@ -1,0 +1,113 @@
+"""Tests for learning-rate schedules and gradient clipping."""
+
+import numpy as np
+import pytest
+
+from repro.nn import (
+    Adam,
+    CosineAnnealing,
+    Dense,
+    ExponentialDecay,
+    Network,
+    SGD,
+    StepDecay,
+    Trainer,
+    clip_grad_norm,
+)
+
+
+def net(rng):
+    return Network([Dense(4, 4, rng=rng)], input_shape=(4,))
+
+
+class TestStepDecay:
+    def test_decays_at_boundaries(self, rng):
+        schedule = StepDecay(SGD(net(rng), lr=1.0), step_size=3, gamma=0.1)
+        lrs = [schedule.step() for _ in range(7)]
+        assert lrs[:2] == [1.0, 1.0]        # epochs 1-2
+        assert lrs[2] == pytest.approx(0.1)  # epoch 3 crosses the boundary
+        assert lrs[5] == pytest.approx(0.01)
+
+    def test_validation(self, rng):
+        with pytest.raises(Exception):
+            StepDecay(SGD(net(rng), lr=1.0), step_size=0)
+        with pytest.raises(ValueError):
+            StepDecay(SGD(net(rng), lr=1.0), gamma=0.0)
+
+
+class TestExponentialDecay:
+    def test_geometric(self, rng):
+        schedule = ExponentialDecay(SGD(net(rng), lr=1.0), gamma=0.5)
+        lrs = [schedule.step() for _ in range(3)]
+        assert lrs == [pytest.approx(0.5), pytest.approx(0.25), pytest.approx(0.125)]
+
+
+class TestCosineAnnealing:
+    def test_monotone_to_min(self, rng):
+        schedule = CosineAnnealing(SGD(net(rng), lr=0.1), t_max=10, min_lr=0.01)
+        lrs = [schedule.step() for _ in range(12)]
+        assert all(a >= b - 1e-12 for a, b in zip(lrs, lrs[1:]))
+        assert lrs[9] == pytest.approx(0.01)
+        # clamps past t_max
+        assert lrs[11] == pytest.approx(0.01)
+
+    def test_validation(self, rng):
+        with pytest.raises(ValueError):
+            CosineAnnealing(SGD(net(rng), lr=0.1), t_max=10, min_lr=0.5)
+
+    def test_updates_optimizer_lr(self, rng):
+        opt = SGD(net(rng), lr=0.1)
+        schedule = CosineAnnealing(opt, t_max=4)
+        schedule.step()
+        assert opt.lr < 0.1
+
+
+class TestClipGradNorm:
+    def test_large_gradients_scaled(self, rng):
+        network = net(rng)
+        for _, param in network.parameters():
+            param.grad += 10.0
+        pre = clip_grad_norm(network, 1.0)
+        assert pre > 1.0
+        post = np.sqrt(sum(float(np.sum(p.grad**2)) for _, p in network.parameters()))
+        assert post == pytest.approx(1.0, rel=1e-6)
+
+    def test_small_gradients_untouched(self, rng):
+        network = net(rng)
+        for _, param in network.parameters():
+            param.grad += 0.001
+        before = [p.grad.copy() for _, p in network.parameters()]
+        clip_grad_norm(network, 1.0)
+        for (_, param), prev in zip(network.parameters(), before):
+            np.testing.assert_array_equal(param.grad, prev)
+
+    def test_invalid_max_norm(self, rng):
+        with pytest.raises(ValueError):
+            clip_grad_norm(net(rng), 0.0)
+
+
+class TestTrainerIntegration:
+    def test_schedule_steps_per_epoch(self, rng, tiny_dataset):
+        network = Network(
+            [Dense(16 * 16, 2, rng=rng)], input_shape=(256,), name="flat"
+        )
+        # flat dense net needs flattened images
+        x_train = tiny_dataset.x_train.reshape(len(tiny_dataset.x_train), -1)
+        x_test = tiny_dataset.x_test.reshape(len(tiny_dataset.x_test), -1)
+        optimizer = Adam(network, 1e-2)
+        schedule = ExponentialDecay(optimizer, gamma=0.5)
+        trainer = Trainer(
+            network,
+            x_train,
+            tiny_dataset.y_train,
+            x_test,
+            tiny_dataset.y_test,
+            optimizer=optimizer,
+            rng=rng,
+            schedule=schedule,
+            max_grad_norm=5.0,
+        )
+        trainer.train()
+        assert optimizer.lr == pytest.approx(5e-3)
+        trainer.train()
+        assert optimizer.lr == pytest.approx(2.5e-3)

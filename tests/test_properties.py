@@ -1,0 +1,197 @@
+"""Hypothesis property tests on core invariants across subsystems."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.analysis.pareto import pareto_frontier
+from repro.core.analyzer import ConvergenceAnalyzer
+from repro.core.fitting import fit_curve
+from repro.core.parametric import get_function
+from repro.nas.genome import Genome, n_connection_bits
+from repro.nas.operators import bitflip_mutation, uniform_crossover
+from repro.nas.population import Individual
+from repro.scheduler.fifo import Job, schedule_run
+from repro.utils.rng import derive_rng
+from repro.xfel.noise import normalize_patterns
+
+# -- strategies ---------------------------------------------------------------
+
+bit_layouts = st.tuples(st.integers(2, 5), st.integers(1, 4))  # (nodes, phases)
+
+
+@st.composite
+def genomes(draw):
+    nodes, phases = draw(bit_layouts)
+    width = (n_connection_bits(nodes) + 1) * phases
+    bits = draw(st.lists(st.integers(0, 1), min_size=width, max_size=width))
+    return Genome.from_bits(bits, (nodes,) * phases)
+
+
+curves = st.lists(
+    st.floats(0.0, 100.0, allow_nan=False), min_size=3, max_size=30
+)
+
+
+class TestGenomeProperties:
+    @given(genomes())
+    @settings(max_examples=80, deadline=None)
+    def test_bits_round_trip(self, genome):
+        assert Genome.from_bits(genome.to_bits(), genome.nodes_per_phase) == genome
+        assert Genome.from_dict(genome.to_dict()) == genome
+
+    @given(genomes(), st.integers(0, 2**32 - 1))
+    @settings(max_examples=50, deadline=None)
+    def test_mutation_preserves_layout(self, genome, seed):
+        rng = derive_rng(seed, "mut")
+        mutated = bitflip_mutation(genome, rng, rate=0.5)
+        assert mutated.nodes_per_phase == genome.nodes_per_phase
+        assert len(mutated.to_bits()) == len(genome.to_bits())
+
+    @given(genomes(), st.integers(0, 2**32 - 1))
+    @settings(max_examples=50, deadline=None)
+    def test_crossover_conserves_multiset_per_locus(self, genome, seed):
+        rng = derive_rng(seed, "xov")
+        other = bitflip_mutation(genome, rng, rate=0.5)
+        child_a, child_b = uniform_crossover(genome, other, rng)
+        for ca, cb, pa, pb in zip(
+            child_a.to_bits(), child_b.to_bits(), genome.to_bits(), other.to_bits()
+        ):
+            assert sorted((ca, cb)) == sorted((pa, pb))
+
+
+class TestAnalyzerProperties:
+    @given(curves)
+    @settings(max_examples=80, deadline=None)
+    def test_verdict_depends_only_on_window(self, history):
+        analyzer = ConvergenceAnalyzer()
+        full = analyzer(history)
+        windowed = analyzer(history[-analyzer.n_predictions :])
+        assert full == windowed
+
+    @given(curves, st.floats(0.01, 5.0))
+    @settings(max_examples=60, deadline=None)
+    def test_looser_tolerance_never_unconverges(self, history, tolerance):
+        strict = ConvergenceAnalyzer(tolerance=tolerance)
+        loose = ConvergenceAnalyzer(tolerance=tolerance * 2)
+        if strict(history):
+            assert loose(history)
+
+
+class TestFittingProperties:
+    @given(
+        st.floats(60.0, 99.0),
+        st.floats(30.0, 55.0),
+        st.floats(0.1, 0.8),
+        st.integers(5, 25),
+    )
+    @settings(max_examples=40, deadline=None)
+    def test_noise_free_round_trip(self, asymptote, start, rate, n):
+        fn = get_function("exp3")
+        x = np.arange(1, n + 1, dtype=float)
+        y = asymptote - (asymptote - start) * np.exp(-rate * x)
+        fit = fit_curve(fn, x, y)
+        assert fit is not None
+        # fitted curve reproduces the observations
+        assert fit.rmse < 0.5
+
+    @given(curves)
+    @settings(max_examples=60, deadline=None)
+    def test_fit_never_crashes_on_valid_fitness(self, history):
+        fn = get_function("exp3")
+        fit = fit_curve(fn, np.arange(1, len(history) + 1), history)
+        if fit is not None:
+            assert np.all(np.isfinite(fit.theta))
+
+
+class TestParetoProperties:
+    @given(
+        st.lists(
+            st.tuples(st.floats(0, 100, allow_nan=False), st.integers(1, 10**6)),
+            min_size=1,
+            max_size=40,
+        )
+    )
+    @settings(max_examples=60, deadline=None)
+    def test_frontier_members_mutually_non_dominated(self, metrics):
+        members = [
+            Individual(None, i, 0, fitness=f, flops=c)  # genome unused here
+            for i, (f, c) in enumerate(metrics)
+        ]
+        frontier = pareto_frontier(members)
+        assert frontier  # never empty for non-empty input
+        for p in frontier:
+            for q in frontier:
+                if p is q:
+                    continue
+                assert not (
+                    q.fitness >= p.fitness
+                    and q.flops <= p.flops
+                    and (q.fitness > p.fitness or q.flops < p.flops)
+                )
+        # every non-frontier member is dominated by someone on the frontier
+        frontier_ids = {p.model_id for p in frontier}
+        for m in members:
+            if m.model_id in frontier_ids:
+                continue
+            assert any(
+                p.fitness >= m.fitness
+                and p.flops <= m.flops
+                and (p.fitness > m.fitness or p.flops < m.flops)
+                for p in frontier
+            )
+
+
+class TestSchedulerProperties:
+    @given(
+        st.lists(
+            st.lists(
+                st.lists(st.floats(0.1, 50.0), min_size=1, max_size=5),
+                min_size=1,
+                max_size=8,
+            ),
+            min_size=1,
+            max_size=4,
+        ),
+        st.integers(1, 6),
+    )
+    @settings(max_examples=50, deadline=None)
+    def test_conservation_and_bounds(self, spec, n_gpus):
+        generations = [
+            [Job(g * 100 + i, tuple(durations)) for i, durations in enumerate(gen)]
+            for g, gen in enumerate(spec)
+        ]
+        total = sum(j.duration for gen in generations for j in gen)
+        result = schedule_run(generations, n_gpus)
+        assert result.busy_seconds == pytest.approx(total)
+        # makespan bounded below by critical path and above by serial time
+        longest_per_gen = sum(max(j.duration for j in gen) for gen in generations)
+        assert result.makespan >= max(total / n_gpus, longest_per_gen) - 1e-6
+        assert result.makespan <= total + 1e-6
+        # placements never overlap on a GPU
+        by_gpu = {}
+        for p in result.placements:
+            by_gpu.setdefault(p.gpu, []).append((p.start, p.finish))
+        for intervals in by_gpu.values():
+            intervals.sort()
+            for (s1, f1), (s2, f2) in zip(intervals, intervals[1:]):
+                assert s2 >= f1 - 1e-9
+
+
+class TestNoiseProperties:
+    @given(
+        st.integers(1, 4),
+        st.integers(4, 12),
+        st.integers(0, 2**32 - 1),
+    )
+    @settings(max_examples=40, deadline=None)
+    def test_normalization_invariants(self, n, size, seed):
+        rng = derive_rng(seed, "noise-prop")
+        counts = rng.poisson(3.0, size=(n, size, size)).astype(float)
+        # guarantee per-image variance so std is finite
+        counts[:, 0, 0] += 50.0
+        normed = normalize_patterns(counts)
+        assert normed.shape == counts.shape
+        np.testing.assert_allclose(normed.mean(axis=(1, 2)), 0.0, atol=1e-8)
+        np.testing.assert_allclose(normed.std(axis=(1, 2)), 1.0, atol=1e-6)

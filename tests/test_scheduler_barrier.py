@@ -1,0 +1,59 @@
+"""Tests for the no-barrier (asynchronous) scheduling ablation."""
+
+import numpy as np
+import pytest
+
+from repro.scheduler import Job, schedule_run
+
+
+class TestNoBarrier:
+    def test_next_generation_starts_early(self):
+        gen1 = [Job(0, (10.0,)), Job(1, (2.0,))]
+        gen2 = [Job(2, (1.0,)), Job(3, (1.0,))]
+        result = schedule_run([gen1, gen2], 2, barrier=False)
+        placements = {p.job_id: p for p in result.placements}
+        # job 2 starts as soon as job 1's GPU frees at t=2
+        assert placements[2].start == pytest.approx(2.0)
+        assert result.makespan < schedule_run(
+            [list(gen1), list(gen2)], 2, barrier=True
+        ).makespan
+
+    def test_never_slower_than_barrier(self, rng):
+        for trial in range(5):
+            generations = [
+                [
+                    Job(g * 100 + i, tuple(rng.uniform(1, 10, 3)))
+                    for i in range(int(rng.integers(2, 8)))
+                ]
+                for g in range(3)
+            ]
+            with_barrier = schedule_run(
+                [list(g) for g in generations], 3, barrier=True
+            ).makespan
+            without = schedule_run(
+                [list(g) for g in generations], 3, barrier=False
+            ).makespan
+            assert without <= with_barrier + 1e-9
+
+    def test_work_conserved_without_barrier(self, rng):
+        generations = [
+            [Job(g * 10 + i, tuple(rng.uniform(1, 5, 2))) for i in range(5)]
+            for g in range(2)
+        ]
+        total = sum(j.duration for gen in generations for j in gen)
+        result = schedule_run(generations, 4, barrier=False)
+        assert result.busy_seconds == pytest.approx(total)
+
+    def test_identical_on_single_generation(self, rng):
+        jobs = [Job(i, tuple(rng.uniform(1, 5, 2))) for i in range(6)]
+        a = schedule_run([list(jobs)], 2, barrier=True)
+        b = schedule_run([list(jobs)], 2, barrier=False)
+        assert a.makespan == pytest.approx(b.makespan)
+
+    def test_utilization_at_least_as_high(self, rng):
+        generations = [
+            [Job(g * 10 + i, (float(10 + 5 * i),)) for i in range(3)] for g in range(4)
+        ]
+        with_barrier = schedule_run([list(g) for g in generations], 2, barrier=True)
+        without = schedule_run([list(g) for g in generations], 2, barrier=False)
+        assert without.utilization >= with_barrier.utilization - 1e-9

@@ -1,0 +1,75 @@
+"""Tests for schedule trace exports."""
+
+import json
+
+import pytest
+
+from repro.scheduler import Job, ascii_timeline, chrome_trace, schedule_run
+
+
+@pytest.fixture
+def schedule():
+    generations = [
+        [Job(0, (10.0,)), Job(1, (4.0,)), Job(2, (4.0,))],
+        [Job(3, (3.0,)), Job(4, (3.0,))],
+    ]
+    return schedule_run(generations, 2)
+
+
+class TestAsciiTimeline:
+    def test_one_lane_per_gpu(self, schedule):
+        text = ascii_timeline(schedule)
+        lines = text.splitlines()
+        assert lines[0].startswith("gpu0")
+        assert lines[1].startswith("gpu1")
+        assert lines[2].startswith("gen")
+
+    def test_jobs_and_idle_marks_present(self, schedule):
+        text = ascii_timeline(schedule, width=60)
+        assert "0" in text  # job 0's glyph
+        assert "." in text  # idle time from the barrier
+        assert "|" in text  # generation markers
+        assert "utilization" in text
+
+    def test_empty_schedule(self):
+        from repro.scheduler.fifo import ScheduleResult
+
+        assert ascii_timeline(ScheduleResult()) == "(empty schedule)"
+
+    def test_width_validation(self, schedule):
+        with pytest.raises(ValueError):
+            ascii_timeline(schedule, width=5)
+
+    def test_width_respected(self, schedule):
+        text = ascii_timeline(schedule, width=40)
+        for line in text.splitlines()[:2]:
+            assert len(line) <= 5 + 40
+
+
+class TestChromeTrace:
+    def test_valid_json_with_all_events(self, schedule):
+        payload = json.loads(chrome_trace(schedule))
+        events = payload["traceEvents"]
+        complete = [e for e in events if e.get("ph") == "X"]
+        barriers = [e for e in events if e.get("ph") == "i"]
+        metadata = [e for e in events if e.get("ph") == "M"]
+        assert len(complete) == 5
+        assert len(barriers) == 2
+        assert len(metadata) == 2  # one per GPU
+
+    def test_durations_match_jobs(self, schedule):
+        payload = json.loads(chrome_trace(schedule))
+        by_job = {
+            e["args"]["job_id"]: e["dur"]
+            for e in payload["traceEvents"]
+            if e.get("ph") == "X"
+        }
+        assert by_job[0] == pytest.approx(10.0 * 1e6)
+        assert by_job[3] == pytest.approx(3.0 * 1e6)
+
+    def test_thread_ids_are_gpus(self, schedule):
+        payload = json.loads(chrome_trace(schedule))
+        tids = {
+            e["tid"] for e in payload["traceEvents"] if e.get("ph") == "X"
+        }
+        assert tids <= {0, 1}

@@ -1,0 +1,72 @@
+"""Tests for deterministic RNG stream derivation."""
+
+import numpy as np
+import pytest
+
+from repro.utils.rng import RngStream, derive_rng, spawn_seeds, stable_hash
+
+
+class TestStableHash:
+    def test_deterministic_across_calls(self):
+        assert stable_hash("a", 1, 2.5) == stable_hash("a", 1, 2.5)
+
+    def test_distinct_inputs_distinct_hashes(self):
+        values = {stable_hash("stream", i) for i in range(200)}
+        assert len(values) == 200
+
+    def test_order_sensitive(self):
+        assert stable_hash("a", "b") != stable_hash("b", "a")
+
+
+class TestDeriveRng:
+    def test_same_stream_same_draws(self):
+        a = derive_rng(7, "x").random(5)
+        b = derive_rng(7, "x").random(5)
+        np.testing.assert_array_equal(a, b)
+
+    def test_different_streams_differ(self):
+        a = derive_rng(7, "x").random(5)
+        b = derive_rng(7, "y").random(5)
+        assert not np.array_equal(a, b)
+
+    def test_different_seeds_differ(self):
+        a = derive_rng(7, "x").random(5)
+        b = derive_rng(8, "x").random(5)
+        assert not np.array_equal(a, b)
+
+
+class TestSpawnSeeds:
+    def test_count_and_determinism(self):
+        seeds = spawn_seeds(3, 10, "models")
+        assert len(seeds) == 10
+        assert seeds == spawn_seeds(3, 10, "models")
+
+    def test_all_distinct(self):
+        seeds = spawn_seeds(3, 100, "models")
+        assert len(set(seeds)) == 100
+
+
+class TestRngStream:
+    def test_child_extends_path(self):
+        stream = RngStream(1)
+        child = stream.child("nas", 3)
+        assert child.path == ("nas", 3)
+        grandchild = child.child("mutation")
+        assert grandchild.path == ("nas", 3, "mutation")
+
+    def test_generator_deterministic(self):
+        s = RngStream(9).child("a")
+        x = s.generator("g").random(3)
+        y = s.generator("g").random(3)
+        np.testing.assert_array_equal(x, y)
+
+    def test_sibling_streams_independent(self):
+        s = RngStream(9)
+        a = s.child("a").generator().random(4)
+        b = s.child("b").generator().random(4)
+        assert not np.array_equal(a, b)
+
+    def test_seeds_helper(self):
+        s = RngStream(9)
+        seeds = s.seeds(5, "init")
+        assert len(seeds) == 5 and len(set(seeds)) == 5

@@ -1,0 +1,128 @@
+"""Tests for resuming interrupted searches from the commons."""
+
+import pytest
+
+from repro.lineage import DataCommons
+from repro.workflow import (
+    individual_from_record,
+    rebuild_search_state,
+    resume_workflow,
+    run_workflow,
+)
+
+from tests.test_workflow import small_config
+
+
+def publish_truncated(tmp_path, *, keep_generations, seed=31):
+    """Publish a run, then delete the records of later generations."""
+    config = small_config(seed=seed)
+    result = run_workflow(config, commons_path=tmp_path)
+    commons = DataCommons(tmp_path)
+    run_id = result.run_id
+    for record in commons.load_models(run_id):
+        if record.generation >= keep_generations:
+            path = (
+                commons.root
+                / "runs"
+                / run_id
+                / "models"
+                / f"model_{record.model_id:05d}.json"
+            )
+            path.unlink()
+    return commons, run_id, result
+
+
+class TestIndividualFromRecord:
+    def test_round_trip_through_records(self, tmp_path):
+        commons, run_id, result = publish_truncated(tmp_path, keep_generations=2)
+        record = commons.load_models(run_id)[0]
+        individual = individual_from_record(record)
+        original = result.search.archive[0]
+        assert individual.fitness == original.fitness
+        assert individual.flops == original.flops
+        assert individual.genome == original.genome
+        assert individual.result.epochs_trained == original.result.epochs_trained
+        assert individual.epoch_seconds == pytest.approx(original.epoch_seconds)
+
+    def test_incomplete_record_rejected(self, tmp_path):
+        from repro.lineage.records import ModelRecord
+        from repro.nas import random_genome
+        import numpy as np
+
+        record = ModelRecord(
+            model_id=0, generation=0, genome=random_genome(np.random.default_rng(0)).to_dict()
+        )
+        with pytest.raises(ValueError, match="incomplete"):
+            individual_from_record(record)
+
+
+class TestRebuildState:
+    def test_state_covers_complete_generations(self, tmp_path):
+        commons, run_id, _ = publish_truncated(tmp_path, keep_generations=1)
+        state = rebuild_search_state(
+            commons.load_models(run_id),
+            population_size=3,
+            offspring_per_generation=3,
+        )
+        assert state.next_generation == 1
+        assert len(state.archive) == 3
+        assert len(state.population) == 3
+        assert state.next_model_id == 3
+        assert len(state.generation_stats) == 1
+
+    def test_partial_generation_dropped(self, tmp_path):
+        commons, run_id, _ = publish_truncated(tmp_path, keep_generations=2)
+        records = commons.load_models(run_id)
+        # remove one model of generation 1 to make it incomplete
+        victim = next(r for r in records if r.generation == 1)
+        (
+            commons.root
+            / "runs"
+            / run_id
+            / "models"
+            / f"model_{victim.model_id:05d}.json"
+        ).unlink()
+        state = rebuild_search_state(
+            commons.load_models(run_id),
+            population_size=3,
+            offspring_per_generation=3,
+        )
+        assert state.next_generation == 1  # gen 1 incomplete -> redo it
+
+    def test_missing_initial_generation_rejected(self):
+        with pytest.raises(ValueError, match="initial generation"):
+            rebuild_search_state([], population_size=3, offspring_per_generation=3)
+
+
+class TestResumeWorkflow:
+    def test_resumed_run_matches_uninterrupted(self, tmp_path):
+        commons, run_id, full = publish_truncated(tmp_path, keep_generations=1, seed=33)
+        resumed = resume_workflow(commons, run_id)
+
+        assert len(resumed.search.archive) == len(full.search.archive)
+        for a, b in zip(resumed.search.archive, full.search.archive):
+            assert a.model_id == b.model_id
+            assert a.genome == b.genome
+            assert a.fitness == b.fitness
+            assert a.result.epochs_trained == b.result.epochs_trained
+        # republished commons is complete again
+        assert len(commons.load_models(run_id)) == len(full.search.archive)
+
+    def test_resume_verifies_against_replay(self, tmp_path):
+        from repro.lineage import verify_run
+
+        commons, run_id, _ = publish_truncated(tmp_path, keep_generations=1, seed=35)
+        resume_workflow(commons, run_id)
+        report = verify_run(commons, run_id)
+        assert report.matches, report.summary()
+
+    def test_resume_requires_stored_config(self, tmp_path):
+        from repro.lineage.records import RunRecord
+
+        commons = DataCommons(tmp_path)
+        commons.publish_run(
+            RunRecord(run_id="legacy", intensity="low", nas_parameters={}, engine_parameters=None),
+            [],
+        )
+        with pytest.raises(ValueError, match="no stored configuration"):
+            resume_workflow(commons, "legacy")

@@ -1,0 +1,68 @@
+"""Tests for terminal rendering of diffraction patterns."""
+
+import numpy as np
+import pytest
+
+from repro.utils.rng import derive_rng
+from repro.xfel import (
+    BeamIntensity,
+    Detector,
+    apply_photon_noise,
+    diffraction_pattern,
+    make_conformations,
+    render_intensity_gallery,
+    render_pattern,
+)
+
+
+@pytest.fixture(scope="module")
+def pattern():
+    protein, _ = make_conformations(n_atoms=60)
+    return diffraction_pattern(protein, np.eye(3), Detector(n_pixels=24))
+
+
+class TestRenderPattern:
+    def test_dimensions(self, pattern):
+        text = render_pattern(pattern, width=40)
+        lines = text.splitlines()
+        assert all(len(line) == 40 for line in lines)
+        assert len(lines) == 20  # width // 2
+
+    def test_bright_center_uses_dense_glyphs(self, pattern):
+        text = render_pattern(pattern, width=40)
+        lines = text.splitlines()
+        center = lines[len(lines) // 2]
+        # the central speckle maps to the densest glyph
+        assert "@" in center
+
+    def test_constant_image_renders_uniformly(self):
+        text = render_pattern(np.ones((8, 8)), width=16)
+        assert set(text.replace("\n", "")) == {" "}
+
+    def test_validation(self, pattern):
+        with pytest.raises(ValueError):
+            render_pattern(np.zeros(5))
+        with pytest.raises(ValueError):
+            render_pattern(pattern, width=2)
+
+
+class TestGallery:
+    def test_labels_and_photon_counts(self, pattern):
+        rng = derive_rng(0, "gallery")
+        images = {
+            intensity.label: apply_photon_noise(pattern, intensity, rng)
+            for intensity in BeamIntensity
+        }
+        gallery = render_intensity_gallery(images, width=24)
+        for intensity in BeamIntensity:
+            assert f"--- {intensity.label} " in gallery
+        assert "photons" in gallery
+
+    def test_noisier_images_render_sparser(self, pattern):
+        rng = derive_rng(1, "gallery")
+        low = apply_photon_noise(pattern, BeamIntensity.LOW, rng)
+        high = apply_photon_noise(pattern, BeamIntensity.HIGH, rng)
+        text_low = render_pattern(low, width=24)
+        text_high = render_pattern(high, width=24)
+        # photon starvation shows as more blank cells at low intensity
+        assert text_low.count(" ") > text_high.count(" ")
