@@ -1,0 +1,25 @@
+# Developer entry points for the A4NN reproduction.
+#
+# `make check` is the same linter gate pytest runs as a tier-1 test
+# (tests/test_tooling_linter.py::test_repo_source_passes_a4nn_check),
+# exposed directly for fast pre-commit iteration.
+
+PYTHON ?= python
+export PYTHONPATH := src
+
+.PHONY: check lint test bench all
+
+all: check test
+
+# static-analysis rule catalog over the package source
+check:
+	$(PYTHON) -m repro check src
+
+lint: check
+
+# tier-1 test suite
+test:
+	$(PYTHON) -m pytest -x -q
+
+bench:
+	$(PYTHON) -m pytest benchmarks -q

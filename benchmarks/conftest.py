@@ -9,9 +9,15 @@ Table 3) pay for each search once per session.
 """
 
 import logging
+import sys
 from pathlib import Path
 
 import pytest
+
+try:
+    import repro  # noqa: F401 -- probe for an installed package (pip install -e .)
+except ModuleNotFoundError:  # fall back to the in-repo source tree
+    sys.path.insert(0, str(Path(__file__).resolve().parents[1] / "src"))
 
 logging.disable(logging.INFO)
 

@@ -15,6 +15,7 @@ from repro.nn.layers import Dense, ReLU, Sigmoid
 from repro.nn.losses import MeanSquaredError
 from repro.nn.network import Network
 from repro.nn.optimizers import Adam
+from repro.utils.rng import fallback_rng
 from repro.utils.validation import ensure_positive
 
 __all__ = ["Autoencoder"]
@@ -46,7 +47,7 @@ class Autoencoder:
         ensure_positive(input_dim, "input_dim")
         ensure_positive(hidden_dim, "hidden_dim")
         ensure_positive(latent_dim, "latent_dim")
-        rng = rng if rng is not None else np.random.default_rng()
+        rng = rng if rng is not None else fallback_rng()
         self.input_dim = int(input_dim)
         self.latent_dim = int(latent_dim)
         self.rng = rng

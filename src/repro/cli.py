@@ -14,6 +14,8 @@ Usage::
     python -m repro verify --commons ./commons
     python -m repro config --intensity low > low.json
     python -m repro run --config low.json
+    python -m repro check src/ --format=json
+    python -m repro check --list-rules
 """
 
 from __future__ import annotations
@@ -34,6 +36,7 @@ from repro.analysis import (
 )
 from repro.experiments.reporting import ReportTable
 from repro.lineage import DataCommons, verify_run
+from repro.tooling import all_rules, render_json, render_text, run_check
 from repro.utils.io import read_json
 from repro.utils.logging import configure_logging
 from repro.utils.timing import format_hours
@@ -50,6 +53,7 @@ def _config_from_args(args: argparse.Namespace) -> WorkflowConfig:
         dataset=DatasetConfig(intensity=BeamIntensity.from_label(args.intensity)),
         mode=args.mode,
         seed=args.seed,
+        sanitize=args.sanitize,
     )
     return config
 
@@ -62,6 +66,11 @@ def _add_common_run_flags(parser: argparse.ArgumentParser) -> None:
     parser.add_argument("--mode", default="surrogate", choices=["surrogate", "real"])
     parser.add_argument("--seed", type=int, default=42)
     parser.add_argument("--commons", type=Path, help="data-commons directory")
+    parser.add_argument(
+        "--sanitize",
+        action="store_true",
+        help="attach the runtime numerical sanitizer to trained networks (real mode)",
+    )
 
 
 def _cmd_run(args: argparse.Namespace) -> int:
@@ -169,6 +178,28 @@ def _cmd_report(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_check(args: argparse.Namespace) -> int:
+    if args.list_rules:
+        for rule in all_rules():
+            print(f"{rule.rule_id}  [{rule.category}]  {rule.description}")
+        return 0
+    paths = args.paths or [Path(__file__).parent]
+    select = args.select.split(",") if args.select else None
+    ignore = args.ignore.split(",") if args.ignore else None
+    try:
+        result = run_check(paths, select=select, ignore=ignore)
+    except (FileNotFoundError, ValueError) as exc:
+        print(str(exc), file=sys.stderr)
+        return 2
+    if args.format == "json":
+        print(render_json(result.diagnostics))
+    elif result.diagnostics:
+        print(render_text(result.diagnostics))
+    else:
+        print(f"a4nn check: {result.n_files} file(s) clean")
+    return result.exit_code
+
+
 def _cmd_config(args: argparse.Namespace) -> int:
     config = _config_from_args(args)
     json.dump(config.to_dict(), sys.stdout, indent=2, sort_keys=True)
@@ -220,6 +251,25 @@ def build_parser() -> argparse.ArgumentParser:
     )
     _add_common_run_flags(config_parser)
     config_parser.set_defaults(handler=_cmd_config)
+
+    check_parser = subparsers.add_parser(
+        "check", help="run the A4NN static-analysis rule catalog over source files"
+    )
+    check_parser.add_argument(
+        "paths",
+        nargs="*",
+        type=Path,
+        help="files/directories to lint (default: the installed repro package)",
+    )
+    check_parser.add_argument(
+        "--format", choices=["text", "json"], default="text", help="diagnostic format"
+    )
+    check_parser.add_argument(
+        "--list-rules", action="store_true", help="print the rule catalog and exit"
+    )
+    check_parser.add_argument("--select", help="comma-separated rule ids to run exclusively")
+    check_parser.add_argument("--ignore", help="comma-separated rule ids to skip")
+    check_parser.set_defaults(handler=_cmd_check)
 
     return parser
 

@@ -123,7 +123,7 @@ def fit_curve(
             method="trf",
             max_nfev=max_nfev,
         )
-    except Exception as exc:  # scipy can raise on pathological inputs
+    except Exception as exc:  # a4nn: noqa(NUM001) -- scipy's failure surface is unbounded; fail() converts to the engine's explicit no-prediction path (or raises under strict=True)
         return fail(f"optimizer error: {exc}")
 
     if not np.all(np.isfinite(solution.x)):

@@ -60,6 +60,9 @@ class ModelRecord:
     engine_parameters: dict | None = None
     engine_overhead_seconds: float = 0.0
     training_parameters: dict = field(default_factory=dict)
+    # structured NumericalFault snapshot when the sanitizer aborted this
+    # model's training; None for clean runs
+    fault: dict | None = None
 
     def to_dict(self) -> dict:
         return asdict(self)

@@ -106,6 +106,22 @@ class LineageTracker:
                     entry["epoch_seconds"] = float(seconds)
         _LOG.debug("recorded model %d (gen %d)", individual.model_id, individual.generation)
 
+    def observe_fault(self, individual: Individual, fault) -> None:
+        """Record a sanitizer :class:`~repro.tooling.sanitizer.NumericalFault`.
+
+        The fault snapshot replaces the epochs the model never trained:
+        the record keeps whatever history was measured *before* the
+        fault, and the poisoned value itself never enters
+        ``fitness_history`` (it would corrupt the engine's curve fit).
+        """
+        record = self._record_for(individual)
+        record.fault = fault.to_dict() if hasattr(fault, "to_dict") else dict(fault)
+        _LOG.warning(
+            "model %d training aborted by sanitizer: %s",
+            individual.model_id,
+            record.fault.get("message"),
+        )
+
     def attach_architecture(self, individual: Individual, network) -> None:
         """Record the decoded layer table for a model (types, shapes, FLOPs)."""
         record = self._record_for(individual)

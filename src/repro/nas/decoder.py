@@ -23,6 +23,7 @@ from repro.nas.genome import Genome
 from repro.nn.layers import LAYER_TYPES, BatchNorm2D, Conv2D, Dense, GlobalAvgPool2D, MaxPool2D, ReLU
 from repro.nn.layers.base import Layer, Parameter
 from repro.nn.network import Network
+from repro.utils.rng import fallback_rng
 
 __all__ = ["PhaseBlock", "DecoderConfig", "decode_genome"]
 
@@ -62,7 +63,7 @@ class PhaseBlock(Layer):
         super().__init__()
         from repro.nas.genome import PhaseGenome  # local to avoid cycle at import
 
-        rng = rng if rng is not None else np.random.default_rng()
+        rng = rng if rng is not None else fallback_rng()
         self.genome = PhaseGenome(n_nodes, tuple(bits))
         self.in_channels = int(in_channels)
         self.out_channels = int(out_channels)
@@ -268,7 +269,7 @@ def decode_genome(
     validates that the input is large enough for the phase count.
     """
     config = config or DecoderConfig()
-    rng = rng if rng is not None else np.random.default_rng()
+    rng = rng if rng is not None else fallback_rng()
     if genome.n_phases != len(config.channels):
         raise ValueError(
             f"genome has {genome.n_phases} phases but decoder config provides "

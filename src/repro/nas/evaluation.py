@@ -25,6 +25,7 @@ from repro.nas.population import Individual
 from repro.nn.flops import network_flops
 from repro.nn.optimizers import Adam
 from repro.nn.trainer import Trainer
+from repro.tooling.sanitizer import NumericalFault, Sanitizer
 from repro.utils.rng import RngStream
 from repro.xfel.dataset import DiffractionDataset
 
@@ -68,6 +69,14 @@ class TrainingEvaluator:
     observers:
         Per-epoch callbacks (the workflow orchestrator hooks lineage
         tracking and checkpointing in here).
+    sanitize:
+        Attach a :class:`~repro.tooling.sanitizer.Sanitizer` to every
+        candidate's network and trainer; numerical faults abort the
+        model's training with :class:`NumericalFault`.
+    on_fault:
+        Callback ``on_fault(individual, fault)`` invoked before a
+        :class:`NumericalFault` propagates (the orchestrator records it
+        into the model's lineage record here).
     """
 
     def __init__(
@@ -81,6 +90,8 @@ class TrainingEvaluator:
         learning_rate: float = 1e-3,
         rng_stream: RngStream | None = None,
         observers: list[EpochObserver] | None = None,
+        sanitize: bool = False,
+        on_fault: Callable[[Individual, NumericalFault], None] | None = None,
     ) -> None:
         self.dataset = dataset
         self.engine = engine
@@ -92,6 +103,8 @@ class TrainingEvaluator:
         self.learning_rate = float(learning_rate)
         self.rng_stream = rng_stream or RngStream(0)
         self.observers = list(observers or [])
+        self.sanitize = bool(sanitize)
+        self.on_fault = on_fault
 
     def evaluate(self, individual: Individual) -> Individual:
         """Decode, train with the Algorithm-1 loop, and fill the individual."""
@@ -103,6 +116,9 @@ class TrainingEvaluator:
             rng=init_rng,
             name=f"model-{individual.model_id}",
         )
+        sanitizer = None
+        if self.sanitize:
+            sanitizer = Sanitizer().watch(network)
         trainer = Trainer(
             network,
             self.dataset.x_train,
@@ -112,6 +128,7 @@ class TrainingEvaluator:
             optimizer=Adam(network, self.learning_rate),
             batch_size=self.batch_size,
             rng=shuffle_rng,
+            sanitizer=sanitizer,
         )
 
         def on_epoch(epoch: int, fitness: float, prediction: float | None) -> None:
@@ -123,9 +140,16 @@ class TrainingEvaluator:
             for observer in self.observers:
                 observer(individual, epoch, fitness, prediction, context)
 
-        result = run_training_loop(
-            trainer, self.engine, self.max_epochs, epoch_callback=on_epoch
-        )
+        try:
+            result = run_training_loop(
+                trainer, self.engine, self.max_epochs, epoch_callback=on_epoch
+            )
+        except NumericalFault as fault:
+            # the poisoned measurement never reaches fitness_history; the
+            # fault is recorded into lineage, then propagates to the caller
+            if self.on_fault is not None:
+                self.on_fault(individual, fault)
+            raise
 
         individual.fitness = result.fitness
         individual.flops = network_flops(network)

@@ -14,6 +14,7 @@ from numpy.lib.stride_tricks import sliding_window_view
 
 from repro.nn.initializers import get_initializer
 from repro.nn.layers.base import Layer, Parameter
+from repro.utils.rng import fallback_rng
 
 __all__ = ["Conv2D", "im2col", "col2im"]
 
@@ -89,7 +90,7 @@ class Conv2D(Layer):
             padding = kernel_size // 2
         if int(padding) < 0:
             raise ValueError(f"padding must be non-negative, got {padding}")
-        rng = rng if rng is not None else np.random.default_rng()
+        rng = rng if rng is not None else fallback_rng()
         self.in_channels = int(in_channels)
         self.out_channels = int(out_channels)
         self.kernel_size = int(kernel_size)

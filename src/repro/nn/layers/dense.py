@@ -6,6 +6,7 @@ import numpy as np
 
 from repro.nn.initializers import get_initializer
 from repro.nn.layers.base import Layer, Parameter
+from repro.utils.rng import fallback_rng
 
 __all__ = ["Dense"]
 
@@ -40,7 +41,7 @@ class Dense(Layer):
             raise ValueError(
                 f"features must be positive, got in={in_features}, out={out_features}"
             )
-        rng = rng if rng is not None else np.random.default_rng()
+        rng = rng if rng is not None else fallback_rng()
         self.in_features = int(in_features)
         self.out_features = int(out_features)
         self.use_bias = bool(use_bias)

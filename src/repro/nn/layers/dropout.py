@@ -5,6 +5,7 @@ from __future__ import annotations
 import numpy as np
 
 from repro.nn.layers.base import Layer
+from repro.utils.rng import fallback_rng
 
 __all__ = ["Dropout"]
 
@@ -25,7 +26,7 @@ class Dropout(Layer):
         if not 0.0 <= rate < 1.0:
             raise ValueError(f"rate must be in [0, 1), got {rate}")
         self.rate = float(rate)
-        self.rng = rng if rng is not None else np.random.default_rng()
+        self.rng = rng if rng is not None else fallback_rng()
         self._mask: np.ndarray | None = None
 
     def forward(self, x: np.ndarray, training: bool = False) -> np.ndarray:

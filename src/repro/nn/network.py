@@ -41,6 +41,9 @@ class Network:
         self.layers: list[Layer] = list(layers)
         self.input_shape = tuple(input_shape) if input_shape is not None else None
         self.name = str(name)
+        # opt-in numerical watchdog (repro.tooling.sanitizer.Sanitizer);
+        # duck-typed so nn/ stays decoupled from the tooling package
+        self.sanitizer = None
 
     def add(self, layer: Layer) -> "Network":
         """Append a layer; returns self for chaining."""
@@ -51,14 +54,26 @@ class Network:
 
     def forward(self, x: np.ndarray, training: bool = False) -> np.ndarray:
         """Run the full stack."""
-        for layer in self.layers:
+        if self.sanitizer is None:
+            for layer in self.layers:
+                x = layer.forward(x, training=training)
+            return x
+        for index, layer in enumerate(self.layers):
+            x_in = x
             x = layer.forward(x, training=training)
+            self.sanitizer.after_layer_forward(index, layer, x_in, x)
         return x
 
     def backward(self, grad: np.ndarray) -> np.ndarray:
         """Back-propagate from the loss gradient; returns dL/d(input)."""
-        for layer in reversed(self.layers):
+        if self.sanitizer is None:
+            for layer in reversed(self.layers):
+                grad = layer.backward(grad)
+            return grad
+        for index in range(len(self.layers) - 1, -1, -1):
+            layer = self.layers[index]
             grad = layer.backward(grad)
+            self.sanitizer.after_layer_backward(index, layer, grad)
         return grad
 
     def predict(self, x: np.ndarray, *, batch_size: int = 256) -> np.ndarray:

@@ -16,6 +16,7 @@ from repro.nn.losses import Loss, SoftmaxCrossEntropy
 from repro.nn.metrics import accuracy_percent
 from repro.nn.network import Network
 from repro.nn.optimizers import Optimizer, SGD, clip_grad_norm
+from repro.utils.rng import fallback_rng
 from repro.utils.timing import Stopwatch
 from repro.utils.validation import ensure_positive
 
@@ -55,6 +56,10 @@ class Trainer:
         per epoch after training.
     max_grad_norm:
         Optional global gradient-norm clip applied before each update.
+    sanitizer:
+        Optional :class:`~repro.tooling.sanitizer.Sanitizer` (duck-
+        typed); when set, every step's loss and parameter gradients are
+        asserted finite, raising ``NumericalFault`` on violation.
     """
 
     network: Network
@@ -69,6 +74,7 @@ class Trainer:
     history: list = field(default_factory=list)
     schedule: object | None = None
     max_grad_norm: float | None = None
+    sanitizer: object | None = None
 
     def __post_init__(self) -> None:
         ensure_positive(self.batch_size, "batch_size")
@@ -87,7 +93,7 @@ class Trainer:
         if self.loss is None:
             self.loss = SoftmaxCrossEntropy()
         if self.rng is None:
-            self.rng = np.random.default_rng()
+            self.rng = fallback_rng()
 
     @property
     def epoch(self) -> int:
@@ -97,6 +103,8 @@ class Trainer:
     def train(self) -> EpochStats:
         """Run one full training epoch (shuffle, batch, update)."""
         clock = Stopwatch().start()
+        if self.sanitizer is not None:
+            self.sanitizer.epoch = self.epoch + 1
         order = self.rng.permutation(len(self.x_train))
         losses: list[float] = []
         correct = 0
@@ -106,9 +114,13 @@ class Trainer:
             self.optimizer.zero_grad()
             logits = self.network.forward(x, training=True)
             value, grad = self.loss(logits, y)
+            if self.sanitizer is not None:
+                self.sanitizer.check_loss(value)
             self.network.backward(grad)
             if self.max_grad_norm is not None:
                 clip_grad_norm(self.network, self.max_grad_norm)
+            if self.sanitizer is not None:
+                self.sanitizer.check_parameter_gradients(self.network)
             self.optimizer.step()
             losses.append(value)
             correct += int(np.sum(logits.argmax(axis=1) == y))

@@ -76,7 +76,7 @@ class FifoWorkerPool:
                 for future in futures:
                     try:
                         future.result()
-                    except Exception as exc:  # collect, re-raise the first
+                    except Exception as exc:  # a4nn: noqa(NUM001) -- not swallowed: collected, and the first is re-raised after all jobs settle
                         errors.append(exc)
                 if errors:
                     raise errors[0]

@@ -1,0 +1,34 @@
+"""Correctness tooling for the A4NN stack.
+
+Two halves (see README § ``a4nn check``):
+
+* a self-hosted AST linter (:mod:`repro.tooling.linter`) with
+  project-specific rules enforcing the determinism, API-contract,
+  numerical-safety, and lineage invariants the workflow relies on; and
+* an opt-in runtime sanitizer (:mod:`repro.tooling.sanitizer`) that
+  asserts finite activations/gradients/losses and layer shape
+  contracts during real training, raising a structured
+  :class:`~repro.tooling.sanitizer.NumericalFault` recorded into
+  lineage.
+"""
+
+from repro.tooling.diagnostics import Diagnostic, Severity, render_json, render_text
+from repro.tooling.linter import CheckResult, Linter, run_check
+from repro.tooling.rules import Rule, all_rules, register, rule_ids
+from repro.tooling.sanitizer import NumericalFault, Sanitizer
+
+__all__ = [
+    "CheckResult",
+    "Diagnostic",
+    "Linter",
+    "NumericalFault",
+    "Rule",
+    "Sanitizer",
+    "Severity",
+    "all_rules",
+    "register",
+    "render_json",
+    "render_text",
+    "rule_ids",
+    "run_check",
+]

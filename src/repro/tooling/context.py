@@ -1,0 +1,123 @@
+"""Parsed-module and project contexts handed to lint rules.
+
+Rules never read the filesystem themselves: the linter parses every
+file once into a :class:`ModuleContext` (source, AST, comment tokens)
+and groups them in a :class:`ProjectContext` so cross-file rules (e.g.
+the lineage schema-drift check) can look up sibling modules whether the
+sources came from disk or from in-memory test fixtures.
+"""
+
+from __future__ import annotations
+
+import ast
+import io
+import tokenize
+from dataclasses import dataclass, field
+from pathlib import Path
+
+__all__ = ["ModuleContext", "ProjectContext", "package_path"]
+
+_PACKAGE_ROOT = "repro"
+
+
+def package_path(path: str | Path) -> str:
+    """The path tail starting at the ``repro`` package root, POSIX style.
+
+    ``src/repro/nn/layers/dense.py`` → ``repro/nn/layers/dense.py``.
+    Paths outside the package are returned unchanged (as POSIX), which
+    keeps location-scoped rules inert on foreign files.
+    """
+    posix = Path(path).as_posix()
+    parts = posix.split("/")
+    for i in range(len(parts) - 1, -1, -1):
+        if parts[i] == _PACKAGE_ROOT:
+            return "/".join(parts[i:])
+    return posix
+
+
+@dataclass
+class ModuleContext:
+    """One parsed source file plus its location metadata.
+
+    Attributes
+    ----------
+    display_path:
+        The path reported in diagnostics (as the user supplied it, or
+        the virtual path of an in-memory fixture).
+    pkg_path:
+        ``repro/...``-rooted POSIX path used for rule scoping.
+    source, tree:
+        Raw text and parsed AST.
+    project:
+        The owning :class:`ProjectContext` (for cross-file rules).
+    """
+
+    display_path: str
+    pkg_path: str
+    source: str
+    tree: ast.Module
+    project: "ProjectContext | None" = None
+
+    @classmethod
+    def parse(
+        cls, source: str, display_path: str, *, pkg_path: str | None = None
+    ) -> "ModuleContext":
+        """Parse ``source``; raises :class:`SyntaxError` on bad input."""
+        tree = ast.parse(source, filename=display_path)
+        return cls(
+            display_path=display_path,
+            pkg_path=pkg_path if pkg_path is not None else package_path(display_path),
+            source=source,
+            tree=tree,
+        )
+
+    def in_location(self, *suffixes_or_dirs: str) -> bool:
+        """Whether this module lives at any of the given package spots.
+
+        Arguments ending in ``/`` match directories (prefix under the
+        package root); others match exact file suffixes, e.g.
+        ``utils/rng.py`` or ``nn/layers/``.
+        """
+        for spec in suffixes_or_dirs:
+            probe = f"{_PACKAGE_ROOT}/{spec}"
+            if spec.endswith("/"):
+                if self.pkg_path.startswith(probe):
+                    return True
+            elif self.pkg_path == probe or self.pkg_path.endswith("/" + spec):
+                return True
+        return False
+
+    def comments(self) -> list[tuple[int, int, str]]:
+        """All comment tokens as ``(line, col, text)`` triples.
+
+        Tokenization failures (which imply the file would not parse
+        either) yield an empty list; the parse-error diagnostic is
+        raised separately by the linter.
+        """
+        found: list[tuple[int, int, str]] = []
+        try:
+            for token in tokenize.generate_tokens(io.StringIO(self.source).readline):
+                if token.type == tokenize.COMMENT:
+                    found.append((token.start[0], token.start[1], token.string))
+        except (tokenize.TokenError, IndentationError, SyntaxError):
+            return []
+        return found
+
+
+@dataclass
+class ProjectContext:
+    """The set of modules under analysis in one linter invocation."""
+
+    modules: list[ModuleContext] = field(default_factory=list)
+
+    def add(self, module: ModuleContext) -> ModuleContext:
+        module.project = self
+        self.modules.append(module)
+        return module
+
+    def find(self, suffix: str) -> ModuleContext | None:
+        """The first scanned module at package location ``suffix``."""
+        for module in self.modules:
+            if module.in_location(suffix):
+                return module
+        return None

@@ -1,0 +1,161 @@
+"""The ``a4nn check`` linter: run the rule catalog over a source tree.
+
+The linter parses every file once, hands the whole project to each
+registered rule (so cross-file rules can see siblings), applies the
+justified-``noqa`` suppressions, and returns sorted diagnostics.  It is
+importable (the test suite runs it in-process on ``src/``) and drives
+the ``a4nn check`` CLI subcommand.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Iterable, Mapping
+
+from repro.tooling.context import ModuleContext, ProjectContext
+from repro.tooling.diagnostics import Diagnostic, Severity
+from repro.tooling.rules import Rule, all_rules, rule_ids
+from repro.tooling.rules.suppressions import parse_suppressions
+
+__all__ = ["CheckResult", "Linter", "collect_files", "run_check", "PARSE_ERROR_ID"]
+
+#: Pseudo-rule id for files that do not parse at all.
+PARSE_ERROR_ID = "GEN001"
+
+
+@dataclass
+class CheckResult:
+    """Outcome of one linter invocation."""
+
+    diagnostics: list[Diagnostic] = field(default_factory=list)
+    n_files: int = 0
+
+    @property
+    def n_errors(self) -> int:
+        return sum(1 for d in self.diagnostics if d.severity is Severity.ERROR)
+
+    @property
+    def exit_code(self) -> int:
+        """0 when clean; 1 when any error-severity diagnostic fired."""
+        return 1 if self.n_errors else 0
+
+
+def collect_files(paths: Iterable[str | Path]) -> list[Path]:
+    """Expand files/directories into a sorted, de-duplicated ``*.py`` list."""
+    seen: dict[Path, None] = {}
+    for raw in paths:
+        path = Path(raw)
+        if path.is_dir():
+            for candidate in sorted(path.rglob("*.py")):
+                seen.setdefault(candidate, None)
+        elif path.is_file():
+            seen.setdefault(path, None)
+        else:
+            raise FileNotFoundError(f"no such file or directory: {path}")
+    return list(seen)
+
+
+class Linter:
+    """Run a rule set over a project.
+
+    Parameters
+    ----------
+    rules:
+        Rules to run; defaults to the full registered catalog.
+    select, ignore:
+        Optional rule-id allowlist / denylist applied on top.
+    """
+
+    def __init__(
+        self,
+        rules: Iterable[Rule] | None = None,
+        *,
+        select: Iterable[str] | None = None,
+        ignore: Iterable[str] | None = None,
+    ) -> None:
+        chosen = list(rules) if rules is not None else all_rules()
+        if select is not None:
+            wanted = set(select)
+            unknown = wanted - {r.rule_id for r in chosen}
+            if unknown:
+                raise ValueError(f"--select names unknown rule id(s): {sorted(unknown)}")
+            chosen = [r for r in chosen if r.rule_id in wanted]
+        if ignore is not None:
+            dropped = set(ignore)
+            chosen = [r for r in chosen if r.rule_id not in dropped]
+        self.rules = chosen
+
+    # -- entry points -----------------------------------------------------------
+
+    def lint_paths(self, paths: Iterable[str | Path]) -> CheckResult:
+        """Lint files/directories from disk."""
+        project = ProjectContext()
+        parse_failures: list[Diagnostic] = []
+        files = collect_files(paths)
+        for path in files:
+            try:
+                source = path.read_text(encoding="utf-8")
+                project.add(ModuleContext.parse(source, str(path)))
+            except (SyntaxError, UnicodeDecodeError) as exc:
+                parse_failures.append(_parse_failure(str(path), exc))
+        result = self._lint_project(project)
+        result.diagnostics.extend(parse_failures)
+        result.diagnostics.sort(key=Diagnostic.sort_key)
+        result.n_files = len(files)
+        return result
+
+    def lint_sources(self, sources: Mapping[str, str]) -> CheckResult:
+        """Lint in-memory ``{virtual_path: source}`` fixtures (tests)."""
+        project = ProjectContext()
+        parse_failures: list[Diagnostic] = []
+        for virtual_path, source in sources.items():
+            try:
+                project.add(ModuleContext.parse(source, virtual_path))
+            except SyntaxError as exc:
+                parse_failures.append(_parse_failure(virtual_path, exc))
+        result = self._lint_project(project)
+        result.diagnostics.extend(parse_failures)
+        result.diagnostics.sort(key=Diagnostic.sort_key)
+        result.n_files = len(sources)
+        return result
+
+    # -- core -------------------------------------------------------------------
+
+    def _lint_project(self, project: ProjectContext) -> CheckResult:
+        known = set(rule_ids())
+        diagnostics: list[Diagnostic] = []
+        for module in project.modules:
+            found: list[Diagnostic] = []
+            for rule in self.rules:
+                if rule.applies_to(module):
+                    found.extend(rule.check(module))
+            suppressed, _ = parse_suppressions(module, known)
+            for diagnostic in found:
+                if diagnostic.rule_id in suppressed.get(diagnostic.line, ()):
+                    continue
+                diagnostics.append(diagnostic)
+        return CheckResult(diagnostics=diagnostics, n_files=len(project.modules))
+
+
+def _parse_failure(path: str, exc: Exception) -> Diagnostic:
+    line = getattr(exc, "lineno", None) or 1
+    col = (getattr(exc, "offset", None) or 1) - 1
+    return Diagnostic(
+        path=path,
+        line=int(line),
+        col=max(int(col), 0),
+        rule_id=PARSE_ERROR_ID,
+        severity=Severity.ERROR,
+        message=f"file does not parse: {exc.msg if hasattr(exc, 'msg') else exc}",
+    )
+
+
+def run_check(
+    paths: Iterable[str | Path],
+    *,
+    select: Iterable[str] | None = None,
+    ignore: Iterable[str] | None = None,
+) -> CheckResult:
+    """One-call convenience used by the CLI and the self-check test."""
+    return Linter(select=select, ignore=ignore).lint_paths(paths)

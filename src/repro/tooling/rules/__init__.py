@@ -1,0 +1,135 @@
+"""Rule protocol and registry for the ``a4nn check`` linter.
+
+A rule is a small object with a stable ``rule_id``, a ``category``, a
+one-line ``description``, a location predicate, and a ``check`` that
+yields :class:`~repro.tooling.diagnostics.Diagnostic` objects for one
+parsed module.  Rules register themselves with :func:`register` at
+import time, so adding a rule in a later PR is: write the class in a
+module under ``tooling/rules/``, decorate it, and import the module
+from :func:`load_builtin_rules`.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterable, Iterator, Protocol, runtime_checkable
+
+from repro.tooling.context import ModuleContext
+from repro.tooling.diagnostics import Diagnostic, Severity
+
+__all__ = [
+    "Rule",
+    "BaseRule",
+    "register",
+    "all_rules",
+    "rule_ids",
+    "get_rule",
+    "load_builtin_rules",
+]
+
+
+@runtime_checkable
+class Rule(Protocol):
+    """What the linter requires of a check."""
+
+    rule_id: str
+    category: str
+    description: str
+
+    def applies_to(self, module: ModuleContext) -> bool:
+        """Whether this rule should run on ``module`` at all."""
+
+    def check(self, module: ModuleContext) -> Iterable[Diagnostic]:
+        """Yield findings for one parsed module."""
+
+
+class BaseRule:
+    """Convenience base: applies everywhere, error severity, ``diag`` helper."""
+
+    rule_id: str = ""
+    category: str = ""
+    description: str = ""
+    severity: Severity = Severity.ERROR
+
+    def applies_to(self, module: ModuleContext) -> bool:
+        return True
+
+    def check(self, module: ModuleContext) -> Iterable[Diagnostic]:
+        raise NotImplementedError
+
+    def diag(
+        self, module: ModuleContext, node: ast.AST | None, message: str
+    ) -> Diagnostic:
+        """Build a diagnostic for ``node`` (or the file head when ``None``)."""
+        return Diagnostic(
+            path=module.display_path,
+            line=getattr(node, "lineno", 1) if node is not None else 1,
+            col=getattr(node, "col_offset", 0) if node is not None else 0,
+            rule_id=self.rule_id,
+            severity=self.severity,
+            message=message,
+        )
+
+
+_REGISTRY: dict[str, Rule] = {}
+
+
+def register(rule_cls: type) -> type:
+    """Class decorator: instantiate and index the rule by its id."""
+    rule = rule_cls()
+    if not rule.rule_id:
+        raise ValueError(f"rule {rule_cls.__name__} has no rule_id")
+    existing = _REGISTRY.get(rule.rule_id)
+    if existing is not None and type(existing) is not rule_cls:
+        raise ValueError(
+            f"duplicate rule id {rule.rule_id!r}: "
+            f"{type(existing).__name__} vs {rule_cls.__name__}"
+        )
+    _REGISTRY[rule.rule_id] = rule
+    return rule_cls
+
+
+def all_rules() -> list[Rule]:
+    """Every registered rule, ordered by id."""
+    load_builtin_rules()
+    return [_REGISTRY[k] for k in sorted(_REGISTRY)]
+
+
+def rule_ids() -> list[str]:
+    load_builtin_rules()
+    return sorted(_REGISTRY)
+
+
+def get_rule(rule_id: str) -> Rule:
+    load_builtin_rules()
+    return _REGISTRY[rule_id]
+
+
+def load_builtin_rules() -> None:
+    """Import the built-in rule modules (idempotent)."""
+    from repro.tooling.rules import (  # noqa: F401
+        contracts,
+        determinism,
+        lineage,
+        safety,
+        suppressions,
+    )
+
+
+def walk_functions(tree: ast.Module) -> Iterator[ast.AST]:
+    """Every function/async-function definition in the module."""
+    for node in ast.walk(tree):
+        if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+            yield node
+
+
+def dotted_name(node: ast.AST) -> str | None:
+    """Render ``a.b.c`` attribute/name chains; ``None`` for other shapes."""
+    parts: list[str] = []
+    while isinstance(node, ast.Attribute):
+        parts.append(node.attr)
+        node = node.value
+    if isinstance(node, ast.Name):
+        parts.append(node.id)
+        return ".".join(reversed(parts))
+    return None

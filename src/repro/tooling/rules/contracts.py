@@ -1,0 +1,221 @@
+"""API-contract rules: layer interface, serialization registry, experiments.
+
+The NN framework, the checkpoint machinery, and the experiment harness
+all rely on structural conventions that nothing previously enforced:
+
+* ``API001`` — every :class:`~repro.nn.layers.base.Layer` subclass must
+  define ``forward``/``backward`` as a pair, with the base signatures
+  (``forward(self, x, training=False)``, ``backward(self, grad_out)``).
+  A layer with only half the pair trains forward but silently breaks
+  backprop (or vice versa); a drifted signature breaks every positional
+  call site in :class:`~repro.nn.network.Network`.
+* ``API002`` — every public concrete layer in ``nn/layers/`` must be
+  registered in ``LAYER_TYPES``; an unregistered layer checkpoints fine
+  but can never be *loaded* back (lineage replay then fails late).
+* ``API003`` — every ``experiments/fig*.py`` must expose the common
+  entrypoint shape (``run_figN``/``format_figN``/``FigNResult`` in
+  ``__all__``) that the benchmark harness and CLI reporting rely on.
+"""
+
+from __future__ import annotations
+
+import ast
+import fnmatch
+from typing import Iterable
+
+from repro.tooling.context import ModuleContext
+from repro.tooling.diagnostics import Diagnostic
+from repro.tooling.rules import BaseRule, register
+
+__all__ = ["LayerPairRule", "LayerRegistryRule", "ExperimentShapeRule"]
+
+_LAYER_SCOPES = ("nn/layers/", "nas/decoder.py")
+
+
+def _base_names(cls: ast.ClassDef) -> list[str]:
+    names = []
+    for base in cls.bases:
+        if isinstance(base, ast.Name):
+            names.append(base.id)
+        elif isinstance(base, ast.Attribute):
+            names.append(base.attr)
+    return names
+
+
+def _layer_classes(tree: ast.Module) -> list[ast.ClassDef]:
+    """Classes subclassing ``Layer`` directly or via an in-module base."""
+    classes = [n for n in tree.body if isinstance(n, ast.ClassDef)]
+    layerish: set[str] = {"Layer"}
+    # fixpoint over in-module inheritance chains (e.g. _BatchNorm -> BatchNorm2D)
+    changed = True
+    while changed:
+        changed = False
+        for cls in classes:
+            if cls.name not in layerish and any(b in layerish for b in _base_names(cls)):
+                layerish.add(cls.name)
+                changed = True
+    return [c for c in classes if c.name in layerish and c.name != "Layer"]
+
+
+def _methods(cls: ast.ClassDef) -> dict[str, ast.FunctionDef]:
+    return {n.name: n for n in cls.body if isinstance(n, ast.FunctionDef)}
+
+
+def _positional_names(fn: ast.FunctionDef) -> list[str]:
+    return [a.arg for a in fn.args.posonlyargs + fn.args.args]
+
+
+@register
+class LayerPairRule(BaseRule):
+    rule_id = "API001"
+    category = "api-contract"
+    description = (
+        "Layer subclass must define forward/backward as a pair with the "
+        "base signatures forward(self, x, training=False) / backward(self, grad_out)"
+    )
+
+    def applies_to(self, module: ModuleContext) -> bool:
+        return module.in_location(*_LAYER_SCOPES)
+
+    def check(self, module: ModuleContext) -> Iterable[Diagnostic]:
+        for cls in _layer_classes(module.tree):
+            methods = _methods(cls)
+            forward, backward = methods.get("forward"), methods.get("backward")
+            if (forward is None) != (backward is None):
+                present, missing = (
+                    ("forward", "backward") if backward is None else ("backward", "forward")
+                )
+                yield self.diag(
+                    module,
+                    cls,
+                    f"layer {cls.name} defines {present} without {missing}; "
+                    "training would break half way through the pass",
+                )
+                continue
+            if forward is not None and _positional_names(forward) != ["self", "x", "training"]:
+                yield self.diag(
+                    module,
+                    forward,
+                    f"{cls.name}.forward must be forward(self, x, training=False), "
+                    f"got ({', '.join(_positional_names(forward))})",
+                )
+            if forward is not None and not forward.args.defaults:
+                yield self.diag(
+                    module,
+                    forward,
+                    f"{cls.name}.forward must default training (training=False)",
+                )
+            if backward is not None and _positional_names(backward) != ["self", "grad_out"]:
+                yield self.diag(
+                    module,
+                    backward,
+                    f"{cls.name}.backward must be backward(self, grad_out), "
+                    f"got ({', '.join(_positional_names(backward))})",
+                )
+
+
+def _registered_layer_names(init_tree: ast.Module) -> set[str] | None:
+    """Names registered in the ``LAYER_TYPES`` mapping, parsed statically."""
+    for node in ast.walk(init_tree):
+        if not isinstance(node, ast.Assign):
+            continue
+        targets = [t.id for t in node.targets if isinstance(t, ast.Name)]
+        if "LAYER_TYPES" not in targets:
+            continue
+        names: set[str] = set()
+        value = node.value
+        if isinstance(value, ast.DictComp):
+            for gen in value.generators:
+                if isinstance(gen.iter, (ast.Tuple, ast.List)):
+                    names.update(
+                        e.id for e in gen.iter.elts if isinstance(e, ast.Name)
+                    )
+        elif isinstance(value, ast.Dict):
+            for v in value.values:
+                if isinstance(v, ast.Name):
+                    names.add(v.id)
+        return names
+    return None
+
+
+@register
+class LayerRegistryRule(BaseRule):
+    rule_id = "API002"
+    category = "api-contract"
+    description = "public layer class missing from the LAYER_TYPES serialization registry"
+
+    def applies_to(self, module: ModuleContext) -> bool:
+        return module.in_location("nn/layers/__init__.py")
+
+    def check(self, module: ModuleContext) -> Iterable[Diagnostic]:
+        registered = _registered_layer_names(module.tree)
+        if registered is None:
+            yield self.diag(
+                module, None, "nn/layers/__init__.py no longer defines LAYER_TYPES"
+            )
+            return
+        project = module.project
+        if project is None:
+            return
+        for sibling in project.modules:
+            if not sibling.in_location("nn/layers/") or sibling.in_location(
+                "nn/layers/__init__.py", "nn/layers/base.py"
+            ):
+                continue
+            for cls in _layer_classes(sibling.tree):
+                if cls.name.startswith("_"):
+                    continue
+                if cls.name not in registered:
+                    yield self.diag(
+                        sibling,
+                        cls,
+                        f"layer {cls.name} is not registered in LAYER_TYPES; "
+                        "its checkpoints could never be loaded back",
+                    )
+
+
+@register
+class ExperimentShapeRule(BaseRule):
+    rule_id = "API003"
+    category = "api-contract"
+    description = (
+        "experiments/fig*.py must expose run_figN / format_figN / FigNResult in __all__"
+    )
+
+    def applies_to(self, module: ModuleContext) -> bool:
+        return fnmatch.fnmatch(module.pkg_path, "repro/experiments/fig*.py")
+
+    def check(self, module: ModuleContext) -> Iterable[Diagnostic]:
+        stem = module.pkg_path.rsplit("/", 1)[-1].removesuffix(".py")
+        tag = stem.split("_")[0]  # fig2_prediction -> fig2
+        required = {
+            f"run_{tag}": "the paper-artifact entrypoint",
+            f"format_{tag}": "the report renderer",
+            f"{tag.capitalize()}Result": "the result dataclass",
+        }
+        defined = {
+            n.name
+            for n in module.tree.body
+            if isinstance(n, (ast.FunctionDef, ast.AsyncFunctionDef, ast.ClassDef))
+        }
+        exported: set[str] = set()
+        for node in module.tree.body:
+            if isinstance(node, ast.Assign) and any(
+                isinstance(t, ast.Name) and t.id == "__all__" for t in node.targets
+            ):
+                if isinstance(node.value, (ast.List, ast.Tuple)):
+                    exported = {
+                        e.value
+                        for e in node.value.elts
+                        if isinstance(e, ast.Constant) and isinstance(e.value, str)
+                    }
+        for name, role in required.items():
+            if name not in defined:
+                yield self.diag(
+                    module, None, f"missing {name} ({role}); the harness drives every "
+                    "figure module through this common shape"
+                )
+            elif name not in exported:
+                yield self.diag(
+                    module, None, f"{name} is defined but not exported in __all__"
+                )

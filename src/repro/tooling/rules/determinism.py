@@ -1,0 +1,125 @@
+"""Determinism rules: RNG and wall-clock access discipline.
+
+A4NN's record trails are only replayable if every stochastic draw comes
+from the seed-derived streams in :mod:`repro.utils.rng` and every
+timestamp comes from :mod:`repro.utils.timing`.  These rules make those
+invariants mechanical:
+
+* ``DET001`` — no global-state or entropy-seeded RNG outside
+  ``utils/rng.py``.  The legacy ``np.random.*`` module functions share
+  hidden global state (one consumer perturbs every other), and
+  ``np.random.default_rng()`` *without* a seed draws OS entropy, so the
+  same run can never be replayed.  Seeded constructions such as
+  ``np.random.default_rng(0)`` are allowed.
+* ``DET002`` — no direct wall-clock reads outside ``utils/timing.py``.
+  Clock values leaking into engine/workflow/lineage state make record
+  trails differ across replays; all timing must flow through
+  :class:`~repro.utils.timing.Stopwatch`.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterable
+
+from repro.tooling.context import ModuleContext
+from repro.tooling.diagnostics import Diagnostic
+from repro.tooling.rules import BaseRule, dotted_name, register
+
+__all__ = ["GlobalRngRule", "WallClockRule"]
+
+# np.random attributes that are *not* violations: constructing explicit
+# generator objects is exactly what utils/rng.py hands out.
+_ALLOWED_NP_RANDOM = {"Generator", "PCG64", "PCG64DXSM", "Philox", "SFC64", "SeedSequence", "BitGenerator"}
+
+_CLOCK_CALLS = {
+    "time.time",
+    "time.time_ns",
+    "time.perf_counter",
+    "time.perf_counter_ns",
+    "time.monotonic",
+    "time.monotonic_ns",
+    "time.process_time",
+    "datetime.now",
+    "datetime.utcnow",
+    "datetime.today",
+    "datetime.datetime.now",
+    "datetime.datetime.utcnow",
+    "datetime.datetime.today",
+    "datetime.date.today",
+    "date.today",
+}
+
+
+def _is_np_random(chain: str) -> bool:
+    return chain.startswith(("np.random.", "numpy.random."))
+
+
+@register
+class GlobalRngRule(BaseRule):
+    rule_id = "DET001"
+    category = "determinism"
+    description = (
+        "global-state or unseeded RNG outside utils/rng.py "
+        "(np.random.* module functions, bare np.random.default_rng(), stdlib random)"
+    )
+
+    def applies_to(self, module: ModuleContext) -> bool:
+        return not module.in_location("utils/rng.py")
+
+    def check(self, module: ModuleContext) -> Iterable[Diagnostic]:
+        for node in ast.walk(module.tree):
+            if not isinstance(node, ast.Call):
+                continue
+            chain = dotted_name(node.func)
+            if chain is None:
+                continue
+            if _is_np_random(chain):
+                tail = chain.split(".", 2)[2]
+                if tail in _ALLOWED_NP_RANDOM:
+                    continue
+                if tail == "default_rng":
+                    if not node.args and not node.keywords:
+                        yield self.diag(
+                            module,
+                            node,
+                            "np.random.default_rng() without a seed draws OS entropy; "
+                            "derive a generator via repro.utils.rng instead",
+                        )
+                    continue
+                yield self.diag(
+                    module,
+                    node,
+                    f"{chain}() uses numpy's hidden global RNG state; "
+                    "derive a generator via repro.utils.rng instead",
+                )
+            elif chain.startswith("random.") and chain.count(".") == 1:
+                yield self.diag(
+                    module,
+                    node,
+                    f"{chain}() uses the stdlib global RNG; "
+                    "derive a numpy generator via repro.utils.rng instead",
+                )
+
+
+@register
+class WallClockRule(BaseRule):
+    rule_id = "DET002"
+    category = "determinism"
+    description = "direct wall-clock read outside utils/timing.py"
+
+    def applies_to(self, module: ModuleContext) -> bool:
+        return not module.in_location("utils/timing.py")
+
+    def check(self, module: ModuleContext) -> Iterable[Diagnostic]:
+        for node in ast.walk(module.tree):
+            if not isinstance(node, ast.Call):
+                continue
+            chain = dotted_name(node.func)
+            if chain in _CLOCK_CALLS:
+                yield self.diag(
+                    module,
+                    node,
+                    f"{chain}() reads the wall clock directly; use "
+                    "repro.utils.timing (Stopwatch) so replays stay deterministic",
+                )

@@ -1,0 +1,95 @@
+"""Suppression hygiene: every ``noqa`` must carry a justification.
+
+``SUP001`` — diagnostics can be silenced in place with
+
+    # a4nn: noqa(RULE001) -- why this is intentionally exempt
+
+The justification after ``--`` is mandatory: an unjustified or
+malformed suppression, or one naming an unknown rule id, is itself an
+error and suppresses nothing.  This keeps every exemption in the tree
+reviewable — the *reason* lives next to the code, not in tribal memory.
+"""
+
+from __future__ import annotations
+
+import re
+from typing import Iterable
+
+from repro.tooling.context import ModuleContext
+from repro.tooling.diagnostics import Diagnostic
+from repro.tooling.rules import BaseRule, register
+
+__all__ = ["SuppressionHygieneRule", "parse_suppressions"]
+
+#: Matches "a4nn: noqa(...)" comments; group 1 = rule list, group 2 = justification.
+NOQA_RE = re.compile(
+    r"#\s*a4nn:\s*noqa\s*\(([^)]*)\)\s*(?:--\s*(.*\S))?\s*$"
+)
+#: Anything mentioning the marker at all, to catch malformed attempts.
+NOQA_HINT_RE = re.compile(r"#\s*a4nn:\s*noqa\b")
+
+
+def parse_suppressions(
+    module: ModuleContext, known_ids: set[str]
+) -> tuple[dict[int, set[str]], list[tuple[int, int, str]]]:
+    """Extract valid suppressions and problems from a module's comments.
+
+    Returns ``(valid, problems)`` where ``valid`` maps line number to
+    the rule ids suppressed on that line, and each problem is a
+    ``(line, col, message)`` triple for a ``SUP001`` diagnostic.
+    """
+    valid: dict[int, set[str]] = {}
+    problems: list[tuple[int, int, str]] = []
+    for line, col, text in module.comments():
+        if not NOQA_HINT_RE.search(text):
+            continue
+        match = NOQA_RE.search(text)
+        if match is None:
+            problems.append(
+                (line, col, "malformed suppression; use '# a4nn: noqa(RULE-ID) -- reason'")
+            )
+            continue
+        ids = {part.strip() for part in match.group(1).split(",") if part.strip()}
+        justification = match.group(2)
+        if not ids:
+            problems.append((line, col, "suppression names no rule ids"))
+            continue
+        unknown = sorted(ids - known_ids)
+        if unknown:
+            problems.append(
+                (line, col, f"suppression names unknown rule id(s): {', '.join(unknown)}")
+            )
+            continue
+        if not justification:
+            problems.append(
+                (
+                    line,
+                    col,
+                    f"suppression of {', '.join(sorted(ids))} lacks a justification; "
+                    "append ' -- <reason>' (unjustified suppressions suppress nothing)",
+                )
+            )
+            continue
+        valid.setdefault(line, set()).update(ids)
+    return valid, problems
+
+
+@register
+class SuppressionHygieneRule(BaseRule):
+    rule_id = "SUP001"
+    category = "suppression"
+    description = "a4nn: noqa suppression that is malformed, unknown, or unjustified"
+
+    def check(self, module: ModuleContext) -> Iterable[Diagnostic]:
+        from repro.tooling.rules import rule_ids
+
+        _, problems = parse_suppressions(module, set(rule_ids()))
+        for line, col, message in problems:
+            yield Diagnostic(
+                path=module.display_path,
+                line=line,
+                col=col,
+                rule_id=self.rule_id,
+                severity=self.severity,
+                message=message,
+            )

@@ -14,11 +14,12 @@ through named streams, so that
 from __future__ import annotations
 
 import hashlib
+import itertools
 from dataclasses import dataclass, field
 
 import numpy as np
 
-__all__ = ["RngStream", "derive_rng", "spawn_seeds", "stable_hash"]
+__all__ = ["RngStream", "derive_rng", "fallback_rng", "spawn_seeds", "stable_hash"]
 
 
 def stable_hash(*parts: object) -> int:
@@ -44,6 +45,24 @@ def derive_rng(root_seed: int, *stream: object) -> np.random.Generator:
     """
     entropy = (int(root_seed) & 0xFFFFFFFFFFFFFFFF, stable_hash(*stream))
     return np.random.Generator(np.random.PCG64(np.random.SeedSequence(entropy)))
+
+
+_fallback_counter = itertools.count()
+
+
+def fallback_rng() -> np.random.Generator:
+    """Deterministic replacement for an unseeded ``default_rng()``.
+
+    Components accept an optional generator and historically fell back
+    to ``np.random.default_rng()``, which draws OS entropy and makes
+    runs unreplayable (lint rule DET001).  This fallback is seeded from
+    a process-local counter instead: successive calls return *distinct*
+    generators (two layers built without an explicit rng do not share
+    weights), yet the sequence is identical on every run of the
+    program.  Components on the replayable path should still receive an
+    explicit :class:`RngStream`-derived generator.
+    """
+    return derive_rng(0, "fallback", next(_fallback_counter))
 
 
 def spawn_seeds(root_seed: int, count: int, *stream: object) -> list[int]:

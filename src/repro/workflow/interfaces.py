@@ -50,6 +50,11 @@ class WorkflowConfig:
     n_workers:
         Concurrent evaluations per generation (real parallel execution
         via the FIFO worker pool; 1 = serial).
+    sanitize:
+        Attach the runtime numerical sanitizer to every trained network
+        (real mode): non-finite losses/activations/gradients raise
+        :class:`~repro.tooling.sanitizer.NumericalFault`, recorded into
+        the model's lineage record.
     """
 
     nas: NSGANetConfig = field(default_factory=NSGANetConfig)
@@ -61,6 +66,7 @@ class WorkflowConfig:
     run_id: str = ""
     checkpoint_models: bool = False
     n_workers: int = 1
+    sanitize: bool = False
 
     def __post_init__(self) -> None:
         if int(self.n_workers) < 1:
@@ -113,6 +119,7 @@ class WorkflowConfig:
             "run_id": self.run_id,
             "checkpoint_models": self.checkpoint_models,
             "n_workers": self.n_workers,
+            "sanitize": self.sanitize,
         }
 
     @classmethod
@@ -140,4 +147,5 @@ class WorkflowConfig:
             run_id=payload.get("run_id", ""),
             checkpoint_models=payload.get("checkpoint_models", False),
             n_workers=payload.get("n_workers", 1),
+            sanitize=payload.get("sanitize", False),
         )

@@ -120,6 +120,8 @@ class A4NNOrchestrator:
                 max_epochs=self.config.nas.max_epochs,
                 rng_stream=stream.child("eval"),
                 observers=observers,
+                sanitize=self.config.sanitize,
+                on_fault=tracker.observe_fault,
             )
         return SurrogateEvaluator(
             self.config.intensity,

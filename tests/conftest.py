@@ -1,9 +1,16 @@
 """Shared fixtures for the test suite."""
 
 import logging
+import sys
+from pathlib import Path
 
 import numpy as np
 import pytest
+
+try:
+    import repro  # noqa: F401 -- probe for an installed package (pip install -e .)
+except ModuleNotFoundError:  # fall back to the in-repo source tree
+    sys.path.insert(0, str(Path(__file__).resolve().parents[1] / "src"))
 
 from repro.xfel import BeamIntensity, DatasetConfig, generate_dataset
 

@@ -1,0 +1,434 @@
+"""The `a4nn check` linter: per-rule fixtures, suppressions, self-check."""
+
+import json
+import textwrap
+from pathlib import Path
+
+import pytest
+
+from repro.cli import main
+from repro.tooling import Linter, render_json, run_check
+from repro.tooling.linter import PARSE_ERROR_ID, collect_files
+
+SRC = Path(__file__).resolve().parents[1] / "src"
+
+
+def lint(sources: dict) -> list:
+    """Lint in-memory fixtures; sources are dedented automatically."""
+    return Linter().lint_sources(
+        {path: textwrap.dedent(text) for path, text in sources.items()}
+    ).diagnostics
+
+
+def rule_hits(diagnostics, rule_id):
+    return [d for d in diagnostics if d.rule_id == rule_id]
+
+
+# -- DET001: RNG discipline ----------------------------------------------------
+
+
+def test_det001_flags_global_numpy_rng():
+    diags = lint({"repro/core/bad.py": """
+        import numpy as np
+        np.random.seed(0)
+        def draw():
+            return np.random.rand(3)
+    """})
+    assert len(rule_hits(diags, "DET001")) == 2
+
+
+def test_det001_flags_unseeded_default_rng_and_stdlib_random():
+    diags = lint({"repro/nas/bad.py": """
+        import random
+        import numpy as np
+        def setup(rng=None):
+            rng = rng if rng is not None else np.random.default_rng()
+            return rng, random.random()
+    """})
+    assert len(rule_hits(diags, "DET001")) == 2
+
+
+def test_det001_allows_seeded_generators_and_rng_module():
+    diags = lint({
+        "repro/experiments/ok.py": """
+            import numpy as np
+            rng = np.random.default_rng(42)
+            gen = np.random.Generator(np.random.PCG64(7))
+        """,
+        "repro/utils/rng.py": """
+            import numpy as np
+            def anything():
+                return np.random.default_rng()
+        """,
+    })
+    assert rule_hits(diags, "DET001") == []
+
+
+# -- DET002: clock discipline --------------------------------------------------
+
+
+def test_det002_flags_wall_clock_outside_timing():
+    diags = lint({"repro/workflow/bad.py": """
+        import time
+        from datetime import datetime
+        def stamp():
+            return time.time(), datetime.now()
+    """})
+    assert len(rule_hits(diags, "DET002")) == 2
+
+
+def test_det002_exempts_utils_timing():
+    diags = lint({"repro/utils/timing.py": """
+        import time
+        def now():
+            return time.perf_counter()
+    """})
+    assert rule_hits(diags, "DET002") == []
+
+
+# -- API001: layer forward/backward pair ---------------------------------------
+
+
+def test_api001_flags_half_a_pair():
+    diags = lint({"repro/nn/layers/custom.py": """
+        from repro.nn.layers.base import Layer
+        class Halfway(Layer):
+            def forward(self, x, training=False):
+                return x
+    """})
+    hits = rule_hits(diags, "API001")
+    assert len(hits) == 1 and "without backward" in hits[0].message
+
+
+def test_api001_flags_signature_drift():
+    diags = lint({"repro/nn/layers/custom.py": """
+        from repro.nn.layers.base import Layer
+        class Drifted(Layer):
+            def forward(self, inputs, training=False):
+                return inputs
+            def backward(self, grad_out, extra):
+                return grad_out
+    """})
+    assert len(rule_hits(diags, "API001")) == 2
+
+
+def test_api001_accepts_conforming_layer_and_indirect_subclass():
+    diags = lint({"repro/nn/layers/custom.py": """
+        from repro.nn.layers.base import Layer
+        class _Base(Layer):
+            pass
+        class Good(_Base):
+            def forward(self, x, training=False):
+                return x
+            def backward(self, grad_out):
+                return grad_out
+    """})
+    assert rule_hits(diags, "API001") == []
+
+
+# -- API002: serialization registry --------------------------------------------
+
+_REGISTRY_INIT = """
+    from repro.nn.layers.custom import Registered
+    LAYER_TYPES = {"Registered": Registered}
+"""
+
+
+def test_api002_flags_unregistered_public_layer():
+    diags = lint({
+        "repro/nn/layers/__init__.py": _REGISTRY_INIT,
+        "repro/nn/layers/custom.py": """
+            from repro.nn.layers.base import Layer
+            class Registered(Layer):
+                def forward(self, x, training=False):
+                    return x
+                def backward(self, grad_out):
+                    return grad_out
+            class Orphan(Layer):
+                def forward(self, x, training=False):
+                    return x
+                def backward(self, grad_out):
+                    return grad_out
+            class _Private(Layer):
+                def forward(self, x, training=False):
+                    return x
+                def backward(self, grad_out):
+                    return grad_out
+        """,
+    })
+    hits = rule_hits(diags, "API002")
+    assert len(hits) == 1 and "Orphan" in hits[0].message
+
+
+# -- API003: experiment entrypoint shape ---------------------------------------
+
+
+def test_api003_flags_missing_entrypoints():
+    diags = lint({"repro/experiments/fig3_thing.py": """
+        def run_fig3():
+            return None
+    """})
+    messages = " ".join(d.message for d in rule_hits(diags, "API003"))
+    assert "format_fig3" in messages and "Fig3Result" in messages
+    # run_fig3 exists but is not exported
+    assert "__all__" in messages
+
+
+def test_api003_accepts_complete_module():
+    diags = lint({"repro/experiments/fig3_thing.py": """
+        __all__ = ["Fig3Result", "run_fig3", "format_fig3"]
+        class Fig3Result:
+            pass
+        def run_fig3():
+            return Fig3Result()
+        def format_fig3(result):
+            return ""
+    """})
+    assert rule_hits(diags, "API003") == []
+
+
+# -- NUM001: swallowed broad excepts -------------------------------------------
+
+
+def test_num001_flags_silent_broad_except():
+    diags = lint({"repro/scheduler/bad.py": """
+        def quiet():
+            try:
+                risky()
+            except Exception:
+                pass
+            try:
+                risky()
+            except:
+                return None
+    """})
+    assert len(rule_hits(diags, "NUM001")) == 2
+
+
+def test_num001_accepts_narrow_logged_or_reraised():
+    diags = lint({"repro/scheduler/ok.py": """
+        import logging
+        log = logging.getLogger(__name__)
+        def loud():
+            try:
+                risky()
+            except ValueError:
+                pass
+            try:
+                risky()
+            except Exception as exc:
+                log.warning("failed: %s", exc)
+            try:
+                risky()
+            except Exception:
+                raise
+    """})
+    assert rule_hits(diags, "NUM001") == []
+
+
+# -- NUM002: unguarded division ------------------------------------------------
+
+
+def test_num002_flags_bare_denominator_in_numeric_code():
+    diags = lint({"repro/core/bad.py": """
+        def ratio(a, b):
+            return a / b
+    """})
+    assert len(rule_hits(diags, "NUM002")) == 1
+
+
+def test_num002_accepts_guards_and_foreign_modules():
+    diags = lint({
+        "repro/core/ok.py": """
+            import numpy as np
+            def safe(a, b, eps=1e-9):
+                clamped = np.maximum(b, eps)
+                first = a / clamped
+                second = a / (b + eps)
+                third = np.where(b > 0, a / b, 0.0)
+                b = np.maximum(b, eps)
+                fourth = a / b
+                return first + second + third + fourth
+        """,
+        "repro/xfel/out_of_scope.py": """
+            def ratio(a, b):
+                return a / b
+        """,
+    })
+    assert rule_hits(diags, "NUM002") == []
+
+
+# -- NUM003: narrow dtypes in nn/ ----------------------------------------------
+
+
+def test_num003_flags_float32_in_nn():
+    diags = lint({"repro/nn/bad.py": """
+        import numpy as np
+        def narrow(x):
+            return x.astype(np.float32), np.zeros(3, dtype="float16")
+    """})
+    assert len(rule_hits(diags, "NUM003")) == 2
+
+
+def test_num003_accepts_float64_and_other_packages():
+    diags = lint({
+        "repro/nn/ok.py": """
+            import numpy as np
+            def wide(x):
+                return np.asarray(x, dtype=np.float64)
+        """,
+        "repro/xfel/elsewhere.py": """
+            import numpy as np
+            def narrow(x):
+                return x.astype(np.float32)
+        """,
+    })
+    assert rule_hits(diags, "NUM003") == []
+
+
+# -- LIN001: record schema drift -----------------------------------------------
+
+_RECORDS_FIXTURE = """
+    from dataclasses import dataclass
+    @dataclass
+    class ModelRecord:
+        model_id: int
+        fitness: float = 0.0
+"""
+
+
+def test_lin001_flags_unknown_attribute_write_and_ctor_kwarg():
+    diags = lint({
+        "repro/lineage/records.py": _RECORDS_FIXTURE,
+        "repro/lineage/tracker.py": """
+            from repro.lineage.records import ModelRecord
+            class Tracker:
+                def _record_for(self, individual) -> ModelRecord:
+                    return ModelRecord(model_id=1, bogus_kwarg=2)
+                def observe(self, individual):
+                    record = self._record_for(individual)
+                    record.fitness = 1.0
+                    record.not_a_field = "dropped by asdict"
+        """,
+    })
+    hits = rule_hits(diags, "LIN001")
+    assert len(hits) == 2
+    messages = " ".join(d.message for d in hits)
+    assert "bogus_kwarg" in messages and "not_a_field" in messages
+
+
+def test_lin001_accepts_schema_conforming_writer():
+    diags = lint({
+        "repro/lineage/records.py": _RECORDS_FIXTURE,
+        "repro/lineage/tracker.py": """
+            from repro.lineage.records import ModelRecord
+            class Tracker:
+                def _record_for(self, individual) -> ModelRecord:
+                    return ModelRecord(model_id=1)
+                def observe(self, individual):
+                    record = self._record_for(individual)
+                    record.fitness = 1.0
+        """,
+    })
+    assert rule_hits(diags, "LIN001") == []
+
+
+# -- suppressions ---------------------------------------------------------------
+
+
+def test_justified_noqa_suppresses_the_diagnostic():
+    diags = lint({"repro/core/bad.py": """
+        import numpy as np
+        np.random.seed(0)  # a4nn: noqa(DET001) -- fixture exercising legacy seeding
+    """})
+    assert diags == []
+
+
+def test_unjustified_noqa_is_an_error_and_suppresses_nothing():
+    diags = lint({"repro/core/bad.py": """
+        import numpy as np
+        np.random.seed(0)  # a4nn: noqa(DET001)
+    """})
+    assert len(rule_hits(diags, "SUP001")) == 1
+    assert len(rule_hits(diags, "DET001")) == 1  # original survives
+
+
+def test_noqa_with_unknown_rule_id_is_an_error():
+    diags = lint({"repro/core/odd.py": """
+        x = 1  # a4nn: noqa(NOPE99) -- misdirected
+    """})
+    hits = rule_hits(diags, "SUP001")
+    assert len(hits) == 1 and "NOPE99" in hits[0].message
+
+
+def test_noqa_only_covers_named_rules_on_its_line():
+    diags = lint({"repro/core/bad.py": """
+        import time
+        import numpy as np
+        np.random.seed(0)  # a4nn: noqa(DET002) -- wrong rule named
+        time.time()
+    """})
+    assert len(rule_hits(diags, "DET001")) == 1
+    assert len(rule_hits(diags, "DET002")) == 1
+
+
+# -- linter machinery -----------------------------------------------------------
+
+
+def test_syntax_error_reports_parse_diagnostic():
+    diags = lint({"repro/core/broken.py": "def oops(:\n"})
+    assert [d.rule_id for d in diags] == [PARSE_ERROR_ID]
+
+
+def test_select_and_ignore_filter_rules():
+    sources = {"repro/core/bad.py": "import numpy as np\nnp.random.seed(0)\n"}
+    only_det = Linter(select=["DET001"]).lint_sources(sources).diagnostics
+    assert {d.rule_id for d in only_det} == {"DET001"}
+    without = Linter(ignore=["DET001"]).lint_sources(sources).diagnostics
+    assert rule_hits(without, "DET001") == []
+    with pytest.raises(ValueError):
+        Linter(select=["NOPE99"])
+
+
+def test_render_json_is_machine_readable():
+    diags = lint({"repro/core/bad.py": "import numpy as np\nnp.random.seed(0)\n"})
+    payload = json.loads(render_json(diags))
+    assert payload["n_errors"] == len(diags) > 0
+    assert payload["diagnostics"][0]["rule"] == "DET001"
+
+
+def test_collect_files_rejects_missing_paths(tmp_path):
+    with pytest.raises(FileNotFoundError):
+        collect_files([tmp_path / "nowhere"])
+
+
+# -- CLI ------------------------------------------------------------------------
+
+
+def test_cli_check_list_rules(capsys):
+    assert main(["check", "--list-rules"]) == 0
+    out = capsys.readouterr().out
+    for rule_id in ["DET001", "DET002", "API001", "API002", "API003",
+                    "NUM001", "NUM002", "NUM003", "LIN001", "SUP001"]:
+        assert rule_id in out
+
+
+def test_cli_check_exit_codes(tmp_path, capsys):
+    bad = tmp_path / "repro" / "core"
+    bad.mkdir(parents=True)
+    (bad / "bad.py").write_text("import numpy as np\nnp.random.seed(0)\n")
+    assert main(["check", str(tmp_path)]) == 1
+    assert "DET001" in capsys.readouterr().out
+    assert main(["check", str(tmp_path), "--format=json"]) == 1
+    assert json.loads(capsys.readouterr().out)["n_errors"] == 1
+    assert main(["check", str(tmp_path / "nowhere")]) == 2
+
+
+# -- self-check: the repo passes its own linter (tier-1 regression gate) --------
+
+
+def test_repo_source_passes_a4nn_check():
+    result = run_check([SRC])
+    listing = "\n".join(d.render() for d in result.diagnostics)
+    assert result.exit_code == 0, f"a4nn check found violations:\n{listing}"
+    assert result.n_files > 100  # the whole tree was actually scanned

@@ -1,0 +1,197 @@
+"""The runtime numerical sanitizer and its workflow integration."""
+
+import numpy as np
+import pytest
+
+from repro.lineage.tracker import LineageTracker
+from repro.nas.evaluation import TrainingEvaluator
+from repro.nas.genome import random_genome
+from repro.nas.population import Individual
+from repro.nn import Dense, Flatten, Network, ReLU, Trainer
+from repro.nn.layers.base import Layer
+from repro.nn.losses import Loss
+from repro.tooling.sanitizer import NumericalFault, Sanitizer
+
+
+def dense_net(rng, size=16):
+    return Network(
+        [Flatten(), Dense(size * size, 8, rng=rng), ReLU(), Dense(8, 2, rng=rng)],
+        input_shape=(1, size, size),
+        name="sanitized-net",
+    )
+
+
+def make_trainer(rng, tiny_dataset, **kwargs):
+    net = dense_net(rng)
+    trainer = Trainer(
+        net,
+        tiny_dataset.x_train,
+        tiny_dataset.y_train,
+        tiny_dataset.x_test,
+        tiny_dataset.y_test,
+        batch_size=16,
+        rng=rng,
+        **kwargs,
+    )
+    return net, trainer
+
+
+class NaNLoss(Loss):
+    def __call__(self, predictions, targets):
+        return float("nan"), np.zeros_like(predictions)
+
+
+class TestNumericalFault:
+    def test_to_dict_round_trips_context(self):
+        fault = NumericalFault(
+            "nonfinite-loss",
+            "loss became nan",
+            model="m7",
+            epoch=3,
+            layer=2,
+            detail={"loss": "nan"},
+        )
+        payload = fault.to_dict()
+        assert payload == {
+            "kind": "nonfinite-loss",
+            "message": "loss became nan",
+            "model": "m7",
+            "epoch": 3,
+            "layer": 2,
+            "detail": {"loss": "nan"},
+        }
+
+    def test_is_a_runtime_error(self):
+        assert issubclass(NumericalFault, RuntimeError)
+
+
+class TestSanitizerHooks:
+    def test_clean_epoch_passes_and_counts_checks(self, rng, tiny_dataset):
+        net, trainer = make_trainer(rng, tiny_dataset)
+        sanitizer = Sanitizer().watch(net)
+        trainer.sanitizer = sanitizer
+        trainer.train()
+        assert sanitizer.n_checks > 0
+        assert sanitizer.epoch == 1
+        assert sanitizer.model == "sanitized-net"
+
+    def test_nan_loss_raises_with_epoch_context(self, rng, tiny_dataset):
+        net, trainer = make_trainer(rng, tiny_dataset, loss=NaNLoss())
+        trainer.sanitizer = Sanitizer().watch(net)
+        with pytest.raises(NumericalFault) as excinfo:
+            trainer.train()
+        assert excinfo.value.kind == "nonfinite-loss"
+        assert excinfo.value.epoch == 1
+
+    def test_nan_weight_raises_nonfinite_activation(self, rng, tiny_dataset):
+        net, trainer = make_trainer(rng, tiny_dataset)
+        trainer.sanitizer = Sanitizer().watch(net)
+        trainer.train()  # epoch 1 is clean
+        dense = net.layers[1]
+        dense.params["weight"].value[0, 0] = np.nan
+        with pytest.raises(NumericalFault) as excinfo:
+            trainer.train()
+        fault = excinfo.value
+        assert fault.kind == "nonfinite-activation"
+        assert fault.epoch == 2
+        assert fault.layer == 1
+        assert fault.detail["n_nan"] > 0
+
+    def test_nonfinite_parameter_gradient_detected(self, rng):
+        net = dense_net(rng)
+        sanitizer = Sanitizer().watch(net)
+        next(iter(net.parameters()))[1].grad.fill(np.inf)
+        with pytest.raises(NumericalFault) as excinfo:
+            sanitizer.check_parameter_gradients(net)
+        assert excinfo.value.kind == "nonfinite-parameter-gradient"
+        assert excinfo.value.detail["n_inf"] > 0
+
+    def test_nonfinite_backward_gradient_detected(self, rng):
+        net = dense_net(rng)
+        sanitizer = Sanitizer().watch(net)
+        grad = np.full((4, 8), np.nan)
+        with pytest.raises(NumericalFault) as excinfo:
+            sanitizer.after_layer_backward(2, net.layers[2], grad)
+        assert excinfo.value.kind == "nonfinite-gradient"
+
+    def test_shape_contract_violation_detected(self, rng):
+        class LyingLayer(Layer):
+            def forward(self, x, training=False):
+                return x[:, :1]
+
+            def backward(self, grad_out):
+                return grad_out
+
+            def output_shape(self, input_shape):
+                return input_shape  # claims identity, halves the features
+
+        layer = LyingLayer()
+        sanitizer = Sanitizer(model="liar")
+        x_in = np.ones((2, 4))
+        x_out = layer.forward(x_in)
+        with pytest.raises(NumericalFault) as excinfo:
+            sanitizer.after_layer_forward(0, layer, x_in, x_out)
+        fault = excinfo.value
+        assert fault.kind == "shape-mismatch"
+        assert fault.detail == {"expected": [4], "actual": [1]}
+
+    def test_shape_check_can_be_disabled(self, rng):
+        sanitizer = Sanitizer(check_shapes=False)
+
+        class Opaque:
+            def output_shape(self, input_shape):
+                raise AssertionError("must not be consulted")
+
+        sanitizer.after_layer_forward(0, Opaque(), np.ones((2, 4)), np.ones((2, 1)))
+        assert sanitizer.n_checks == 1
+
+    def test_detached_network_pays_no_sanitizer_cost(self, rng, tiny_dataset):
+        net, trainer = make_trainer(rng, tiny_dataset)
+        assert net.sanitizer is None and trainer.sanitizer is None
+        trainer.train()  # runs the fast path
+
+
+class TestWorkflowIntegration:
+    """Acceptance: a NaN loss under ``sanitize=True`` aborts the model,
+    lands in its lineage record, and never pollutes fitness history H."""
+
+    def test_fault_recorded_in_lineage_not_fitness_history(
+        self, rng, tiny_dataset, monkeypatch
+    ):
+        monkeypatch.setattr("repro.nn.trainer.SoftmaxCrossEntropy", NaNLoss)
+        tracker = LineageTracker()
+        evaluator = TrainingEvaluator(
+            tiny_dataset,
+            engine=None,
+            max_epochs=2,
+            rng_stream=None,
+            observers=[tracker.observe_epoch],
+            sanitize=True,
+            on_fault=tracker.observe_fault,
+        )
+        individual = Individual(
+            genome=random_genome(rng), model_id=17, generation=0
+        )
+        with pytest.raises(NumericalFault) as excinfo:
+            evaluator.evaluate(individual)
+        assert excinfo.value.kind == "nonfinite-loss"
+
+        record = tracker.records[17]
+        assert record.fault is not None
+        assert record.fault["kind"] == "nonfinite-loss"
+        assert record.fault["epoch"] == 1
+        # the poisoned measurement never reached H
+        assert record.fitness_history == []
+        assert all(np.isfinite(e["validation_accuracy"]) for e in record.epochs)
+        # the individual was never scored
+        assert individual.fitness is None
+        assert individual.result is None
+
+    def test_sanitize_off_keeps_legacy_behaviour(self, rng, tiny_dataset):
+        evaluator = TrainingEvaluator(
+            tiny_dataset, engine=None, max_epochs=1, sanitize=False
+        )
+        individual = Individual(genome=random_genome(rng), model_id=3, generation=0)
+        evaluator.evaluate(individual)
+        assert individual.result is not None
+        assert individual.fitness >= 0.0
