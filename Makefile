@@ -7,7 +7,7 @@
 PYTHON ?= python
 export PYTHONPATH := src
 
-.PHONY: check lint test bench all
+.PHONY: check lint test bench faults all
 
 all: check test
 
@@ -23,3 +23,8 @@ test:
 
 bench:
 	$(PYTHON) -m pytest benchmarks -q
+
+# fault-tolerance suite: retry/quarantine policy, pool failure
+# semantics, and the deterministic fault-injection harness
+faults:
+	$(PYTHON) -m pytest tests/test_faults.py -q

@@ -21,6 +21,7 @@ Usage::
 from __future__ import annotations
 
 import argparse
+import dataclasses
 import json
 import sys
 from pathlib import Path
@@ -36,6 +37,7 @@ from repro.analysis import (
 )
 from repro.experiments.reporting import ReportTable
 from repro.lineage import DataCommons, verify_run
+from repro.scheduler.faults import FaultInjectionConfig, FaultPolicy
 from repro.tooling import all_rules, render_json, render_text, run_check
 from repro.utils.io import read_json
 from repro.utils.logging import configure_logging
@@ -46,14 +48,58 @@ from repro.xfel import BeamIntensity, DatasetConfig
 __all__ = ["main", "build_parser"]
 
 
+def _fault_settings_from_args(args: argparse.Namespace):
+    """(FaultPolicy | None, FaultInjectionConfig | None) from CLI flags.
+
+    Any fault flag enables the policy (with defaults for the rest);
+    ``--inject-faults`` alone also enables it, since injection without a
+    policy would abort the run on the first injected fault.
+    """
+    wants_policy = any(
+        value is not None
+        for value in (args.max_retries, args.eval_timeout, args.retry_backoff)
+    )
+    injection = None
+    if args.inject_faults:
+        injection = FaultInjectionConfig(
+            rate=args.inject_faults,
+            modes=tuple(args.inject_modes.split(",")),
+        )
+        wants_policy = True
+    if not wants_policy:
+        return None, None
+    defaults = FaultPolicy()
+    policy = FaultPolicy(
+        max_retries=defaults.max_retries if args.max_retries is None else args.max_retries,
+        backoff_seconds=defaults.backoff_seconds
+        if args.retry_backoff is None
+        else args.retry_backoff,
+        timeout_seconds=args.eval_timeout,
+    )
+    return policy, injection
+
+
 def _config_from_args(args: argparse.Namespace) -> WorkflowConfig:
+    faults, fault_injection = _fault_settings_from_args(args)
     if args.config:
-        return WorkflowConfig.from_dict(read_json(args.config))
+        config = WorkflowConfig.from_dict(read_json(args.config))
+        if faults is not None or fault_injection is not None:
+            # CLI fault flags override the document's fault settings
+            config = dataclasses.replace(
+                config,
+                faults=faults if faults is not None else config.faults,
+                fault_injection=fault_injection
+                if fault_injection is not None
+                else config.fault_injection,
+            )
+        return config
     config = WorkflowConfig(
         dataset=DatasetConfig(intensity=BeamIntensity.from_label(args.intensity)),
         mode=args.mode,
         seed=args.seed,
         sanitize=args.sanitize,
+        faults=faults,
+        fault_injection=fault_injection,
     )
     return config
 
@@ -71,14 +117,44 @@ def _add_common_run_flags(parser: argparse.ArgumentParser) -> None:
         action="store_true",
         help="attach the runtime numerical sanitizer to trained networks (real mode)",
     )
+    parser.add_argument(
+        "--max-retries",
+        type=int,
+        help="enable the fault policy: retries per failing evaluation (default 2)",
+    )
+    parser.add_argument(
+        "--eval-timeout",
+        type=float,
+        help="enable the fault policy: per-evaluation timeout in seconds",
+    )
+    parser.add_argument(
+        "--retry-backoff",
+        type=float,
+        help="enable the fault policy: base backoff seconds (doubles per retry)",
+    )
+    parser.add_argument(
+        "--inject-faults",
+        type=float,
+        default=0.0,
+        metavar="RATE",
+        help="deterministically inject faults into this fraction of evaluation "
+        "attempts (enables the fault policy; test harness)",
+    )
+    parser.add_argument(
+        "--inject-modes",
+        default="crash,hang,nan",
+        help="comma-separated fault modes to inject (crash, hang, nan)",
+    )
 
 
 def _cmd_run(args: argparse.Namespace) -> int:
     config = _config_from_args(args)
     result = run_workflow(config, commons_path=args.commons)
-    budget = config.nas.max_epochs * len(result.search.archive)
+    budget = result.search.epoch_budget
     print(f"run id            : {result.run_id}")
     print(f"networks evaluated: {len(result.search.archive)}")
+    if config.faults is not None:
+        print(f"quarantined       : {result.search.n_quarantined}")
     print(
         f"epochs            : {result.total_epochs_trained}/{budget} "
         f"({100 * result.epochs_saved_fraction():.1f}% saved)"

@@ -63,6 +63,12 @@ class ModelRecord:
     # structured NumericalFault snapshot when the sanitizer aborted this
     # model's training; None for clean runs
     fault: dict | None = None
+    # every fault/retry/quarantine decision the fault policy took for
+    # this model (FaultEvent dicts, in order); empty for clean runs
+    fault_events: list = field(default_factory=list)
+    # whether the fault policy quarantined this model (fitness/flops are
+    # then the policy's penalized objectives, not measurements)
+    quarantined: bool = False
 
     def to_dict(self) -> dict:
         return asdict(self)

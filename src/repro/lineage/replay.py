@@ -38,6 +38,7 @@ _VERIFIED_FIELDS = (
     "max_epochs",
     "fitness_history",
     "prediction_history",
+    "quarantined",
 )
 
 

@@ -89,6 +89,12 @@ class LineageTracker:
         record = self._record_for(individual)
         record.fitness = individual.fitness
         record.flops = individual.flops
+        record.quarantined = bool(individual.quarantined) or record.quarantined
+        if individual.fault_events and not record.fault_events:
+            # fault events normally arrive through observe_fault_event;
+            # pick them up from the individual when the policy wasn't
+            # wired to this tracker directly
+            record.fault_events = [dict(e) for e in individual.fault_events]
         result = individual.result
         if result is not None:
             record.measured_fitness = result.measured_fitness
@@ -120,6 +126,26 @@ class LineageTracker:
             "model %d training aborted by sanitizer: %s",
             individual.model_id,
             record.fault.get("message"),
+        )
+
+    def observe_fault_event(self, individual: Individual, event: dict) -> None:
+        """Record one fault-policy decision (retry or quarantine).
+
+        Wired into :class:`~repro.scheduler.faults.FaultTolerantEvaluator`
+        so the data commons keeps the full trail: which attempts failed,
+        how (crash/timeout/numerical), what backoff was applied, and
+        whether the candidate was ultimately quarantined.
+        """
+        record = self._record_for(individual)
+        record.fault_events.append(dict(event))
+        if event.get("action") == "quarantine":
+            record.quarantined = True
+        _LOG.info(
+            "model %d attempt %s: %s fault -> %s",
+            individual.model_id,
+            event.get("attempt"),
+            event.get("kind"),
+            event.get("action"),
         )
 
     def attach_architecture(self, individual: Individual, network) -> None:

@@ -29,7 +29,19 @@ from repro.tooling.sanitizer import NumericalFault, Sanitizer
 from repro.utils.rng import RngStream
 from repro.xfel.dataset import DiffractionDataset
 
-__all__ = ["Evaluator", "TrainingEvaluator", "EpochObserver"]
+__all__ = ["Evaluator", "TrainingEvaluator", "EpochObserver", "retry_salt"]
+
+
+def retry_salt(individual: Individual) -> tuple:
+    """RNG stream salt for the individual's current evaluation attempt.
+
+    Empty for the first attempt (so historical runs replay
+    byte-identically) and ``("retry", n)`` for the ``n``-th retry, giving
+    each attempt statistically independent init/shuffle/curve draws while
+    staying fully derived from the root seed.
+    """
+    attempt = getattr(individual, "eval_attempt", 0)
+    return () if not attempt else ("retry", int(attempt))
 
 #: Callback signature invoked after every trained epoch:
 #: ``observer(individual, epoch, fitness, prediction, context)`` where
@@ -108,8 +120,12 @@ class TrainingEvaluator:
 
     def evaluate(self, individual: Individual) -> Individual:
         """Decode, train with the Algorithm-1 loop, and fill the individual."""
-        init_rng = self.rng_stream.generator("init", individual.model_id)
-        shuffle_rng = self.rng_stream.generator("shuffle", individual.model_id)
+        # retries (fault policy) re-derive the RNG children with an
+        # attempt salt; attempt 0 keeps the historical stream names so
+        # fault-free runs replay byte-identically
+        salt = retry_salt(individual)
+        init_rng = self.rng_stream.generator("init", individual.model_id, *salt)
+        shuffle_rng = self.rng_stream.generator("shuffle", individual.model_id, *salt)
         network = decode_genome(
             individual.genome,
             self.decoder_config,

@@ -39,6 +39,16 @@ class Individual:
     epoch_seconds:
         Per-epoch wall times (measured or cost-modelled) for the epochs
         actually trained; the scheduler replays these.
+    eval_attempt:
+        Current evaluation attempt (0 = first try); the fault-tolerance
+        layer bumps this on retries so evaluators derive re-seeded RNG
+        children.
+    quarantined:
+        Whether the fault policy gave up on this candidate and assigned
+        penalized objectives instead of measured ones.
+    fault_events:
+        Every fault/retry/quarantine decision taken for this candidate
+        (dict snapshots of :class:`~repro.scheduler.faults.FaultEvent`).
     """
 
     genome: Genome
@@ -48,6 +58,9 @@ class Individual:
     flops: int | None = None
     result: TrainingResult | None = None
     epoch_seconds: list = field(default_factory=list)
+    eval_attempt: int = 0
+    quarantined: bool = False
+    fault_events: list = field(default_factory=list)
 
     @property
     def evaluated(self) -> bool:
@@ -69,6 +82,8 @@ class Individual:
             "flops": self.flops,
             "epoch_seconds": list(self.epoch_seconds),
             "result": self.result.to_dict() if self.result else None,
+            "quarantined": self.quarantined,
+            "fault_events": [dict(e) for e in self.fault_events],
         }
 
 

@@ -104,7 +104,13 @@ class NSGANetConfig:
 
 @dataclass
 class GenerationStats:
-    """Aggregates recorded after each generation's evaluation."""
+    """Aggregates recorded after each generation's evaluation.
+
+    ``epochs_saved`` is measured against the budget of *completed*
+    evaluations only: a quarantined candidate never trained, so it
+    neither consumes nor "saves" budget (counting it would overstate the
+    paper's epochs-saved metric).
+    """
 
     generation: int
     n_evaluated: int
@@ -113,6 +119,7 @@ class GenerationStats:
     epochs_trained: int
     epochs_saved: int
     pareto_size: int
+    n_quarantined: int = 0
 
 
 @dataclass
@@ -172,9 +179,25 @@ class SearchResult:
         return sum(m.result.epochs_trained for m in self.archive if m.result)
 
     @property
+    def n_quarantined(self) -> int:
+        """Archive members the fault policy gave up on."""
+        return sum(1 for m in self.archive if m.quarantined)
+
+    @property
+    def epoch_budget(self) -> int:
+        """Training budget over *completed* evaluations.
+
+        Quarantined candidates carry no :class:`~repro.core.plugin.
+        TrainingResult`; excluding them keeps the paper's epochs-saved
+        metric honest — it can neither go negative nor count budget that
+        was never at stake.
+        """
+        completed = sum(1 for m in self.archive if m.result)
+        return (self.config.max_epochs if self.config else 0) * completed
+
+    @property
     def total_epochs_saved(self) -> int:
-        budget = (self.config.max_epochs if self.config else 0) * len(self.archive)
-        return budget - self.total_epochs_trained
+        return self.epoch_budget - self.total_epochs_trained
 
     def pareto_individuals(self) -> list[Individual]:
         """Pareto-optimal members of the archive (accuracy ↑, FLOPs ↓)."""
@@ -246,8 +269,9 @@ class NSGANet:
         self, generation: int, evaluated: list[Individual], population: Population
     ) -> GenerationStats:
         fitnesses = [float(m.fitness) for m in evaluated]
-        epochs = sum(m.result.epochs_trained for m in evaluated)
-        budget = self.config.max_epochs * len(evaluated)
+        completed = [m for m in evaluated if m.result]
+        epochs = sum(m.result.epochs_trained for m in completed)
+        budget = self.config.max_epochs * len(completed)
         stats = GenerationStats(
             generation=generation,
             n_evaluated=len(evaluated),
@@ -256,14 +280,16 @@ class NSGANet:
             epochs_trained=epochs,
             epochs_saved=budget - epochs,
             pareto_size=int(pareto_front_mask(population.objective_array()).sum()),
+            n_quarantined=sum(1 for m in evaluated if m.quarantined),
         )
         _LOG.info(
-            "generation %d: best %.2f%%, mean %.2f%%, epochs %d/%d",
+            "generation %d: best %.2f%%, mean %.2f%%, epochs %d/%d, quarantined %d",
             generation,
             stats.best_fitness,
             stats.mean_fitness,
             epochs,
             budget,
+            stats.n_quarantined,
         )
         if self.on_generation is not None:
             self.on_generation(stats)

@@ -31,6 +31,7 @@ import numpy as np
 from repro.core.engine import PredictionEngine
 from repro.core.plugin import run_training_loop
 from repro.nas.decoder import DecoderConfig, decode_genome
+from repro.nas.evaluation import retry_salt
 from repro.nas.genome import Genome, n_connection_bits
 from repro.nas.population import Individual
 from repro.nn.flops import network_flops
@@ -241,11 +242,12 @@ class SurrogateEvaluator:
 
     def evaluate(self, individual: Individual) -> Individual:
         """Sample a curve, run Algorithm 1 on it, and fill the individual."""
+        salt = retry_salt(individual)
         curve_rng = self.rng_stream.generator(
-            "curve", individual.model_id, self.intensity.label
+            "curve", individual.model_id, self.intensity.label, *salt
         )
         cost_rng = self.rng_stream.generator(
-            "cost", individual.model_id, self.intensity.label
+            "cost", individual.model_id, self.intensity.label, *salt
         )
         curve = sample_curve(individual.genome, self.regime, curve_rng, self.max_epochs)
         model = LearningCurveModel(curve)

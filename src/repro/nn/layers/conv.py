@@ -67,8 +67,14 @@ class Conv2D(Layer):
     stride:
         Spatial stride (same in both dims).
     padding:
-        Symmetric zero padding; ``"same"`` resolves to
-        ``kernel_size // 2`` (exact only for stride 1 + odd kernels).
+        Zero padding.  An int pads symmetrically; a ``(before, after)``
+        pair pads asymmetrically (applied to both H and W).  ``"same"``
+        computes exact output-preserving padding — ``k // 2`` on each
+        side for odd kernels, ``((k - 1) // 2, k // 2)`` for even ones —
+        and requires ``stride == 1`` (with a larger stride the padding
+        that preserves ``ceil(size / stride)`` depends on the input
+        size, so it cannot be fixed at construction; pass an explicit
+        value instead).
     """
 
     def __init__(
@@ -87,15 +93,34 @@ class Conv2D(Layer):
         if min(in_channels, out_channels, kernel_size, stride) <= 0:
             raise ValueError("channels, kernel_size and stride must be positive")
         if padding == "same":
-            padding = kernel_size // 2
-        if int(padding) < 0:
+            if stride != 1:
+                raise ValueError(
+                    f"padding='same' is undefined for stride {stride}: the "
+                    "output-preserving padding depends on the input size; "
+                    "pass an explicit int or (before, after) padding"
+                )
+            pad_before, pad_after = (kernel_size - 1) // 2, kernel_size // 2
+        elif isinstance(padding, str):
+            raise ValueError(f"unknown padding mode {padding!r}; use 'same' or an int")
+        elif isinstance(padding, (tuple, list)):
+            if len(padding) != 2:
+                raise ValueError(
+                    f"tuple padding must be (before, after), got {padding!r}"
+                )
+            pad_before, pad_after = int(padding[0]), int(padding[1])
+        else:
+            pad_before = pad_after = int(padding)
+        if min(pad_before, pad_after) < 0:
             raise ValueError(f"padding must be non-negative, got {padding}")
         rng = rng if rng is not None else fallback_rng()
         self.in_channels = int(in_channels)
         self.out_channels = int(out_channels)
         self.kernel_size = int(kernel_size)
         self.stride = int(stride)
-        self.padding = int(padding)
+        self.pad_before = pad_before
+        self.pad_after = pad_after
+        # canonical config form: an int when symmetric, else the pair
+        self.padding = pad_before if pad_before == pad_after else (pad_before, pad_after)
         self.use_bias = bool(use_bias)
         self.weight_init = weight_init
         kernel_shape = (self.out_channels, self.in_channels, self.kernel_size, self.kernel_size)
@@ -105,18 +130,20 @@ class Conv2D(Layer):
         self._cache: tuple | None = None
 
     def _pad(self, x: np.ndarray) -> np.ndarray:
-        if self.padding == 0:
+        pb, pa = self.pad_before, self.pad_after
+        if pb == 0 and pa == 0:
             return x
-        p = self.padding
-        return np.pad(x, ((0, 0), (0, 0), (p, p), (p, p)))
+        return np.pad(x, ((0, 0), (0, 0), (pb, pa), (pb, pa)))
 
     def _out_hw(self, h: int, w: int) -> tuple[int, int]:
-        k, s, p = self.kernel_size, self.stride, self.padding
-        oh = (h + 2 * p - k) // s + 1
-        ow = (w + 2 * p - k) // s + 1
+        k, s = self.kernel_size, self.stride
+        total = self.pad_before + self.pad_after
+        oh = (h + total - k) // s + 1
+        ow = (w + total - k) // s + 1
         if oh <= 0 or ow <= 0:
             raise ValueError(
-                f"Conv2D(k={k}, s={s}, p={p}) produces empty output for input {h}x{w}"
+                f"Conv2D(k={k}, s={s}, p={self.padding}) produces empty output "
+                f"for input {h}x{w}"
             )
         return oh, ow
 
@@ -155,9 +182,14 @@ class Conv2D(Layer):
 
         grad_cols = grad_flat @ kernel  # (N, oh*ow, C*k*k)
         grad_padded = col2im(grad_cols, padded_shape, self.kernel_size, self.kernel_size, self.stride)
-        if self.padding:
-            p = self.padding
-            return grad_padded[:, :, p:-p, p:-p]
+        pb, pa = self.pad_before, self.pad_after
+        if pb or pa:
+            return grad_padded[
+                :,
+                :,
+                pb : grad_padded.shape[2] - pa,
+                pb : grad_padded.shape[3] - pa,
+            ]
         return grad_padded
 
     def output_shape(self, input_shape: tuple) -> tuple:
@@ -181,7 +213,9 @@ class Conv2D(Layer):
             "out_channels": self.out_channels,
             "kernel_size": self.kernel_size,
             "stride": self.stride,
-            "padding": self.padding,
+            "padding": self.padding
+            if isinstance(self.padding, int)
+            else list(self.padding),
             "use_bias": self.use_bias,
             "weight_init": self.weight_init,
         }

@@ -10,6 +10,15 @@ simulated epoch durations to the paper's single-V100 wall times.
 """
 
 from repro.scheduler.costmodel import PAPER_TRAIN_IMAGES, EpochCostModel
+from repro.scheduler.faults import (
+    EvaluationTimeout,
+    FaultEvent,
+    FaultInjectingEvaluator,
+    FaultInjectionConfig,
+    FaultPolicy,
+    FaultTolerantEvaluator,
+    InjectedFault,
+)
 from repro.scheduler.fifo import (
     Job,
     JobPlacement,
@@ -25,6 +34,13 @@ from repro.scheduler.trace import ascii_timeline, chrome_trace
 __all__ = [
     "PAPER_TRAIN_IMAGES",
     "EpochCostModel",
+    "EvaluationTimeout",
+    "FaultEvent",
+    "FaultInjectingEvaluator",
+    "FaultInjectionConfig",
+    "FaultPolicy",
+    "FaultTolerantEvaluator",
+    "InjectedFault",
     "Job",
     "JobPlacement",
     "ScheduleResult",

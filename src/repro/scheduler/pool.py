@@ -10,6 +10,14 @@ like the simulated policy.
 
 NumPy releases the GIL inside its kernels, so thread workers give real
 overlap for the BLAS-heavy training inner loops.
+
+Failure semantics are identical for the serial (``n_workers == 1``) and
+threaded paths: every job in the generation settles before any error
+propagates, a single error re-raises as itself, and multiple errors
+raise an :class:`ExceptionGroup` carrying all of them.  Give the pool a
+:class:`~repro.scheduler.faults.FaultPolicy` to stop evaluation errors
+from propagating at all: faulty candidates are then retried and, if
+unrecoverable, quarantined with penalized objectives.
 """
 
 from __future__ import annotations
@@ -19,6 +27,7 @@ from dataclasses import dataclass
 
 from repro.nas.evaluation import Evaluator
 from repro.nas.population import Individual
+from repro.scheduler.faults import FaultPolicy, FaultTolerantEvaluator
 from repro.utils.timing import Stopwatch
 
 __all__ = ["PoolReport", "FifoWorkerPool"]
@@ -42,6 +51,15 @@ class FifoWorkerPool:
         Backend whose ``evaluate`` runs one individual to completion.
     n_workers:
         Concurrent evaluations (the paper's GPU count).
+    policy:
+        Optional :class:`~repro.scheduler.faults.FaultPolicy`; when
+        given, the evaluator is wrapped in a
+        :class:`~repro.scheduler.faults.FaultTolerantEvaluator` (unless
+        it already is one), so evaluation faults quarantine individual
+        candidates instead of failing the generation.
+    on_fault_event:
+        Forwarded to the fault-tolerant wrapper when ``policy`` is given
+        (lineage hook).
 
     Notes
     -----
@@ -50,9 +68,20 @@ class FifoWorkerPool:
     worker count because its work queue is FIFO.
     """
 
-    def __init__(self, evaluator: Evaluator, n_workers: int = 1) -> None:
+    def __init__(
+        self,
+        evaluator: Evaluator,
+        n_workers: int = 1,
+        *,
+        policy: FaultPolicy | None = None,
+        on_fault_event=None,
+    ) -> None:
         if n_workers < 1:
             raise ValueError(f"n_workers must be >= 1, got {n_workers}")
+        if policy is not None and not isinstance(evaluator, FaultTolerantEvaluator):
+            evaluator = FaultTolerantEvaluator(
+                evaluator, policy, on_event=on_fault_event
+            )
         self.evaluator = evaluator
         self.n_workers = int(n_workers)
         self.reports: list[PoolReport] = []
@@ -60,26 +89,29 @@ class FifoWorkerPool:
     def evaluate_generation(self, individuals: list[Individual]) -> list[Individual]:
         """Evaluate one generation concurrently; blocks until all finish.
 
-        Exceptions from any evaluation propagate after all jobs settle.
+        Every job settles before any exception propagates — a failure in
+        job *i* never prevents jobs *i+1..n* from being evaluated.  One
+        error re-raises as itself; several raise an ``ExceptionGroup``.
         """
         clock = Stopwatch().start()
+        errors: list[Exception] = []
         if self.n_workers == 1:
             for individual in individuals:
-                self.evaluator.evaluate(individual)
+                try:
+                    self.evaluator.evaluate(individual)
+                except Exception as exc:  # a4nn: noqa(NUM001) -- not swallowed: collected and re-raised after the generation settles
+                    errors.append(exc)
         else:
             with ThreadPoolExecutor(max_workers=self.n_workers) as executor:
                 futures = [
                     executor.submit(self.evaluator.evaluate, individual)
                     for individual in individuals
                 ]
-                errors = []
                 for future in futures:
                     try:
                         future.result()
-                    except Exception as exc:  # a4nn: noqa(NUM001) -- not swallowed: collected, and the first is re-raised after all jobs settle
+                    except Exception as exc:  # a4nn: noqa(NUM001) -- not swallowed: collected and re-raised after the generation settles
                         errors.append(exc)
-                if errors:
-                    raise errors[0]
         clock.stop()
         self.reports.append(
             PoolReport(
@@ -88,6 +120,12 @@ class FifoWorkerPool:
                 n_jobs=len(individuals),
             )
         )
+        if len(errors) == 1:
+            raise errors[0]
+        if errors:
+            raise ExceptionGroup(
+                f"{len(errors)} of {len(individuals)} evaluations failed", errors
+            )
         return individuals
 
     @property

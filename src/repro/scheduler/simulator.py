@@ -60,9 +60,14 @@ def jobs_by_generation(
     Engine overhead is amortized into each job's epochs (the engine runs
     in situ, on the same resources, between epochs — Algorithm 1), so it
     lengthens the schedule exactly where it occurred.
+
+    Quarantined members contributed no completed training, so they are
+    excluded from the simulated workload.
     """
     by_generation: dict[int, list[Job]] = {}
     for member in result.archive:
+        if member.quarantined:
+            continue
         if member.result is None:
             raise ValueError(f"model {member.model_id} has no training result")
         epoch_seconds = list(member.epoch_seconds)

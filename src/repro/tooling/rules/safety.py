@@ -17,6 +17,11 @@ numeric code must fail loudly or guard explicitly:
 * ``NUM003`` — the NN framework is float64 end-to-end; introducing
   float32/float16 in ``nn/`` silently mixes precision and changes
   training results between code paths.
+* ``NUM004`` — a ``while True`` loop that swallows exceptions and loops
+  again is an unbounded retry: on a persistent fault it spins forever
+  (the hang the fault policy's timeout exists to catch).  Retry logic
+  belongs in the fault-policy seam (``scheduler/faults.py``), which
+  bounds attempts and backs off; that module is exempt.
 """
 
 from __future__ import annotations
@@ -28,7 +33,12 @@ from repro.tooling.context import ModuleContext
 from repro.tooling.diagnostics import Diagnostic
 from repro.tooling.rules import BaseRule, dotted_name, register
 
-__all__ = ["SwallowedExceptRule", "UnguardedDivisionRule", "NarrowDtypeRule"]
+__all__ = [
+    "SwallowedExceptRule",
+    "UnguardedDivisionRule",
+    "NarrowDtypeRule",
+    "UnboundedRetryRule",
+]
 
 _BROAD_TYPES = {"Exception", "BaseException"}
 _LOG_METHODS = {"debug", "info", "warning", "warn", "error", "exception", "critical", "log"}
@@ -174,6 +184,53 @@ class UnguardedDivisionRule(BaseRule):
                 f"division by bare {denom_src!r} with no epsilon or np.where guard "
                 "can inject NaN/inf into the fitness pipeline",
             )
+
+
+def _constant_true(test: ast.AST) -> bool:
+    return isinstance(test, ast.Constant) and bool(test.value)
+
+
+def _handler_escapes(handler: ast.ExceptHandler) -> bool:
+    """Whether the handler body exits the loop (raise/return/break)."""
+    for node in ast.walk(ast.Module(body=handler.body, type_ignores=[])):
+        if isinstance(node, (ast.Raise, ast.Return, ast.Break)):
+            return True
+    return False
+
+
+@register
+class UnboundedRetryRule(BaseRule):
+    rule_id = "NUM004"
+    category = "numerical-safety"
+    description = "unbounded retry loop (while True swallowing exceptions) outside the fault-policy seam"
+
+    def applies_to(self, module: ModuleContext) -> bool:
+        # the fault-policy seam is where retry logic belongs (attempts
+        # there are bounded by FaultPolicy.max_retries)
+        return not module.in_location("scheduler/faults.py")
+
+    def check(self, module: ModuleContext) -> Iterable[Diagnostic]:
+        for node in ast.walk(module.tree):
+            if not (isinstance(node, ast.While) and _constant_true(node.test)):
+                continue
+            body = ast.Module(body=node.body, type_ignores=[])
+            if any(isinstance(n, ast.Break) for n in ast.walk(body)):
+                continue  # the loop has a success exit outside the try
+            retrying = [
+                handler
+                for n in ast.walk(body)
+                if isinstance(n, ast.Try)
+                for handler in n.handlers
+                if not _handler_escapes(handler)
+            ]
+            for handler in retrying:
+                yield self.diag(
+                    module,
+                    handler,
+                    "unbounded retry: this while-True loop swallows the "
+                    "exception and tries again forever; bound the attempts "
+                    "with backoff or route through scheduler.faults.FaultPolicy",
+                )
 
 
 @register

@@ -13,6 +13,7 @@ from dataclasses import dataclass, field, replace
 
 from repro.core.engine import EngineConfig
 from repro.nas.search import NSGANetConfig
+from repro.scheduler.faults import FaultInjectionConfig, FaultPolicy
 from repro.utils.validation import ValidationError
 from repro.xfel.dataset import DatasetConfig
 from repro.xfel.intensity import BeamIntensity
@@ -55,6 +56,17 @@ class WorkflowConfig:
         (real mode): non-finite losses/activations/gradients raise
         :class:`~repro.tooling.sanitizer.NumericalFault`, recorded into
         the model's lineage record.
+    faults:
+        Optional :class:`~repro.scheduler.faults.FaultPolicy`.  When
+        set, evaluation failures (crashes, timeouts, sanitizer faults)
+        are retried with re-seeded RNG children and, if unrecoverable,
+        quarantined with penalized objectives — one bad genome costs one
+        penalized individual, never the run.  ``None`` keeps the legacy
+        abort-on-first-fault behaviour.
+    fault_injection:
+        Optional deterministic fault-injection settings (test harness);
+        requires ``faults`` so injected failures are routed rather than
+        aborting the run.
     """
 
     nas: NSGANetConfig = field(default_factory=NSGANetConfig)
@@ -67,10 +79,21 @@ class WorkflowConfig:
     checkpoint_models: bool = False
     n_workers: int = 1
     sanitize: bool = False
+    faults: FaultPolicy | None = None
+    fault_injection: FaultInjectionConfig | None = None
 
     def __post_init__(self) -> None:
         if int(self.n_workers) < 1:
             raise ValidationError(f"n_workers must be >= 1, got {self.n_workers}")
+        if (
+            self.fault_injection is not None
+            and self.fault_injection.rate > 0
+            and self.faults is None
+        ):
+            raise ValidationError(
+                "fault_injection without a fault policy would abort the run "
+                "on the first injected fault; set faults=FaultPolicy(...)"
+            )
         if self.mode not in _MODES:
             raise ValidationError(f"mode must be one of {_MODES}, got {self.mode!r}")
         if not self.n_gpus or any(int(n) < 1 for n in self.n_gpus):
@@ -120,6 +143,10 @@ class WorkflowConfig:
             "checkpoint_models": self.checkpoint_models,
             "n_workers": self.n_workers,
             "sanitize": self.sanitize,
+            "faults": self.faults.to_dict() if self.faults else None,
+            "fault_injection": self.fault_injection.to_dict()
+            if self.fault_injection
+            else None,
         }
 
     @classmethod
@@ -148,4 +175,10 @@ class WorkflowConfig:
             checkpoint_models=payload.get("checkpoint_models", False),
             n_workers=payload.get("n_workers", 1),
             sanitize=payload.get("sanitize", False),
+            faults=FaultPolicy.from_dict(payload["faults"])
+            if payload.get("faults")
+            else None,
+            fault_injection=FaultInjectionConfig.from_dict(payload["fault_injection"])
+            if payload.get("fault_injection")
+            else None,
         )

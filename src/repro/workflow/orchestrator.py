@@ -20,6 +20,7 @@ from repro.lineage.tracker import LineageTracker
 from repro.nas.evaluation import TrainingEvaluator
 from repro.nas.search import NSGANet, SearchResult
 from repro.nas.surrogate import SurrogateEvaluator
+from repro.scheduler.faults import FaultInjectingEvaluator, FaultTolerantEvaluator
 from repro.scheduler.pool import FifoWorkerPool
 from repro.scheduler.simulator import WallTimeReport, simulate_walltime
 from repro.utils.logging import get_logger
@@ -66,8 +67,13 @@ class WorkflowResult:
         return self.search.total_epochs_saved
 
     def epochs_saved_fraction(self) -> float:
-        """Fraction of the 25-epoch budget the engine saved."""
-        budget = self.config.nas.max_epochs * len(self.search.archive)
+        """Fraction of the 25-epoch budget the engine saved.
+
+        The budget covers completed evaluations only (quarantined
+        candidates never trained, so their budget was never at stake);
+        see :attr:`~repro.nas.search.SearchResult.epoch_budget`.
+        """
+        budget = self.search.epoch_budget
         return self.total_epochs_saved / budget if budget else 0.0
 
 
@@ -109,12 +115,19 @@ class A4NNOrchestrator:
         self.history_store.for_model(individual.model_id).record_epoch(fitness, prediction)
 
     def build_evaluator(self, tracker: LineageTracker, engine: PredictionEngine | None):
-        """The evaluation backend for the configured mode, with observers wired."""
+        """The evaluation backend for the configured mode, with observers wired.
+
+        When the config carries a :class:`~repro.scheduler.faults.
+        FaultPolicy`, the backend is wrapped so evaluation faults retry
+        and then quarantine instead of aborting the search; configured
+        fault injection (test harness) wraps *inside* the policy so
+        injected failures are routed like real ones.
+        """
         observers = [self._history_observer, tracker.observe_epoch]
         stream = RngStream(self.config.seed)
         if self.config.mode == "real":
             dataset = load_or_generate(self.config.dataset)
-            return TrainingEvaluator(
+            evaluator = TrainingEvaluator(
                 dataset,
                 engine,
                 max_epochs=self.config.nas.max_epochs,
@@ -123,13 +136,26 @@ class A4NNOrchestrator:
                 sanitize=self.config.sanitize,
                 on_fault=tracker.observe_fault,
             )
-        return SurrogateEvaluator(
-            self.config.intensity,
-            engine,
-            max_epochs=self.config.nas.max_epochs,
-            rng_stream=stream.child("eval"),
-            observers=observers,
-        )
+        else:
+            evaluator = SurrogateEvaluator(
+                self.config.intensity,
+                engine,
+                max_epochs=self.config.nas.max_epochs,
+                rng_stream=stream.child("eval"),
+                observers=observers,
+            )
+        injection = self.config.fault_injection
+        if injection is not None and injection.rate > 0:
+            evaluator = FaultInjectingEvaluator(
+                evaluator, injection, rng_stream=stream.child("inject")
+            )
+        if self.config.faults is not None:
+            evaluator = FaultTolerantEvaluator(
+                evaluator,
+                self.config.faults,
+                on_event=tracker.observe_fault_event,
+            )
+        return evaluator
 
     # -- execution ----------------------------------------------------------------
 
@@ -202,6 +228,7 @@ class A4NNOrchestrator:
                     "epochs_trained": g.epochs_trained,
                     "epochs_saved": g.epochs_saved,
                     "pareto_size": g.pareto_size,
+                    "n_quarantined": g.n_quarantined,
                 }
                 for g in result.search.generations
             ],

@@ -34,6 +34,19 @@ def individual_from_record(record: ModelRecord) -> Individual:
     """Reconstruct an evaluated individual from its record trail."""
     if record.fitness is None or record.flops is None:
         raise ValueError(f"model {record.model_id} record is incomplete")
+    if record.quarantined:
+        # quarantined candidates carry penalized objectives but no
+        # training result; rebuilding one keeps the resumed archive's
+        # epoch budget honest
+        return Individual(
+            genome=Genome.from_dict(record.genome),
+            model_id=record.model_id,
+            generation=record.generation,
+            fitness=float(record.fitness),
+            flops=int(record.flops),
+            quarantined=True,
+            fault_events=[dict(e) for e in record.fault_events],
+        )
     result = TrainingResult(
         fitness=float(record.fitness),
         epochs_trained=int(record.epochs_trained),
@@ -99,8 +112,9 @@ def rebuild_search_state(
         import numpy as np
 
         fitnesses = [float(m.fitness) for m in evaluated]
-        epochs = sum(m.result.epochs_trained for m in evaluated)
-        budget = sum(m.result._max_epochs for m in evaluated)
+        completed = [m for m in evaluated if m.result]
+        epochs = sum(m.result.epochs_trained for m in completed)
+        budget = sum(m.result._max_epochs for m in completed)
         return GenerationStats(
             generation=generation,
             n_evaluated=len(evaluated),
@@ -109,6 +123,7 @@ def rebuild_search_state(
             epochs_trained=epochs,
             epochs_saved=budget - epochs,
             pareto_size=int(pareto_front_mask(pop.objective_array()).sum()),
+            n_quarantined=sum(1 for m in evaluated if m.quarantined),
         )
 
     archive_members: list[Individual] = []

@@ -66,6 +66,44 @@ class TestRunCommand:
         assert "wall time 1 gpu" in out
         assert (commons_dir / "manifest.json").exists()
 
+    def test_fault_flags_override_config_document(self, tmp_path, capsys):
+        config_path = atomic_write_json(tmp_path / "cfg.json", small_config_dict())
+        code = main(
+            [
+                "run",
+                "--config",
+                str(config_path),
+                "--max-retries",
+                "1",
+                "--inject-faults",
+                "0.5",
+            ]
+        )
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "quarantined" in out
+
+    def test_fault_flags_build_policy_without_config(self):
+        from repro.cli import _fault_settings_from_args
+
+        args = build_parser().parse_args(
+            ["run", "--max-retries", "3", "--eval-timeout", "60", "--retry-backoff", "2"]
+        )
+        policy, injection = _fault_settings_from_args(args)
+        assert policy.max_retries == 3
+        assert policy.timeout_seconds == 60.0
+        assert policy.backoff_seconds == 2.0
+        assert injection is None
+
+        args = build_parser().parse_args(["run", "--inject-faults", "0.25"])
+        policy, injection = _fault_settings_from_args(args)
+        assert policy is not None  # injection alone enables the policy
+        assert injection.rate == 0.25
+        assert injection.modes == ("crash", "hang", "nan")
+
+        args = build_parser().parse_args(["run"])
+        assert _fault_settings_from_args(args) == (None, None)
+
     def test_compare_reports_savings(self, tmp_path, capsys):
         config_path = atomic_write_json(tmp_path / "cfg.json", small_config_dict(seed=0))
         code = main(["compare", "--config", str(config_path)])

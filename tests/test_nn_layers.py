@@ -83,6 +83,50 @@ class TestConv2D:
         with pytest.raises(ValueError):
             layer.forward(rng.normal(size=(1, 3, 8, 8)))
 
+    def test_same_padding_even_kernel_preserves_spatial(self, rng):
+        # even kernels need asymmetric ((k-1)//2, k//2) padding; the old
+        # symmetric k//2 padding grew the output by one in each dim
+        for k in (2, 4):
+            layer = Conv2D(1, 1, kernel_size=k, rng=rng)
+            assert layer.output_shape((1, 8, 8)) == (1, 8, 8)
+            out = layer.forward(rng.normal(size=(2, 1, 8, 8)))
+            assert out.shape == (2, 1, 8, 8)
+
+    def test_same_padding_rejects_stride(self, rng):
+        with pytest.raises(ValueError, match="undefined for stride"):
+            Conv2D(1, 1, kernel_size=3, stride=2, padding="same", rng=rng)
+
+    def test_unknown_padding_mode_rejected(self, rng):
+        with pytest.raises(ValueError, match="unknown padding mode"):
+            Conv2D(1, 1, padding="valid", rng=rng)
+
+    def test_tuple_padding_and_config_roundtrip(self, rng):
+        layer = Conv2D(1, 1, kernel_size=4, padding=(1, 2), rng=rng)
+        assert layer.output_shape((1, 8, 8)) == (1, 8, 8)
+        config = layer.get_config()
+        assert config["padding"] == [1, 2]
+        rebuilt = Conv2D(**{**config, "padding": tuple(config["padding"])}, rng=rng)
+        assert rebuilt.output_shape((1, 8, 8)) == (1, 8, 8)
+
+    def test_asymmetric_padding_gradient(self, rng):
+        # numeric gradcheck through the asymmetric 'same' path
+        layer = Conv2D(1, 1, kernel_size=2, use_bias=False, rng=rng)
+        x = rng.normal(size=(1, 1, 5, 5))
+        out = layer.forward(x, training=True)
+        grad_out = rng.normal(size=out.shape)
+        grad_x = layer.backward(grad_out)
+        assert grad_x.shape == x.shape
+        eps = 1e-6
+        for idx in [(0, 0, 0, 0), (0, 0, 2, 3), (0, 0, 4, 4)]:
+            x_plus, x_minus = x.copy(), x.copy()
+            x_plus[idx] += eps
+            x_minus[idx] -= eps
+            numeric = (
+                np.sum(layer.forward(x_plus) * grad_out)
+                - np.sum(layer.forward(x_minus) * grad_out)
+            ) / (2 * eps)
+            assert grad_x[idx] == pytest.approx(numeric, rel=1e-5, abs=1e-8)
+
     def test_im2col_col2im_adjoint(self, rng):
         # <im2col(x), y> == <x, col2im(y)> (adjointness)
         x = rng.normal(size=(2, 3, 6, 6))

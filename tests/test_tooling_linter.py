@@ -286,6 +286,66 @@ def test_num003_accepts_float64_and_other_packages():
     assert rule_hits(diags, "NUM003") == []
 
 
+# -- NUM004: unbounded retry loops ---------------------------------------------
+
+
+def test_num004_flags_while_true_retry_swallow():
+    diags = lint({"repro/workflow/bad.py": """
+        def fetch(evaluator, ind):
+            while True:
+                try:
+                    return evaluator.evaluate(ind)
+                except RuntimeError:
+                    pass
+    """})
+    assert len(rule_hits(diags, "NUM004")) == 1
+    assert "unbounded retry" in rule_hits(diags, "NUM004")[0].message
+
+
+def test_num004_accepts_bounded_and_escaping_loops():
+    diags = lint({
+        "repro/workflow/ok.py": """
+            def bounded(evaluator, ind, tries=3):
+                for _ in range(tries):
+                    try:
+                        return evaluator.evaluate(ind)
+                    except RuntimeError:
+                        continue
+                raise RuntimeError("exhausted")
+
+            def escapes(evaluator, ind):
+                while True:
+                    try:
+                        return evaluator.evaluate(ind)
+                    except RuntimeError:
+                        raise
+
+            def breaks_out(queue):
+                while True:
+                    try:
+                        item = queue.get_nowait()
+                    except LookupError:
+                        pass
+                    else:
+                        return item
+                    break
+        """,
+    })
+    assert rule_hits(diags, "NUM004") == []
+
+
+def test_num004_exempts_fault_policy_seam():
+    diags = lint({"repro/scheduler/faults.py": """
+        def spin(evaluator, ind):
+            while True:
+                try:
+                    return evaluator.evaluate(ind)
+                except RuntimeError:
+                    pass
+    """})
+    assert rule_hits(diags, "NUM004") == []
+
+
 # -- LIN001: record schema drift -----------------------------------------------
 
 _RECORDS_FIXTURE = """
@@ -409,7 +469,7 @@ def test_cli_check_list_rules(capsys):
     assert main(["check", "--list-rules"]) == 0
     out = capsys.readouterr().out
     for rule_id in ["DET001", "DET002", "API001", "API002", "API003",
-                    "NUM001", "NUM002", "NUM003", "LIN001", "SUP001"]:
+                    "NUM001", "NUM002", "NUM003", "NUM004", "LIN001", "SUP001"]:
         assert rule_id in out
 
 
