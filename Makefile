@@ -7,7 +7,7 @@
 PYTHON ?= python
 export PYTHONPATH := src
 
-.PHONY: check lint test bench faults all
+.PHONY: check lint test bench bench-paper faults all
 
 all: check test
 
@@ -21,7 +21,13 @@ lint: check
 test:
 	$(PYTHON) -m pytest -x -q
 
+# evaluation fast-path benchmark: kernel microbenches + seeded
+# end-to-end mini search, diffed against the committed document
 bench:
+	$(PYTHON) -m repro bench --compare BENCH_evalpath.json --min-speedup 1.2
+
+# paper-figure benchmark suite (Fig. 8 convergence regimes etc.)
+bench-paper:
 	$(PYTHON) -m pytest benchmarks -q
 
 # fault-tolerance suite: retry/quarantine policy, pool failure

@@ -1,0 +1,17 @@
+"""Benchmark harness for the evaluation fast path (``a4nn bench``)."""
+
+from repro.bench.harness import (
+    BenchReport,
+    bench_evalpath,
+    bench_kernels,
+    compare_reports,
+    run_bench,
+)
+
+__all__ = [
+    "BenchReport",
+    "bench_evalpath",
+    "bench_kernels",
+    "compare_reports",
+    "run_bench",
+]

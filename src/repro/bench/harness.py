@@ -1,0 +1,305 @@
+"""The ``a4nn bench`` harness: kernel microbenches + end-to-end search.
+
+Two tiers, both fully seeded:
+
+* **Kernel microbenches** — forward+backward of the hot layers (conv,
+  dense, pool) and one full trainer epoch, per compute dtype.  These
+  isolate where the float32 fast path pays off.
+* **End-to-end evaluation path** — the same seeded real-mode mini
+  search run twice: once with the *baseline* settings (float64,
+  model-keyed RNG, no cache — arithmetically identical to the
+  pre-fast-path code) and once with the *fast path* (float32,
+  genome-keyed RNG, evaluation cache).  The headline number is the
+  wall-time ratio.
+
+All timing goes through :class:`~repro.utils.timing.Stopwatch` (the
+project's only sanctioned wall-clock seam).  Results serialize to the
+``BENCH_evalpath.json`` document committed at the repo root, so
+``make bench`` can diff a fresh run against the recorded one.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+from pathlib import Path
+
+import numpy as np
+
+from repro.core.engine import EngineConfig
+from repro.nas.search import NSGANetConfig
+from repro.nn.dtype import SUPPORTED_DTYPES, resolve_dtype
+from repro.nn.layers import Conv2D, Dense, MaxPool2D
+from repro.nn.optimizers import Adam
+from repro.nn.trainer import Trainer
+from repro.utils.logging import get_logger
+from repro.utils.rng import RngStream
+from repro.utils.timing import Stopwatch
+from repro.workflow.interfaces import WorkflowConfig
+from repro.xfel.dataset import DatasetConfig
+from repro.xfel.intensity import BeamIntensity
+
+__all__ = [
+    "BenchReport",
+    "bench_kernels",
+    "bench_evalpath",
+    "compare_reports",
+    "run_bench",
+]
+
+_LOG = get_logger("bench")
+
+#: Schema tag written into every bench document.
+SCHEMA = "a4nn-bench/1"
+
+
+def _timeit(fn, *, repeats: int, warmup: int = 1) -> dict:
+    """Best/mean seconds over ``repeats`` calls (after ``warmup`` calls)."""
+    for _ in range(warmup):
+        fn()
+    clock = Stopwatch()
+    for _ in range(repeats):
+        with clock:
+            fn()
+    return {
+        "best_seconds": min(clock.laps),
+        "mean_seconds": clock.mean_lap,
+        "repeats": repeats,
+    }
+
+
+def _conv_bench(dtype, rng: np.random.Generator, repeats: int) -> dict:
+    layer = Conv2D(8, 16, kernel_size=3, rng=rng, dtype=dtype)
+    x = rng.standard_normal((16, 8, 16, 16)).astype(dtype)
+
+    def step() -> None:
+        out = layer.forward(x, training=True)
+        layer.backward(out)
+
+    return _timeit(step, repeats=repeats)
+
+
+def _dense_bench(dtype, rng: np.random.Generator, repeats: int) -> dict:
+    layer = Dense(256, 128, rng=rng, dtype=dtype)
+    x = rng.standard_normal((64, 256)).astype(dtype)
+
+    def step() -> None:
+        out = layer.forward(x, training=True)
+        layer.backward(out)
+
+    return _timeit(step, repeats=repeats)
+
+
+def _pool_bench(dtype, rng: np.random.Generator, repeats: int) -> dict:
+    layer = MaxPool2D(2)
+    x = rng.standard_normal((16, 16, 16, 16)).astype(dtype)
+
+    def step() -> None:
+        out = layer.forward(x, training=True)
+        layer.backward(out)
+
+    return _timeit(step, repeats=repeats)
+
+
+def _trainer_epoch_bench(dtype, rng: np.random.Generator, repeats: int) -> dict:
+    from repro.nas.decoder import DecoderConfig, decode_genome
+    from repro.nas.genome import random_genome
+
+    genome = random_genome(rng, n_phases=3, nodes_per_phase=2, density=0.5)
+    network = decode_genome(
+        genome,
+        DecoderConfig(input_shape=(1, 16, 16), n_classes=2, dtype=dtype),
+        rng=rng,
+    )
+    n = 48
+    x = rng.standard_normal((n, 1, 16, 16)).astype(dtype)
+    y = (rng.random(n) < 0.5).astype(np.int64)
+    trainer = Trainer(
+        network,
+        x,
+        y,
+        x[: n // 4],
+        y[: n // 4],
+        optimizer=Adam(network, 1e-3),
+        batch_size=16,
+        rng=rng,
+    )
+    return _timeit(trainer.train, repeats=repeats, warmup=1)
+
+
+_KERNELS = {
+    "conv2d_fwd_bwd": _conv_bench,
+    "dense_fwd_bwd": _dense_bench,
+    "maxpool_fwd_bwd": _pool_bench,
+    "trainer_epoch": _trainer_epoch_bench,
+}
+
+
+def bench_kernels(*, seed: int = 0, repeats: int = 5) -> dict:
+    """Per-dtype timings of the hot kernels, plus float64/float32 ratios.
+
+    A ratio above 1 means float32 is that many times faster.
+    """
+    results: dict = {}
+    for label in SUPPORTED_DTYPES:
+        dtype = resolve_dtype(label)
+        stream = RngStream(seed).child("bench-kernels")
+        results[label] = {
+            name: fn(dtype, stream.generator(name, label), repeats)
+            for name, fn in _KERNELS.items()
+        }
+    results["float64_over_float32"] = {
+        name: results["float64"][name]["best_seconds"]
+        / max(results["float32"][name]["best_seconds"], 1e-12)
+        for name in _KERNELS
+    }
+    return results
+
+
+def _bench_workflow_config(seed: int) -> WorkflowConfig:
+    """The seeded real-mode mini search both end-to-end runs share."""
+    return WorkflowConfig(
+        nas=NSGANetConfig(
+            population_size=6,
+            offspring_per_generation=6,
+            generations=4,
+            max_epochs=6,
+            nodes_per_phase=2,
+        ),
+        engine=EngineConfig(e_pred=6),
+        dataset=DatasetConfig(
+            intensity=BeamIntensity.MEDIUM, images_per_class=20, image_size=16
+        ),
+        mode="real",
+        seed=seed,
+        n_gpus=(1,),
+    )
+
+
+def _run_evalpath(config: WorkflowConfig) -> dict:
+    from repro.workflow.orchestrator import A4NNOrchestrator
+
+    orchestrator = A4NNOrchestrator(config)
+    clock = Stopwatch()
+    with clock:
+        result = orchestrator.run()
+    cache_stats = (
+        orchestrator.memoizer.cache.stats() if orchestrator.memoizer else None
+    )
+    return {
+        "dtype": config.dtype,
+        "rng_keying": config.rng_keying,
+        "eval_cache": config.eval_cache,
+        "wall_seconds": clock.total,
+        "n_models": len(result.search.archive),
+        "cache_hits": sum(g.n_cache_hits for g in result.search.generations),
+        "cache_stats": cache_stats,
+        "epochs_trained": result.total_epochs_trained,
+        "best_fitness": result.search.population.best_fitness(),
+        "pareto": [
+            {"model_id": m.model_id, "fitness": m.fitness, "flops": m.flops}
+            for m in result.search.pareto_individuals()
+        ],
+    }
+
+
+def bench_evalpath(*, seed: int = 21) -> dict:
+    """Baseline (pre-fast-path semantics) vs fast-path end-to-end timing."""
+    import dataclasses
+
+    config = _bench_workflow_config(seed)
+    baseline = _run_evalpath(
+        dataclasses.replace(
+            config, dtype="float64", rng_keying="model", eval_cache=False
+        )
+    )
+    _LOG.info("baseline evalpath: %.2fs", baseline["wall_seconds"])
+    fastpath = _run_evalpath(config)
+    _LOG.info("fastpath evalpath: %.2fs", fastpath["wall_seconds"])
+    return {
+        "seed": seed,
+        "baseline": baseline,
+        "fastpath": fastpath,
+        "speedup": baseline["wall_seconds"]
+        / max(fastpath["wall_seconds"], 1e-12),
+    }
+
+
+@dataclass
+class BenchReport:
+    """One complete bench document (kernels + end-to-end)."""
+
+    kernels: dict = field(default_factory=dict)
+    evalpath: dict = field(default_factory=dict)
+
+    @property
+    def speedup(self) -> float:
+        return float(self.evalpath.get("speedup", 0.0))
+
+    def to_dict(self) -> dict:
+        return {"schema": SCHEMA, "kernels": self.kernels, "evalpath": self.evalpath}
+
+    @classmethod
+    def from_dict(cls, payload: dict) -> "BenchReport":
+        return cls(
+            kernels=payload.get("kernels", {}), evalpath=payload.get("evalpath", {})
+        )
+
+    @classmethod
+    def load(cls, path: str | Path) -> "BenchReport":
+        return cls.from_dict(json.loads(Path(path).read_text()))
+
+    def save(self, path: str | Path) -> Path:
+        path = Path(path)
+        path.write_text(json.dumps(self.to_dict(), indent=2, sort_keys=True) + "\n")
+        return path
+
+    def summary(self) -> str:
+        lines = ["a4nn bench — evaluation fast path"]
+        ratios = self.kernels.get("float64_over_float32", {})
+        for name, ratio in sorted(ratios.items()):
+            lines.append(f"  kernel {name:<18} float32 is {ratio:5.2f}x faster")
+        base = self.evalpath.get("baseline", {})
+        fast = self.evalpath.get("fastpath", {})
+        if base and fast:
+            lines.append(
+                f"  e2e baseline (float64, no cache): {base['wall_seconds']:.2f}s "
+                f"over {base['n_models']} models"
+            )
+            lines.append(
+                f"  e2e fastpath (float32, cache)   : {fast['wall_seconds']:.2f}s "
+                f"({fast['cache_hits']} cache hits)"
+            )
+            lines.append(f"  end-to-end speedup              : {self.speedup:.2f}x")
+        return "\n".join(lines)
+
+
+def run_bench(
+    *, seed: int = 21, repeats: int = 5, skip_kernels: bool = False
+) -> BenchReport:
+    """Execute the full harness and return the report."""
+    kernels = {} if skip_kernels else bench_kernels(seed=seed, repeats=repeats)
+    evalpath = bench_evalpath(seed=seed)
+    return BenchReport(kernels=kernels, evalpath=evalpath)
+
+
+def compare_reports(fresh: BenchReport, committed: BenchReport) -> str:
+    """Diff a fresh bench run against the committed document.
+
+    Wall times vary across machines; what must agree are the *shape* of
+    the result (same models, same cache-hit count — the search is fully
+    seeded) and the direction of the speedup.
+    """
+    lines = ["bench diff (fresh vs committed):"]
+    f_fast, c_fast = fresh.evalpath.get("fastpath", {}), committed.evalpath.get(
+        "fastpath", {}
+    )
+    for key in ("n_models", "cache_hits", "best_fitness"):
+        a, b = f_fast.get(key), c_fast.get(key)
+        marker = "OK " if a == b else "DIFF"
+        lines.append(f"  [{marker}] fastpath.{key}: fresh {a!r} vs committed {b!r}")
+    lines.append(
+        f"  [----] speedup: fresh {fresh.speedup:.2f}x vs committed "
+        f"{committed.speedup:.2f}x (wall time is machine-dependent)"
+    )
+    return "\n".join(lines)

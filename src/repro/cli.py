@@ -79,8 +79,21 @@ def _fault_settings_from_args(args: argparse.Namespace):
     return policy, injection
 
 
+def _fastpath_overrides(args: argparse.Namespace) -> dict:
+    """Evaluation fast-path settings given explicitly on the CLI."""
+    overrides = {}
+    if args.dtype is not None:
+        overrides["dtype"] = args.dtype
+    if args.rng_keying is not None:
+        overrides["rng_keying"] = args.rng_keying
+    if args.eval_cache is not None:
+        overrides["eval_cache"] = args.eval_cache
+    return overrides
+
+
 def _config_from_args(args: argparse.Namespace) -> WorkflowConfig:
     faults, fault_injection = _fault_settings_from_args(args)
+    overrides = _fastpath_overrides(args)
     if args.config:
         config = WorkflowConfig.from_dict(read_json(args.config))
         if faults is not None or fault_injection is not None:
@@ -92,6 +105,8 @@ def _config_from_args(args: argparse.Namespace) -> WorkflowConfig:
                 if fault_injection is not None
                 else config.fault_injection,
             )
+        if overrides:
+            config = dataclasses.replace(config, **overrides)
         return config
     config = WorkflowConfig(
         dataset=DatasetConfig(intensity=BeamIntensity.from_label(args.intensity)),
@@ -100,6 +115,7 @@ def _config_from_args(args: argparse.Namespace) -> WorkflowConfig:
         sanitize=args.sanitize,
         faults=faults,
         fault_injection=fault_injection,
+        **overrides,
     )
     return config
 
@@ -145,6 +161,25 @@ def _add_common_run_flags(parser: argparse.ArgumentParser) -> None:
         default="crash,hang,nan",
         help="comma-separated fault modes to inject (crash, hang, nan)",
     )
+    parser.add_argument(
+        "--dtype",
+        choices=["float32", "float64"],
+        help="compute dtype for real-mode evaluation (new runs default to "
+        "float32; float64 reproduces historical runs bit-exactly)",
+    )
+    parser.add_argument(
+        "--rng-keying",
+        choices=["model", "genome"],
+        help="evaluation RNG identity: 'genome' (new-run default) makes "
+        "duplicate architectures cacheable; 'model' replays legacy runs",
+    )
+    parser.add_argument(
+        "--eval-cache",
+        action=argparse.BooleanOptionalAction,
+        default=None,
+        help="memoize evaluations of duplicate architectures "
+        "(on by default for new runs; requires --rng-keying genome)",
+    )
 
 
 def _cmd_run(args: argparse.Namespace) -> int:
@@ -155,6 +190,9 @@ def _cmd_run(args: argparse.Namespace) -> int:
     print(f"networks evaluated: {len(result.search.archive)}")
     if config.faults is not None:
         print(f"quarantined       : {result.search.n_quarantined}")
+    if config.eval_cache:
+        hits = sum(g.n_cache_hits for g in result.search.generations)
+        print(f"cache hits        : {hits}")
     print(
         f"epochs            : {result.total_epochs_trained}/{budget} "
         f"({100 * result.epochs_saved_fraction():.1f}% saved)"
@@ -276,6 +314,29 @@ def _cmd_check(args: argparse.Namespace) -> int:
     return result.exit_code
 
 
+def _cmd_bench(args: argparse.Namespace) -> int:
+    from repro.bench import BenchReport, compare_reports, run_bench
+
+    report = run_bench(
+        seed=args.seed, repeats=args.repeats, skip_kernels=args.skip_kernels
+    )
+    print(report.summary())
+    if args.output:
+        path = report.save(args.output)
+        print(f"wrote {path}")
+    if args.compare:
+        committed = BenchReport.load(args.compare)
+        print(compare_reports(report, committed))
+    if args.min_speedup is not None and report.speedup < args.min_speedup:
+        print(
+            f"FAIL: end-to-end speedup {report.speedup:.2f}x is below the "
+            f"required {args.min_speedup:.2f}x",
+            file=sys.stderr,
+        )
+        return 1
+    return 0
+
+
 def _cmd_config(args: argparse.Namespace) -> int:
     config = _config_from_args(args)
     json.dump(config.to_dict(), sys.stdout, indent=2, sort_keys=True)
@@ -327,6 +388,29 @@ def build_parser() -> argparse.ArgumentParser:
     )
     _add_common_run_flags(config_parser)
     config_parser.set_defaults(handler=_cmd_config)
+
+    bench_parser = subparsers.add_parser(
+        "bench", help="benchmark the evaluation fast path (kernels + end-to-end)"
+    )
+    bench_parser.add_argument("--seed", type=int, default=21)
+    bench_parser.add_argument(
+        "--repeats", type=int, default=5, help="timing repeats per kernel"
+    )
+    bench_parser.add_argument(
+        "--skip-kernels", action="store_true", help="run only the end-to-end benchmark"
+    )
+    bench_parser.add_argument(
+        "--output", type=Path, help="write the bench document (BENCH_evalpath.json)"
+    )
+    bench_parser.add_argument(
+        "--compare", type=Path, help="diff against a committed bench document"
+    )
+    bench_parser.add_argument(
+        "--min-speedup",
+        type=float,
+        help="exit nonzero when the end-to-end speedup falls below this factor",
+    )
+    bench_parser.set_defaults(handler=_cmd_bench)
 
     check_parser = subparsers.add_parser(
         "check", help="run the A4NN static-analysis rule catalog over source files"

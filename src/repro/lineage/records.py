@@ -69,6 +69,11 @@ class ModelRecord:
     # whether the fault policy quarantined this model (fitness/flops are
     # then the policy's penalized objectives, not measurements)
     quarantined: bool = False
+    # whether this model's outcome was reused from the evaluation cache
+    # (same canonical genome already evaluated); cache_source is the
+    # model id whose evaluation was copied
+    cache_hit: bool = False
+    cache_source: int | None = None
 
     def to_dict(self) -> dict:
         return asdict(self)

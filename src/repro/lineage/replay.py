@@ -39,6 +39,7 @@ _VERIFIED_FIELDS = (
     "fitness_history",
     "prediction_history",
     "quarantined",
+    "cache_hit",
 )
 
 

@@ -20,6 +20,7 @@ from __future__ import annotations
 import numpy as np
 
 from repro.nas.genome import Genome
+from repro.nn.dtype import dtype_label, resolve_dtype
 from repro.nn.layers import LAYER_TYPES, BatchNorm2D, Conv2D, Dense, GlobalAvgPool2D, MaxPool2D, ReLU
 from repro.nn.layers.base import Layer, Parameter
 from repro.nn.network import Network
@@ -59,6 +60,7 @@ class PhaseBlock(Layer):
         out_channels: int,
         *,
         rng: np.random.Generator | None = None,
+        dtype=None,
     ) -> None:
         super().__init__()
         from repro.nas.genome import PhaseGenome  # local to avoid cycle at import
@@ -67,14 +69,17 @@ class PhaseBlock(Layer):
         self.genome = PhaseGenome(n_nodes, tuple(bits))
         self.in_channels = int(in_channels)
         self.out_channels = int(out_channels)
+        self.dtype = resolve_dtype(dtype)
 
-        self.adapter = Conv2D(in_channels, out_channels, kernel_size=1, padding=0, rng=rng)
+        self.adapter = Conv2D(
+            in_channels, out_channels, kernel_size=1, padding=0, rng=rng, dtype=self.dtype
+        )
         self.nodes: list[list[Layer]] = []
         for _ in range(n_nodes):
             self.nodes.append(
                 [
-                    Conv2D(out_channels, out_channels, kernel_size=3, rng=rng),
-                    BatchNorm2D(out_channels),
+                    Conv2D(out_channels, out_channels, kernel_size=3, rng=rng, dtype=self.dtype),
+                    BatchNorm2D(out_channels, dtype=self.dtype),
                     ReLU(),
                 ]
             )
@@ -218,6 +223,7 @@ class PhaseBlock(Layer):
             "bits": list(self.genome.bits),
             "in_channels": self.in_channels,
             "out_channels": self.out_channels,
+            "dtype": dtype_label(self.dtype),
         }
 
 
@@ -237,6 +243,9 @@ class DecoderConfig:
     channels:
         Channel width per phase; length must equal the genome's phase
         count.  Widths double per phase by default, as in NSGA-Net.
+    dtype:
+        Compute dtype for every decoded layer (``None`` keeps the
+        framework default, float64 — see :mod:`repro.nn.dtype`).
     """
 
     def __init__(
@@ -244,6 +253,7 @@ class DecoderConfig:
         input_shape: tuple = (1, 32, 32),
         n_classes: int = 2,
         channels: tuple = (8, 16, 32),
+        dtype=None,
     ) -> None:
         if len(input_shape) != 3:
             raise ValueError(f"input_shape must be (C, H, W), got {input_shape}")
@@ -254,6 +264,7 @@ class DecoderConfig:
         self.input_shape = tuple(input_shape)
         self.n_classes = int(n_classes)
         self.channels = tuple(int(c) for c in channels)
+        self.dtype = resolve_dtype(dtype)
 
 
 def decode_genome(
@@ -262,14 +273,22 @@ def decode_genome(
     *,
     rng: np.random.Generator | None = None,
     name: str | None = None,
+    canonical: bool = False,
 ) -> Network:
     """Build the runnable network a genome encodes.
 
     Pooling between phases halves the spatial extent; the decoder
     validates that the input is large enough for the phase count.
+
+    With ``canonical=True`` the genome is connectivity-normalized first
+    (:meth:`~repro.nas.genome.Genome.canonical`), so every member of an
+    isomorphism class materializes as the *same* network — the property
+    the evaluation cache relies on.
     """
     config = config or DecoderConfig()
     rng = rng if rng is not None else fallback_rng()
+    if canonical:
+        genome = genome.canonical()
     if genome.n_phases != len(config.channels):
         raise ValueError(
             f"genome has {genome.n_phases} phases but decoder config provides "
@@ -287,13 +306,15 @@ def decode_genome(
     in_channels = c
     for idx, (phase, width) in enumerate(zip(genome.phases, config.channels)):
         layers.append(
-            PhaseBlock(phase.n_nodes, phase.bits, in_channels, width, rng=rng)
+            PhaseBlock(
+                phase.n_nodes, phase.bits, in_channels, width, rng=rng, dtype=config.dtype
+            )
         )
         in_channels = width
         if idx < genome.n_phases - 1:
             layers.append(MaxPool2D(2))
     layers.append(GlobalAvgPool2D())
-    layers.append(Dense(in_channels, config.n_classes, rng=rng))
+    layers.append(Dense(in_channels, config.n_classes, rng=rng, dtype=config.dtype))
 
     return Network(
         layers,

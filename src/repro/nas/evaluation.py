@@ -14,6 +14,8 @@ the search, scheduler, and lineage tracker cannot tell them apart.
 
 from __future__ import annotations
 
+import hashlib
+
 from typing import Callable, Protocol, runtime_checkable
 
 import numpy as np
@@ -22,6 +24,7 @@ from repro.core.engine import PredictionEngine
 from repro.core.plugin import run_training_loop
 from repro.nas.decoder import DecoderConfig, decode_genome
 from repro.nas.population import Individual
+from repro.nn.dtype import dtype_label
 from repro.nn.flops import network_flops
 from repro.nn.optimizers import Adam
 from repro.nn.trainer import Trainer
@@ -29,7 +32,53 @@ from repro.tooling.sanitizer import NumericalFault, Sanitizer
 from repro.utils.rng import RngStream
 from repro.xfel.dataset import DiffractionDataset
 
-__all__ = ["Evaluator", "TrainingEvaluator", "EpochObserver", "retry_salt"]
+__all__ = [
+    "Evaluator",
+    "TrainingEvaluator",
+    "EpochObserver",
+    "retry_salt",
+    "RNG_KEYINGS",
+    "validate_rng_keying",
+]
+
+#: RNG-keying policies for evaluation streams.
+#:
+#: ``"model"`` (legacy): init/shuffle/curve streams derive from the
+#: individual's model id — byte-identical to historical runs, but two
+#: individuals carrying the same genome draw different weights, so their
+#: evaluations differ and cannot be shared.
+#:
+#: ``"genome"``: streams derive from the *canonical* genome key and the
+#: canonical genome is what gets decoded, making evaluation a pure
+#: function of (canonical genome, training config, dataset, dtype) —
+#: the property the evaluation cache requires for exactness.
+RNG_KEYINGS = ("model", "genome")
+
+
+def validate_rng_keying(rng_keying: str) -> str:
+    """Validate and return an RNG-keying policy name."""
+    if rng_keying not in RNG_KEYINGS:
+        raise ValueError(
+            f"rng_keying must be one of {RNG_KEYINGS}, got {rng_keying!r}"
+        )
+    return rng_keying
+
+
+def _engine_fingerprint(engine: PredictionEngine | None) -> tuple:
+    """Hashable snapshot of the engine configuration for memo keys."""
+    if engine is None:
+        return ("standalone",)
+    return tuple(sorted((k, repr(v)) for k, v in engine.describe().items()))
+
+
+def _dataset_fingerprint(dataset: DiffractionDataset) -> str:
+    """Content hash of a dataset, for memo keys when no cache key is given."""
+    digest = hashlib.blake2b(digest_size=16)
+    for array in (dataset.x_train, dataset.y_train, dataset.x_test, dataset.y_test):
+        array = np.ascontiguousarray(array)
+        digest.update(repr((array.shape, array.dtype.str)).encode())
+        digest.update(array.tobytes())
+    return digest.hexdigest()
 
 
 def retry_salt(individual: Individual) -> tuple:
@@ -89,6 +138,19 @@ class TrainingEvaluator:
         Callback ``on_fault(individual, fault)`` invoked before a
         :class:`NumericalFault` propagates (the orchestrator records it
         into the model's lineage record here).
+    rng_keying:
+        Which identity keys the per-candidate RNG streams — see
+        :data:`RNG_KEYINGS`.  ``"model"`` (the default here) replays
+        historical runs byte-identically; ``"genome"`` makes evaluation
+        a pure function of the canonical genome, which is what the
+        evaluation cache keys on.
+    dtype:
+        Compute dtype for decoded networks when no ``decoder_config`` is
+        given (an explicit ``decoder_config`` carries its own dtype).
+    dataset_key:
+        Stable identifier of the dataset for memo keys (the workflow
+        passes ``DatasetConfig.cache_key()``); defaults to a content
+        hash of the arrays.
     """
 
     def __init__(
@@ -104,12 +166,15 @@ class TrainingEvaluator:
         observers: list[EpochObserver] | None = None,
         sanitize: bool = False,
         on_fault: Callable[[Individual, NumericalFault], None] | None = None,
+        rng_keying: str = "model",
+        dtype=None,
+        dataset_key: str | None = None,
     ) -> None:
         self.dataset = dataset
         self.engine = engine
         self.max_epochs = int(max_epochs)
         self.decoder_config = decoder_config or DecoderConfig(
-            input_shape=dataset.input_shape, n_classes=dataset.n_classes
+            input_shape=dataset.input_shape, n_classes=dataset.n_classes, dtype=dtype
         )
         self.batch_size = int(batch_size)
         self.learning_rate = float(learning_rate)
@@ -117,6 +182,36 @@ class TrainingEvaluator:
         self.observers = list(observers or [])
         self.sanitize = bool(sanitize)
         self.on_fault = on_fault
+        self.rng_keying = validate_rng_keying(rng_keying)
+        self.dataset_key = dataset_key or _dataset_fingerprint(dataset)
+
+    def _stream_ident(self, individual: Individual):
+        """What keys this individual's RNG streams (see :data:`RNG_KEYINGS`)."""
+        if self.rng_keying == "genome":
+            return individual.genome.canonical_key()
+        return individual.model_id
+
+    def memo_key(self, individual: Individual) -> tuple | None:
+        """Cache key for this evaluation, or ``None`` when not cacheable.
+
+        Only genome-keyed evaluations are pure functions of the genome;
+        under model keying two identical genomes legitimately evaluate
+        differently, so their results must not be shared.
+        """
+        if self.rng_keying != "genome":
+            return None
+        return (
+            "real",
+            individual.genome.canonical_key(),
+            self.dataset_key,
+            dtype_label(self.decoder_config.dtype),
+            self.max_epochs,
+            self.batch_size,
+            self.learning_rate,
+            _engine_fingerprint(self.engine),
+            self.sanitize,
+            retry_salt(individual),
+        )
 
     def evaluate(self, individual: Individual) -> Individual:
         """Decode, train with the Algorithm-1 loop, and fill the individual."""
@@ -124,13 +219,15 @@ class TrainingEvaluator:
         # attempt salt; attempt 0 keeps the historical stream names so
         # fault-free runs replay byte-identically
         salt = retry_salt(individual)
-        init_rng = self.rng_stream.generator("init", individual.model_id, *salt)
-        shuffle_rng = self.rng_stream.generator("shuffle", individual.model_id, *salt)
+        ident = self._stream_ident(individual)
+        init_rng = self.rng_stream.generator("init", ident, *salt)
+        shuffle_rng = self.rng_stream.generator("shuffle", ident, *salt)
         network = decode_genome(
             individual.genome,
             self.decoder_config,
             rng=init_rng,
             name=f"model-{individual.model_id}",
+            canonical=self.rng_keying == "genome",
         )
         sanitizer = None
         if self.sanitize:

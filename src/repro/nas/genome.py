@@ -15,10 +15,16 @@ phase; three phases give a 21-bit genome.
 from __future__ import annotations
 
 from dataclasses import dataclass
+from itertools import permutations
 
 import numpy as np
 
 __all__ = ["PhaseGenome", "Genome", "random_genome", "n_connection_bits"]
+
+#: Above this node count the factorial canonicalization search is not
+#: worth it; phases are returned unnormalized (the cache then simply
+#: misses some isomorphic duplicates — correctness is unaffected).
+_CANONICAL_MAX_NODES = 8
 
 
 def n_connection_bits(n_nodes: int) -> int:
@@ -92,6 +98,48 @@ class PhaseGenome:
         """Count of set connection bits (a complexity feature)."""
         return sum(self.bits[:-1])
 
+    def canonical(self) -> "PhaseGenome":
+        """Connectivity-normalized form: the same DAG with the
+        lexicographically smallest bit string.
+
+        NSGA-Net's macro encoding is redundant: relabeling nodes while
+        preserving edge direction (``i < j``) yields a different bit
+        string that decodes to an isomorphic phase — same routing, same
+        FLOPs, same forward function up to weight values.  This method
+        picks one representative per isomorphism class by brute-forcing
+        all direction-preserving node permutations (at most ``n!``;
+        the paper's phases have 4 nodes, so 24) and keeping the minimal
+        bit tuple.  The skip bit is routing around the *whole* phase and
+        is unaffected by relabeling.
+
+        Dead-edge pruning is intentionally a no-op here: in this
+        decoder every node computes (sourceless nodes read the adapted
+        phase input, sinkless nodes feed the phase output — see
+        :meth:`active_nodes`), so the encoding has no dead structure to
+        remove; isomorphic relabeling is the only true redundancy.
+        """
+        n = self.n_nodes
+        if n > _CANONICAL_MAX_NODES:
+            return self
+        matrix = self.connection_matrix()
+        edges = [(i, j) for i in range(n) for j in range(i + 1, n) if matrix[i, j]]
+        best = self.bits
+        for perm in permutations(range(n)):
+            # perm[i] is node i's new label; edge direction must survive
+            if any(perm[i] > perm[j] for i, j in edges):
+                continue
+            relabeled = np.zeros((n, n), dtype=bool)
+            for i, j in edges:
+                relabeled[perm[i], perm[j]] = True
+            bits = tuple(
+                int(relabeled[i, j]) for j in range(1, n) for i in range(j)
+            ) + (self.bits[-1],)
+            if bits < best:
+                best = bits
+        if best == self.bits:
+            return self
+        return PhaseGenome(n, best)
+
 
 @dataclass(frozen=True)
 class Genome:
@@ -150,6 +198,22 @@ class Genome:
     def key(self) -> str:
         """Compact architecture identifier, e.g. ``"0110101-0010011-1100110"``."""
         return "-".join("".join(str(b) for b in p.bits) for p in self.phases)
+
+    def canonical(self) -> "Genome":
+        """Connectivity-normalized genome: each phase canonicalized.
+
+        Genomes decoding to isomorphic networks share one canonical
+        form, which is what the evaluation cache and the genome-keyed
+        RNG policy key on (see :meth:`PhaseGenome.canonical`).
+        """
+        phases = tuple(p.canonical() for p in self.phases)
+        if all(c is p for c, p in zip(phases, self.phases)):
+            return self
+        return Genome(phases)
+
+    def canonical_key(self) -> str:
+        """:meth:`key` of the canonical form — equal across isomorphic genomes."""
+        return self.canonical().key()
 
     @property
     def n_connections(self) -> int:

@@ -49,6 +49,13 @@ class Individual:
     fault_events:
         Every fault/retry/quarantine decision taken for this candidate
         (dict snapshots of :class:`~repro.scheduler.faults.FaultEvent`).
+    cache_hit:
+        Whether this candidate's outcome was copied from the evaluation
+        cache (a previously evaluated candidate with the same canonical
+        genome) instead of being trained.
+    cache_source:
+        Model id of the candidate whose evaluation was reused when
+        ``cache_hit`` is set.
     """
 
     genome: Genome
@@ -61,6 +68,8 @@ class Individual:
     eval_attempt: int = 0
     quarantined: bool = False
     fault_events: list = field(default_factory=list)
+    cache_hit: bool = False
+    cache_source: int | None = None
 
     @property
     def evaluated(self) -> bool:
@@ -84,6 +93,8 @@ class Individual:
             "result": self.result.to_dict() if self.result else None,
             "quarantined": self.quarantined,
             "fault_events": [dict(e) for e in self.fault_events],
+            "cache_hit": self.cache_hit,
+            "cache_source": self.cache_source,
         }
 
 

@@ -120,6 +120,7 @@ class GenerationStats:
     epochs_saved: int
     pareto_size: int
     n_quarantined: int = 0
+    n_cache_hits: int = 0
 
 
 @dataclass
@@ -281,15 +282,17 @@ class NSGANet:
             epochs_saved=budget - epochs,
             pareto_size=int(pareto_front_mask(population.objective_array()).sum()),
             n_quarantined=sum(1 for m in evaluated if m.quarantined),
+            n_cache_hits=sum(1 for m in evaluated if m.cache_hit),
         )
         _LOG.info(
-            "generation %d: best %.2f%%, mean %.2f%%, epochs %d/%d, quarantined %d",
+            "generation %d: best %.2f%%, mean %.2f%%, epochs %d/%d, quarantined %d, cache hits %d",
             generation,
             stats.best_fitness,
             stats.mean_fitness,
             epochs,
             budget,
             stats.n_quarantined,
+            stats.n_cache_hits,
         )
         if self.on_generation is not None:
             self.on_generation(stats)

@@ -31,7 +31,7 @@ import numpy as np
 from repro.core.engine import PredictionEngine
 from repro.core.plugin import run_training_loop
 from repro.nas.decoder import DecoderConfig, decode_genome
-from repro.nas.evaluation import retry_salt
+from repro.nas.evaluation import _engine_fingerprint, retry_salt, validate_rng_keying
 from repro.nas.genome import Genome, n_connection_bits
 from repro.nas.population import Individual
 from repro.nn.flops import network_flops
@@ -204,9 +204,15 @@ class SurrogateEvaluator:
     cost_model:
         Maps FLOPs to simulated per-epoch seconds.
     rng_stream:
-        Root stream; curves/costs derive per model id.
+        Root stream; curves/costs derive per model id (or per canonical
+        genome under ``rng_keying="genome"``).
     observers:
         Same per-epoch hook contract as the real evaluator.
+    rng_keying:
+        Stream-identity policy, as in
+        :class:`~repro.nas.evaluation.TrainingEvaluator`: ``"model"``
+        keeps historical byte-exact replay, ``"genome"`` makes curves a
+        pure function of the canonical genome (cacheable).
     """
 
     def __init__(
@@ -220,6 +226,7 @@ class SurrogateEvaluator:
         rng_stream: RngStream | None = None,
         observers: list | None = None,
         regime: CurveRegime | None = None,
+        rng_keying: str = "model",
     ) -> None:
         self.intensity = intensity
         self.engine = engine
@@ -229,25 +236,53 @@ class SurrogateEvaluator:
         self.rng_stream = rng_stream or RngStream(0)
         self.observers = list(observers or [])
         self.regime = regime or REGIMES[intensity]
+        self.rng_keying = validate_rng_keying(rng_keying)
         self._flops_cache: dict[str, int] = {}
 
     def _flops_for(self, genome: Genome) -> int:
-        key = genome.key()
+        # canonical keying shares one FLOP count (and one decode) across
+        # an isomorphism class; relabeling preserves FLOPs, so the values
+        # agree with legacy per-raw-genome counting either way
+        canonical = self.rng_keying == "genome"
+        key = genome.canonical_key() if canonical else genome.key()
         if key not in self._flops_cache:
             network = decode_genome(
-                genome, self.decoder_config, rng=np.random.default_rng(0)
+                genome,
+                self.decoder_config,
+                rng=np.random.default_rng(0),
+                canonical=canonical,
             )
             self._flops_cache[key] = network_flops(network)
         return self._flops_cache[key]
 
+    def _stream_ident(self, individual: Individual):
+        if self.rng_keying == "genome":
+            return individual.genome.canonical_key()
+        return individual.model_id
+
+    def memo_key(self, individual: Individual) -> tuple | None:
+        """Cache key for this evaluation, or ``None`` when not cacheable."""
+        if self.rng_keying != "genome":
+            return None
+        return (
+            "surrogate",
+            individual.genome.canonical_key(),
+            self.intensity.label,
+            self.max_epochs,
+            _engine_fingerprint(self.engine),
+            repr(self.regime),
+            retry_salt(individual),
+        )
+
     def evaluate(self, individual: Individual) -> Individual:
         """Sample a curve, run Algorithm 1 on it, and fill the individual."""
         salt = retry_salt(individual)
+        ident = self._stream_ident(individual)
         curve_rng = self.rng_stream.generator(
-            "curve", individual.model_id, self.intensity.label, *salt
+            "curve", ident, self.intensity.label, *salt
         )
         cost_rng = self.rng_stream.generator(
-            "cost", individual.model_id, self.intensity.label, *salt
+            "cost", ident, self.intensity.label, *salt
         )
         curve = sample_curve(individual.genome, self.regime, curve_rng, self.max_epochs)
         model = LearningCurveModel(curve)

@@ -3,6 +3,11 @@
 The genome decoder builds many small CNNs; stable training across random
 architectures needs variance-preserving initialization, so He-normal is
 the default for ReLU stacks and Glorot-uniform for linear outputs.
+
+Dtype policy: random draws always happen in float64 and are cast to the
+requested compute dtype afterwards.  That keeps the RNG draw sequence —
+and therefore seeded reproducibility — identical across float32 and
+float64 runs; only the stored precision differs.
 """
 
 from __future__ import annotations
@@ -11,9 +16,11 @@ from typing import Callable
 
 import numpy as np
 
+from repro.nn.dtype import resolve_dtype
+
 __all__ = ["he_normal", "glorot_uniform", "zeros", "ones", "get_initializer"]
 
-Initializer = Callable[[tuple, np.random.Generator], np.ndarray]
+Initializer = Callable[..., np.ndarray]
 
 
 def _fans(shape: tuple) -> tuple[int, int]:
@@ -31,28 +38,28 @@ def _fans(shape: tuple) -> tuple[int, int]:
     return size, size
 
 
-def he_normal(shape: tuple, rng: np.random.Generator) -> np.ndarray:
+def he_normal(shape: tuple, rng: np.random.Generator, dtype=None) -> np.ndarray:
     """He-normal: N(0, sqrt(2 / fan_in)); standard for ReLU networks."""
     fan_in, _ = _fans(shape)
     std = np.sqrt(2.0 / max(fan_in, 1))
-    return rng.normal(0.0, std, size=shape).astype(np.float64)
+    return rng.normal(0.0, std, size=shape).astype(resolve_dtype(dtype))
 
 
-def glorot_uniform(shape: tuple, rng: np.random.Generator) -> np.ndarray:
+def glorot_uniform(shape: tuple, rng: np.random.Generator, dtype=None) -> np.ndarray:
     """Glorot-uniform: U(-limit, limit), limit = sqrt(6 / (fan_in + fan_out))."""
     fan_in, fan_out = _fans(shape)
     limit = np.sqrt(6.0 / max(fan_in + fan_out, 1))
-    return rng.uniform(-limit, limit, size=shape).astype(np.float64)
+    return rng.uniform(-limit, limit, size=shape).astype(resolve_dtype(dtype))
 
 
-def zeros(shape: tuple, rng: np.random.Generator) -> np.ndarray:
+def zeros(shape: tuple, rng: np.random.Generator, dtype=None) -> np.ndarray:
     """All-zero initialization (biases, batch-norm shift)."""
-    return np.zeros(shape, dtype=np.float64)
+    return np.zeros(shape, dtype=resolve_dtype(dtype))
 
 
-def ones(shape: tuple, rng: np.random.Generator) -> np.ndarray:
+def ones(shape: tuple, rng: np.random.Generator, dtype=None) -> np.ndarray:
     """All-one initialization (batch-norm scale)."""
-    return np.ones(shape, dtype=np.float64)
+    return np.ones(shape, dtype=resolve_dtype(dtype))
 
 
 _REGISTRY: dict[str, Initializer] = {

@@ -43,7 +43,9 @@ class LeakyReLU(Layer):
     def backward(self, grad_out: np.ndarray) -> np.ndarray:
         if self._mask is None:
             raise RuntimeError("backward called before a training-mode forward")
-        return grad_out * np.where(self._mask, 1.0, self.alpha)
+        # np.where over array operands preserves dtype; building the
+        # scale factor from python scalars would silently yield float64
+        return np.where(self._mask, grad_out, grad_out * self.alpha)
 
     def flops(self, input_shape: tuple) -> int:
         return 2 * int(np.prod(input_shape))

@@ -1,7 +1,9 @@
 """Layer abstraction for the NumPy NN framework.
 
 Every layer implements a ``forward``/``backward`` pair operating on
-batched ``float64`` arrays, exposes its trainable parameters and their
+batched float arrays in the layer's compute dtype (float64 by default,
+float32 on the workflow fast path — see :mod:`repro.nn.dtype`), exposes
+its trainable parameters and their
 gradients by name, reports its output shape and FLOP cost for a given
 input shape, and serializes its configuration.  Convolutional data
 layout is NCHW throughout (batch, channels, height, width) — channel-
@@ -14,16 +16,24 @@ from typing import Iterator
 
 import numpy as np
 
+from repro.nn.dtype import resolve_dtype
+
 __all__ = ["Layer", "Parameter"]
 
 
 class Parameter:
-    """A trainable array with its gradient accumulator."""
+    """A trainable array with its gradient accumulator.
+
+    The stored dtype comes from the compute-dtype policy
+    (:mod:`repro.nn.dtype`): ``dtype=None`` keeps the historical float64
+    behaviour; layers constructed on the float32 fast path pass their
+    resolved dtype through.
+    """
 
     __slots__ = ("value", "grad")
 
-    def __init__(self, value: np.ndarray) -> None:
-        self.value = np.asarray(value, dtype=np.float64)
+    def __init__(self, value: np.ndarray, dtype=None) -> None:
+        self.value = np.asarray(value, dtype=resolve_dtype(dtype))
         self.grad = np.zeros_like(self.value)
 
     @property

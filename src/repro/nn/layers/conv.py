@@ -12,6 +12,7 @@ from __future__ import annotations
 import numpy as np
 from numpy.lib.stride_tricks import sliding_window_view
 
+from repro.nn.dtype import dtype_label, resolve_dtype
 from repro.nn.initializers import get_initializer
 from repro.nn.layers.base import Layer, Parameter
 from repro.utils.rng import fallback_rng
@@ -88,6 +89,7 @@ class Conv2D(Layer):
         use_bias: bool = True,
         weight_init: str = "he_normal",
         rng: np.random.Generator | None = None,
+        dtype=None,
     ) -> None:
         super().__init__()
         if min(in_channels, out_channels, kernel_size, stride) <= 0:
@@ -123,10 +125,16 @@ class Conv2D(Layer):
         self.padding = pad_before if pad_before == pad_after else (pad_before, pad_after)
         self.use_bias = bool(use_bias)
         self.weight_init = weight_init
+        self.dtype = resolve_dtype(dtype)
         kernel_shape = (self.out_channels, self.in_channels, self.kernel_size, self.kernel_size)
-        self.params["weight"] = Parameter(get_initializer(weight_init)(kernel_shape, rng))
+        self.params["weight"] = Parameter(
+            get_initializer(weight_init)(kernel_shape, rng, dtype=self.dtype),
+            dtype=self.dtype,
+        )
         if self.use_bias:
-            self.params["bias"] = Parameter(np.zeros(self.out_channels))
+            self.params["bias"] = Parameter(
+                np.zeros(self.out_channels), dtype=self.dtype
+            )
         self._cache: tuple | None = None
 
     def _pad(self, x: np.ndarray) -> np.ndarray:
@@ -218,4 +226,5 @@ class Conv2D(Layer):
             else list(self.padding),
             "use_bias": self.use_bias,
             "weight_init": self.weight_init,
+            "dtype": dtype_label(self.dtype),
         }

@@ -4,6 +4,7 @@ from __future__ import annotations
 
 import numpy as np
 
+from repro.nn.dtype import dtype_label, resolve_dtype
 from repro.nn.initializers import get_initializer
 from repro.nn.layers.base import Layer, Parameter
 from repro.utils.rng import fallback_rng
@@ -35,6 +36,7 @@ class Dense(Layer):
         weight_init: str = "he_normal",
         bias_init: str = "zeros",
         rng: np.random.Generator | None = None,
+        dtype=None,
     ) -> None:
         super().__init__()
         if in_features <= 0 or out_features <= 0:
@@ -47,12 +49,17 @@ class Dense(Layer):
         self.use_bias = bool(use_bias)
         self.weight_init = weight_init
         self.bias_init = bias_init
+        self.dtype = resolve_dtype(dtype)
         self.params["weight"] = Parameter(
-            get_initializer(weight_init)((self.in_features, self.out_features), rng)
+            get_initializer(weight_init)(
+                (self.in_features, self.out_features), rng, dtype=self.dtype
+            ),
+            dtype=self.dtype,
         )
         if self.use_bias:
             self.params["bias"] = Parameter(
-                get_initializer(bias_init)((self.out_features,), rng)
+                get_initializer(bias_init)((self.out_features,), rng, dtype=self.dtype),
+                dtype=self.dtype,
             )
         self._x: np.ndarray | None = None
 
@@ -96,4 +103,5 @@ class Dense(Layer):
             "use_bias": self.use_bias,
             "weight_init": self.weight_init,
             "bias_init": self.bias_init,
+            "dtype": dtype_label(self.dtype),
         }

@@ -34,7 +34,11 @@ class Dropout(Layer):
             self._mask = None
             return x
         keep = 1.0 - self.rate
-        self._mask = (self.rng.random(x.shape) < keep) / keep
+        # cast the boolean mask to the input dtype before scaling: the
+        # draw itself stays float64 (identical RNG sequence across
+        # dtypes) but bool / float would otherwise produce a float64
+        # mask that upcasts a float32 activation stream
+        self._mask = (self.rng.random(x.shape) < keep).astype(x.dtype) / keep
         return x * self._mask
 
     def backward(self, grad_out: np.ndarray) -> np.ndarray:

@@ -4,6 +4,7 @@ from __future__ import annotations
 
 import numpy as np
 
+from repro.nn.dtype import dtype_label, resolve_dtype
 from repro.nn.layers.base import Layer, Parameter
 
 __all__ = ["BatchNorm2D", "BatchNorm1D"]
@@ -12,7 +13,14 @@ __all__ = ["BatchNorm2D", "BatchNorm1D"]
 class _BatchNorm(Layer):
     """Shared machinery; subclasses define the reduction axes."""
 
-    def __init__(self, num_features: int, *, momentum: float = 0.9, eps: float = 1e-5) -> None:
+    def __init__(
+        self,
+        num_features: int,
+        *,
+        momentum: float = 0.9,
+        eps: float = 1e-5,
+        dtype=None,
+    ) -> None:
         super().__init__()
         if num_features <= 0:
             raise ValueError(f"num_features must be positive, got {num_features}")
@@ -21,11 +29,13 @@ class _BatchNorm(Layer):
         self.num_features = int(num_features)
         self.momentum = float(momentum)
         self.eps = float(eps)
-        self.params["gamma"] = Parameter(np.ones(self.num_features))
-        self.params["beta"] = Parameter(np.zeros(self.num_features))
-        # running statistics are state, not trainable parameters
-        self.running_mean = np.zeros(self.num_features)
-        self.running_var = np.ones(self.num_features)
+        self.dtype = resolve_dtype(dtype)
+        self.params["gamma"] = Parameter(np.ones(self.num_features), dtype=self.dtype)
+        self.params["beta"] = Parameter(np.zeros(self.num_features), dtype=self.dtype)
+        # running statistics are state, not trainable parameters; they
+        # live in the layer dtype so eval-mode forwards stay in-dtype
+        self.running_mean = np.zeros(self.num_features, dtype=self.dtype)
+        self.running_var = np.ones(self.num_features, dtype=self.dtype)
         self._cache: tuple | None = None
 
     _axes: tuple = ()
@@ -88,7 +98,7 @@ class _BatchNorm(Layer):
         for key in ("running_mean", "running_var"):
             if key not in state:
                 raise KeyError(f"batch-norm state missing {key!r}")
-            value = np.asarray(state[key], dtype=np.float64)
+            value = np.asarray(state[key], dtype=self.dtype)
             if value.shape != (self.num_features,):
                 raise ValueError(
                     f"{key} shape {value.shape} != ({self.num_features},)"
@@ -100,6 +110,7 @@ class _BatchNorm(Layer):
             "num_features": self.num_features,
             "momentum": self.momentum,
             "eps": self.eps,
+            "dtype": dtype_label(self.dtype),
         }
 
 

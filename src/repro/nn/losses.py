@@ -58,7 +58,10 @@ class MeanSquaredError(Loss):
     """Mean squared error over all elements (used by the autoencoder baseline)."""
 
     def __call__(self, predictions: np.ndarray, targets: np.ndarray) -> tuple[float, np.ndarray]:
-        targets = np.asarray(targets, dtype=float)
+        predictions = np.asarray(predictions)
+        # match the prediction dtype: casting targets to python ``float``
+        # (float64) would silently upcast a float32 compute path here
+        targets = np.asarray(targets, dtype=predictions.dtype)
         if predictions.shape != targets.shape:
             raise ValueError(
                 f"shape mismatch: predictions {predictions.shape} vs targets {targets.shape}"

@@ -47,9 +47,18 @@ def confusion_matrix(predictions: np.ndarray, targets: np.ndarray, n_classes: in
     return matrix
 
 
-def per_class_accuracy(predictions: np.ndarray, targets: np.ndarray, n_classes: int) -> np.ndarray:
-    """Recall per class; NaN for classes absent from ``targets``."""
+def per_class_accuracy(
+    predictions: np.ndarray, targets: np.ndarray, n_classes: int
+) -> tuple[np.ndarray, np.ndarray]:
+    """Recall per class, NaN-free, with an explicit presence mask.
+
+    Returns ``(recall, present)``: classes absent from ``targets``
+    report ``0.0`` recall and ``False`` in ``present``, so downstream
+    aggregation never has to special-case NaN (use
+    ``recall[present].mean()`` for a macro average over seen classes).
+    """
     matrix = confusion_matrix(predictions, targets, n_classes)
-    totals = matrix.sum(axis=1).astype(float)
-    with np.errstate(invalid="ignore", divide="ignore"):
-        return np.where(totals > 0, np.diag(matrix) / totals, np.nan)
+    totals = matrix.sum(axis=1)
+    present = totals > 0
+    recall = np.diag(matrix) / np.where(present, totals, 1)
+    return recall, present

@@ -75,7 +75,10 @@ def load_state_dict(network: Network, state: dict[str, np.ndarray]) -> Network:
             raise ValueError(
                 f"shape mismatch for {name!r}: checkpoint {value.shape} vs model {param.value.shape}"
             )
-        param.value = value.astype(np.float64)
+        # cast into the model's compute dtype (set at construction from
+        # the layer config), not a hard-coded precision: a float32
+        # network restored from a float64 archive stays float32
+        param.value = value.astype(param.value.dtype)
         param.grad = np.zeros_like(param.value)
     for idx, layer in enumerate(network.layers):
         expected = layer.state()

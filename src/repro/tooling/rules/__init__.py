@@ -111,6 +111,7 @@ def load_builtin_rules() -> None:
         contracts,
         determinism,
         lineage,
+        perf,
         safety,
         suppressions,
     )

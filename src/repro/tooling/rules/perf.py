@@ -1,0 +1,91 @@
+"""Performance rules: constructs that silently force float64 in hot paths.
+
+The evaluation fast path runs every layer, loss, and optimizer in the
+configured compute dtype (float32 by default for new runs — see
+:mod:`repro.nn.dtype`).  A single ``dtype=float`` default or bare
+``astype(float)`` in a hot-path module upcasts the whole pipeline back
+to float64 and quietly throws the speedup away, which is exactly how
+the pre-fast-path losses module defeated float32 training:
+
+* ``PERF001`` — inside ``nn/`` hot-path code, ``dtype=float``,
+  ``np.float64``/``numpy.float64``, and bare ``astype(float)`` /
+  ``astype("float64")`` all force float64 regardless of the configured
+  policy.  Derive the dtype from the data (``targets = np.asarray(t,
+  dtype=predictions.dtype)``) or thread it through
+  :func:`repro.nn.dtype.resolve_dtype`.  ``nn/dtype.py`` itself is
+  exempt — the float64 *default* has to be named somewhere, and that
+  module is its sanctioned home.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterable
+
+from repro.tooling.context import ModuleContext
+from repro.tooling.diagnostics import Diagnostic
+from repro.tooling.rules import BaseRule, dotted_name, register
+
+__all__ = ["Float64ForcingRule"]
+
+_WIDE_ATTRS = {"np.float64", "numpy.float64", "np.double", "numpy.double"}
+_WIDE_LITERALS = {"float64", "double"}
+
+
+def _forces_float64(arg: ast.AST) -> str | None:
+    """Human-readable description when ``arg`` pins float64, else ``None``."""
+    if isinstance(arg, ast.Name) and arg.id == "float":
+        return "builtin float"
+    if isinstance(arg, ast.Attribute) and dotted_name(arg) in _WIDE_ATTRS:
+        return dotted_name(arg)
+    if (
+        isinstance(arg, ast.Constant)
+        and isinstance(arg.value, str)
+        and arg.value in _WIDE_LITERALS
+    ):
+        return repr(arg.value)
+    return None
+
+
+@register
+class Float64ForcingRule(BaseRule):
+    rule_id = "PERF001"
+    category = "performance"
+    description = "construct that forces float64 in nn/ hot-path code, defeating the dtype policy"
+
+    def applies_to(self, module: ModuleContext) -> bool:
+        return module.in_location("nn/") and not module.in_location("nn/dtype.py")
+
+    def check(self, module: ModuleContext) -> Iterable[Diagnostic]:
+        for node in ast.walk(module.tree):
+            if isinstance(node, ast.Attribute):
+                chain = dotted_name(node)
+                if chain in _WIDE_ATTRS:
+                    yield self.diag(
+                        module,
+                        node,
+                        f"{chain} pins float64 regardless of the configured "
+                        "compute dtype; derive the dtype from the data or from "
+                        "repro.nn.dtype.resolve_dtype",
+                    )
+            elif isinstance(node, ast.Call):
+                chain = dotted_name(node.func) or ""
+                is_astype = chain.endswith(".astype")
+                candidates = [
+                    kw.value for kw in node.keywords if kw.arg == "dtype"
+                ]
+                if is_astype:
+                    candidates.extend(node.args)
+                for arg in candidates:
+                    what = _forces_float64(arg)
+                    # np.float64 attributes are already reported above
+                    if what is not None and not isinstance(arg, ast.Attribute):
+                        site = f"astype({what})" if is_astype else f"dtype={what}"
+                        yield self.diag(
+                            module,
+                            arg,
+                            f"{site} silently upcasts the pipeline to "
+                            "float64, defeating the float32 fast path; derive "
+                            "the dtype from the data or from "
+                            "repro.nn.dtype.resolve_dtype",
+                        )

@@ -14,9 +14,12 @@ numeric code must fail loudly or guard explicitly:
   denominator in the same function (``x = np.maximum(x, eps)``), or
   any non-trivial denominator expression (``x + eps``, ``max(...)``,
   ``len(...)``).
-* ``NUM003`` — the NN framework is float64 end-to-end; introducing
-  float32/float16 in ``nn/`` silently mixes precision and changes
-  training results between code paths.
+* ``NUM003`` — compute precision in ``nn/`` is a *policy*, selected
+  once through :mod:`repro.nn.dtype` and threaded through layer/
+  initializer ``dtype`` parameters.  Hard-coding ``np.float32`` /
+  ``float16`` at a call site silently mixes precision and changes
+  training results between code paths; only the policy module may name
+  narrow dtypes.
 * ``NUM004`` — a ``while True`` loop that swallows exceptions and loops
   again is an unbounded retry: on a persistent fault it spins forever
   (the hang the fault policy's timeout exists to catch).  Retry logic
@@ -237,10 +240,13 @@ class UnboundedRetryRule(BaseRule):
 class NarrowDtypeRule(BaseRule):
     rule_id = "NUM003"
     category = "numerical-safety"
-    description = "narrow float dtype (float32/float16) inside the float64 NN framework"
+    description = "hard-coded narrow float dtype in nn/ outside the dtype policy module"
 
     def applies_to(self, module: ModuleContext) -> bool:
-        return module.in_location("nn/")
+        # nn/dtype.py is the sanctioned home for narrow-dtype names:
+        # everything else must take dtype as a parameter and resolve it
+        # through the policy (repro.nn.dtype.resolve_dtype)
+        return module.in_location("nn/") and not module.in_location("nn/dtype.py")
 
     def check(self, module: ModuleContext) -> Iterable[Diagnostic]:
         for node in ast.walk(module.tree):
@@ -252,8 +258,8 @@ class NarrowDtypeRule(BaseRule):
                     yield self.diag(
                         module,
                         node,
-                        f"{chain} narrows precision; nn/ is float64 end-to-end "
-                        "(silent dtype mixing changes training results)",
+                        f"{chain} hard-codes a narrow dtype; thread the compute "
+                        "dtype through repro.nn.dtype.resolve_dtype instead",
                     )
             elif isinstance(node, ast.Call):
                 chain = dotted_name(node.func) or ""
@@ -270,6 +276,7 @@ class NarrowDtypeRule(BaseRule):
                         yield self.diag(
                             module,
                             arg,
-                            f"dtype {arg.value!r} narrows precision; nn/ is float64 "
-                            "end-to-end (silent dtype mixing changes training results)",
+                            f"dtype {arg.value!r} hard-codes a narrow dtype; thread "
+                            "the compute dtype through repro.nn.dtype.resolve_dtype "
+                            "instead",
                         )

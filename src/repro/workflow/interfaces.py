@@ -12,7 +12,9 @@ from __future__ import annotations
 from dataclasses import dataclass, field, replace
 
 from repro.core.engine import EngineConfig
+from repro.nas.evaluation import validate_rng_keying
 from repro.nas.search import NSGANetConfig
+from repro.nn.dtype import dtype_label
 from repro.scheduler.faults import FaultInjectionConfig, FaultPolicy
 from repro.utils.validation import ValidationError
 from repro.xfel.dataset import DatasetConfig
@@ -67,6 +69,21 @@ class WorkflowConfig:
         Optional deterministic fault-injection settings (test harness);
         requires ``faults`` so injected failures are routed rather than
         aborting the run.
+    dtype:
+        Compute dtype for real-mode evaluation (``"float32"`` or
+        ``"float64"``).  New runs default to the float32 fast path;
+        ``from_dict`` defaults *missing* keys to float64 so historical
+        run documents replay byte-exactly.
+    rng_keying:
+        Evaluation RNG identity — see :data:`repro.nas.evaluation.
+        RNG_KEYINGS`.  ``"genome"`` (new-run default) makes evaluation a
+        pure function of the canonical genome, enabling the evaluation
+        cache; ``"model"`` replays historical runs byte-exactly.
+    eval_cache:
+        Memoize evaluations of duplicate (isomorphic) genomes.  Requires
+        ``rng_keying="genome"``.  Ignored while fault *injection* is
+        active (the injection schedule is keyed per evaluation, so
+        deduplication would change which candidates fault).
     """
 
     nas: NSGANetConfig = field(default_factory=NSGANetConfig)
@@ -81,10 +98,24 @@ class WorkflowConfig:
     sanitize: bool = False
     faults: FaultPolicy | None = None
     fault_injection: FaultInjectionConfig | None = None
+    dtype: str = "float32"
+    rng_keying: str = "genome"
+    eval_cache: bool = True
 
     def __post_init__(self) -> None:
         if int(self.n_workers) < 1:
             raise ValidationError(f"n_workers must be >= 1, got {self.n_workers}")
+        try:
+            object.__setattr__(self, "dtype", dtype_label(self.dtype))
+            validate_rng_keying(self.rng_keying)
+        except ValueError as exc:
+            raise ValidationError(str(exc)) from None
+        if self.eval_cache and self.rng_keying != "genome":
+            raise ValidationError(
+                "eval_cache requires rng_keying='genome': model-keyed "
+                "evaluations are not pure functions of the genome, so "
+                "sharing their results would change the run"
+            )
         if (
             self.fault_injection is not None
             and self.fault_injection.rate > 0
@@ -135,6 +166,7 @@ class WorkflowConfig:
                 "n_atoms": self.dataset.n_atoms,
                 "q_max": self.dataset.q_max,
                 "orientation_spread": self.dataset.orientation_spread,
+                "dtype": self.dataset.dtype,
             },
             "mode": self.mode,
             "n_gpus": list(self.n_gpus),
@@ -147,6 +179,9 @@ class WorkflowConfig:
             "fault_injection": self.fault_injection.to_dict()
             if self.fault_injection
             else None,
+            "dtype": self.dtype,
+            "rng_keying": self.rng_keying,
+            "eval_cache": self.eval_cache,
         }
 
     @classmethod
@@ -181,4 +216,10 @@ class WorkflowConfig:
             fault_injection=FaultInjectionConfig.from_dict(payload["fault_injection"])
             if payload.get("fault_injection")
             else None,
+            # missing keys default to the *legacy* behaviour, not the
+            # new-run defaults: historical run documents predate the fast
+            # path and must replay byte-exactly
+            dtype=payload.get("dtype", "float64"),
+            rng_keying=payload.get("rng_keying", "model"),
+            eval_cache=payload.get("eval_cache", False),
         )

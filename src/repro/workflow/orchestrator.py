@@ -17,6 +17,7 @@ from repro.core.engine import PredictionEngine
 from repro.lineage.commons import DataCommons
 from repro.lineage.records import RunRecord
 from repro.lineage.tracker import LineageTracker
+from repro.nas.evalcache import EvaluationCache, MemoizingEvaluator
 from repro.nas.evaluation import TrainingEvaluator
 from repro.nas.search import NSGANet, SearchResult
 from repro.nas.surrogate import SurrogateEvaluator
@@ -102,6 +103,7 @@ class A4NNOrchestrator:
         self.commons = commons
         self.checkpoint_dir = checkpoint_dir
         self.history_store = HistoryStore()
+        self.memoizer: MemoizingEvaluator | None = None
 
     # -- assembly ---------------------------------------------------------------
 
@@ -126,8 +128,8 @@ class A4NNOrchestrator:
         observers = [self._history_observer, tracker.observe_epoch]
         stream = RngStream(self.config.seed)
         if self.config.mode == "real":
-            dataset = load_or_generate(self.config.dataset)
-            evaluator = TrainingEvaluator(
+            dataset = load_or_generate(self.config.dataset).astype(self.config.dtype)
+            base = TrainingEvaluator(
                 dataset,
                 engine,
                 max_epochs=self.config.nas.max_epochs,
@@ -135,17 +137,23 @@ class A4NNOrchestrator:
                 observers=observers,
                 sanitize=self.config.sanitize,
                 on_fault=tracker.observe_fault,
+                rng_keying=self.config.rng_keying,
+                dtype=self.config.dtype,
+                dataset_key=self.config.dataset.cache_key(),
             )
         else:
-            evaluator = SurrogateEvaluator(
+            base = SurrogateEvaluator(
                 self.config.intensity,
                 engine,
                 max_epochs=self.config.nas.max_epochs,
                 rng_stream=stream.child("eval"),
                 observers=observers,
+                rng_keying=self.config.rng_keying,
             )
+        evaluator = base
         injection = self.config.fault_injection
-        if injection is not None and injection.rate > 0:
+        injection_active = injection is not None and injection.rate > 0
+        if injection_active:
             evaluator = FaultInjectingEvaluator(
                 evaluator, injection, rng_stream=stream.child("inject")
             )
@@ -155,7 +163,35 @@ class A4NNOrchestrator:
                 self.config.faults,
                 on_event=tracker.observe_fault_event,
             )
+        # memoization wraps outermost so only post-retry, non-quarantined
+        # outcomes are cached; with fault injection active the injection
+        # schedule (keyed per evaluation) must stay undisturbed, so the
+        # cache is bypassed
+        self.memoizer = None
+        if self.config.eval_cache and not injection_active:
+            self.memoizer = MemoizingEvaluator(evaluator, base, cache=EvaluationCache())
+            evaluator = self.memoizer
         return evaluator
+
+    def build_executor(self, evaluator):
+        """Generation executor matching the configured cache/pool setup.
+
+        With the cache active the memoizer partitions each generation
+        deterministically (hits/leaders/followers) before dispatching,
+        so serial and pooled execution produce identical record trails.
+        Returns ``None`` when plain serial evaluation suffices.
+        """
+        if self.memoizer is not None:
+            if self.config.n_workers > 1:
+                self.memoizer.executor = FifoWorkerPool(
+                    self.memoizer, n_workers=self.config.n_workers
+                ).evaluate_generation
+            return self.memoizer.evaluate_generation
+        if self.config.n_workers > 1:
+            return FifoWorkerPool(
+                evaluator, n_workers=self.config.n_workers
+            ).evaluate_generation
+        return None
 
     # -- execution ----------------------------------------------------------------
 
@@ -174,9 +210,7 @@ class A4NNOrchestrator:
             },
         )
         evaluator = self.build_evaluator(tracker, engine)
-        executor = None
-        if config.n_workers > 1:
-            executor = FifoWorkerPool(evaluator, n_workers=config.n_workers).evaluate_generation
+        executor = self.build_executor(evaluator)
         search = NSGANet(
             config.nas,
             evaluator,
@@ -229,6 +263,7 @@ class A4NNOrchestrator:
                     "epochs_saved": g.epochs_saved,
                     "pareto_size": g.pareto_size,
                     "n_quarantined": g.n_quarantined,
+                    "n_cache_hits": g.n_cache_hits,
                 }
                 for g in result.search.generations
             ],

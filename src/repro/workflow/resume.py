@@ -71,6 +71,8 @@ def individual_from_record(record: ModelRecord) -> Individual:
         flops=int(record.flops),
         result=result,
         epoch_seconds=epoch_seconds,
+        cache_hit=bool(record.cache_hit),
+        cache_source=record.cache_source,
     )
 
 
@@ -124,6 +126,7 @@ def rebuild_search_state(
             epochs_saved=budget - epochs,
             pareto_size=int(pareto_front_mask(pop.objective_array()).sum()),
             n_quarantined=sum(1 for m in evaluated if m.quarantined),
+            n_cache_hits=sum(1 for m in evaluated if m.cache_hit),
         )
 
     archive_members: list[Individual] = []
@@ -202,11 +205,33 @@ def resume_workflow(commons: DataCommons, run_id: str):
         if record.generation < state.next_generation:
             tracker.records[record.model_id] = record
     evaluator = orchestrator.build_evaluator(tracker, engine)
+    if orchestrator.memoizer is not None:
+        # prime the cache from the restored trails so evaluations the
+        # interrupted run already shared stay shared on resume (faulted
+        # or quarantined records are never primed — same rule as live)
+        restored = {
+            r.model_id: r
+            for r in records
+            if r.generation < state.next_generation
+        }
+        primed = 0
+        for individual in state.archive:
+            record = restored.get(individual.model_id)
+            if record is None:
+                continue
+            trace = [
+                (e["epoch"], e["validation_accuracy"], e.get("prediction"))
+                for e in record.epochs
+            ]
+            if orchestrator.memoizer.prime(individual, epoch_trace=trace):
+                primed += 1
+        _LOG.info("primed evaluation cache with %d restored evaluations", primed)
     search = NSGANet(
         config.nas,
         evaluator,
         rng_stream=RngStream(config.seed).child("search"),
         on_individual=tracker.observe_individual,
+        executor=orchestrator.build_executor(evaluator),
     )
     result = search.run(resume=state)
 

@@ -14,6 +14,7 @@ from pathlib import Path
 
 import numpy as np
 
+from repro.nn.dtype import dtype_label, resolve_dtype
 from repro.utils.io import atomic_write_npz, read_npz
 from repro.utils.rng import derive_rng
 from repro.xfel.diffraction import Detector, diffraction_batch
@@ -54,6 +55,12 @@ class DatasetConfig:
         paper's fully random orientations, smaller values compensate for
         reduced dataset sizes (see
         :func:`repro.xfel.orientation.concentrated_rotations`).
+    dtype:
+        Storage dtype of the generated images (``"float32"`` or
+        ``"float64"``).  The physics simulation always runs in float64 —
+        identical RNG draws either way — and the images are cast once at
+        the end, so a float32 dataset is the float64 one rounded, not a
+        different sample.
     """
 
     intensity: BeamIntensity = BeamIntensity.HIGH
@@ -64,28 +71,39 @@ class DatasetConfig:
     n_atoms: int = 220
     q_max: float = 1.1
     orientation_spread: float = 0.3
+    dtype: str = "float64"
 
     def __post_init__(self) -> None:
         if self.images_per_class < 2:
             raise ValueError(f"images_per_class must be >= 2, got {self.images_per_class}")
         if not 0.0 < self.train_fraction < 1.0:
             raise ValueError(f"train_fraction must be in (0, 1), got {self.train_fraction}")
+        # normalize the label eagerly so equal configs hash/compare equal
+        object.__setattr__(self, "dtype", dtype_label(self.dtype))
 
     def cache_key(self) -> str:
-        """Filename-safe identifier for on-disk caching."""
-        return (
+        """Filename-safe identifier for on-disk caching.
+
+        The dtype suffix appears only for non-default dtypes so cache
+        archives written before the dtype policy existed remain valid.
+        """
+        key = (
             f"xfel_{self.intensity.label}_n{self.images_per_class}"
             f"_s{self.image_size}_a{self.n_atoms}_q{self.q_max}"
             f"_t{self.train_fraction}_o{self.orientation_spread}_seed{self.seed}"
         )
+        if self.dtype != "float64":
+            key += f"_d{self.dtype}"
+        return key
 
 
 @dataclass
 class DiffractionDataset:
     """A generated, split, normalized dataset ready for training.
 
-    Images are NCHW ``float64`` with one channel; labels are 0 for
-    conformation A, 1 for conformation B.
+    Images are NCHW floats with one channel, in the generating config's
+    dtype (float64 unless a narrower compute dtype was requested);
+    labels are 0 for conformation A, 1 for conformation B.
     """
 
     x_train: np.ndarray
@@ -106,6 +124,31 @@ class DiffractionDataset:
     def input_shape(self) -> tuple:
         """Per-sample NCHW shape."""
         return (1, self.image_size, self.image_size)
+
+    @property
+    def dtype(self) -> np.dtype:
+        """Image dtype (train and test splits always agree)."""
+        return self.x_train.dtype
+
+    def astype(self, dtype) -> "DiffractionDataset":
+        """This dataset with images cast to ``dtype`` (self if already there).
+
+        Labels stay int64; casting float64 -> float32 rounds the images
+        but changes nothing about which samples were drawn.
+        """
+        target = resolve_dtype(dtype)
+        if self.x_train.dtype == target and self.x_test.dtype == target:
+            return self
+        return DiffractionDataset(
+            x_train=self.x_train.astype(target),
+            y_train=self.y_train,
+            x_test=self.x_test.astype(target),
+            y_test=self.y_test,
+            intensity=self.intensity,
+            image_size=self.image_size,
+            seed=self.seed,
+            n_classes_=self.n_classes_,
+        )
 
     def class_balance(self) -> dict:
         """Per-split class counts, for sanity checks."""
@@ -202,6 +245,10 @@ def generate_dataset_from_proteins(proteins, config: DatasetConfig) -> Diffracti
         test_idx.append(members[n_train:])
     train_idx = split_rng.permutation(np.concatenate(train_idx))
     test_idx = split_rng.permutation(np.concatenate(test_idx))
+
+    # the physics above always ran in float64; cast once at the end so a
+    # float32 dataset is the float64 one rounded, not a different sample
+    x = x.astype(resolve_dtype(config.dtype), copy=False)
 
     return DiffractionDataset(
         x_train=x[train_idx],

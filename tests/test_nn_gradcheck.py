@@ -10,6 +10,8 @@ import numpy as np
 import pytest
 
 from repro.nas.decoder import PhaseBlock
+from repro.nn.dtype import SUPPORTED_DTYPES, resolve_dtype
+from repro.nn.layers.conv import col2im, im2col
 from repro.nn.layers import (
     AvgPool2D,
     BatchNorm1D,
@@ -28,8 +30,17 @@ from repro.nn.layers import (
 EPS = 1e-6
 TOL = 1e-5
 
+# Central-difference step and pass tolerance per compute dtype.  In
+# float32 the forward pass carries ~1e-7 relative rounding noise, so the
+# step must be large enough for the loss difference to rise above that
+# noise, and the tolerance correspondingly looser.
+DTYPE_GRADCHECK = {
+    "float64": {"eps": EPS, "tol": TOL},
+    "float32": {"eps": 1e-2, "tol": 3e-2},
+}
 
-def numeric_vs_analytic(layer, x, rng):
+
+def numeric_vs_analytic(layer, x, rng, eps=EPS):
     """Return (max input-grad error, {param: max error})."""
     out = layer.forward(x, training=True)
     w = rng.normal(size=out.shape)
@@ -40,46 +51,46 @@ def numeric_vs_analytic(layer, x, rng):
     # analytic gradients (recompute forward to leave caches fresh)
     layer.zero_grad()
     layer.forward(x, training=True)
-    grad_x = layer.backward(w)
+    grad_x = layer.backward(w.astype(x.dtype) if x.dtype != w.dtype else w)
 
     # numeric input gradient
-    num_grad_x = np.zeros_like(x)
+    num_grad_x = np.zeros_like(x, dtype=np.float64)
     flat = x.ravel()
     num_flat = num_grad_x.ravel()
     for i in range(flat.size):
         orig = flat[i]
-        flat[i] = orig + EPS
+        flat[i] = orig + eps
         up = loss_from(x)
-        flat[i] = orig - EPS
+        flat[i] = orig - eps
         down = loss_from(x)
         flat[i] = orig
-        num_flat[i] = (up - down) / (2 * EPS)
+        num_flat[i] = (up - down) / (2 * eps)
     err_x = float(np.max(np.abs(grad_x - num_grad_x)))
 
     # numeric parameter gradients
     param_errors = {}
     for name, param in layer.parameters():
         analytic = param.grad.copy()
-        numeric = np.zeros_like(param.value)
+        numeric = np.zeros_like(param.value, dtype=np.float64)
         pflat = param.value.ravel()
         nflat = numeric.ravel()
         for i in range(pflat.size):
             orig = pflat[i]
-            pflat[i] = orig + EPS
+            pflat[i] = orig + eps
             up = loss_from(x)
-            pflat[i] = orig - EPS
+            pflat[i] = orig - eps
             down = loss_from(x)
             pflat[i] = orig
-            nflat[i] = (up - down) / (2 * EPS)
+            nflat[i] = (up - down) / (2 * eps)
         param_errors[name] = float(np.max(np.abs(analytic - numeric)))
     return err_x, param_errors
 
 
-def assert_gradients_match(layer, x, rng):
-    err_x, param_errors = numeric_vs_analytic(layer, x, rng)
-    assert err_x < TOL, f"input gradient error {err_x}"
+def assert_gradients_match(layer, x, rng, eps=EPS, tol=TOL):
+    err_x, param_errors = numeric_vs_analytic(layer, x, rng, eps=eps)
+    assert err_x < tol, f"input gradient error {err_x}"
     for name, err in param_errors.items():
-        assert err < TOL, f"parameter {name} gradient error {err}"
+        assert err < tol, f"parameter {name} gradient error {err}"
 
 
 @pytest.fixture
@@ -177,3 +188,75 @@ class TestStructuralGrad:
         # no connections, no skip: every node reads the input directly
         layer = PhaseBlock(3, (0, 0, 0, 0), 2, 2, rng=grad_rng)
         assert_gradients_match(layer, grad_rng.normal(size=(2, 2, 4, 4)), grad_rng)
+
+
+class TestDtypeGrad:
+    """Gradcheck under both compute dtypes with dtype-aware tolerances."""
+
+    @pytest.mark.parametrize("label", sorted(DTYPE_GRADCHECK))
+    def test_dense(self, grad_rng, label):
+        dtype = resolve_dtype(label)
+        layer = Dense(5, 4, rng=grad_rng, dtype=dtype)
+        x = grad_rng.normal(size=(3, 5)).astype(dtype)
+        assert_gradients_match(layer, x, grad_rng, **DTYPE_GRADCHECK[label])
+
+    @pytest.mark.parametrize("label", sorted(DTYPE_GRADCHECK))
+    def test_conv(self, grad_rng, label):
+        dtype = resolve_dtype(label)
+        layer = Conv2D(2, 3, kernel_size=3, rng=grad_rng, dtype=dtype)
+        x = grad_rng.normal(size=(2, 2, 5, 5)).astype(dtype)
+        assert_gradients_match(layer, x, grad_rng, **DTYPE_GRADCHECK[label])
+
+    @pytest.mark.parametrize("label", sorted(DTYPE_GRADCHECK))
+    def test_batchnorm2d(self, grad_rng, label):
+        dtype = resolve_dtype(label)
+        layer = BatchNorm2D(3, dtype=dtype)
+        x = grad_rng.normal(size=(4, 3, 3, 3)).astype(dtype)
+        assert_gradients_match(layer, x, grad_rng, **DTYPE_GRADCHECK[label])
+
+    def test_tolerance_table_covers_all_supported_dtypes(self):
+        assert set(DTYPE_GRADCHECK) == set(SUPPORTED_DTYPES)
+
+
+class TestIm2ColAdjoint:
+    """col2im is the exact linear adjoint of im2col.
+
+    For every input x and column-space cotangent c the inner-product
+    identity ``<im2col(x), c> == <x, col2im(c)>`` must hold — this is
+    precisely the property the conv backward pass relies on when it
+    routes ``dL/dcols`` back to ``dL/dx``.
+    """
+
+    CASES = [
+        # (input shape, kh, kw, stride)
+        ((2, 3, 6, 6), 3, 3, 1),
+        ((2, 3, 7, 7), 3, 3, 2),
+        ((1, 2, 5, 5), 1, 1, 1),
+        ((2, 1, 8, 8), 2, 2, 2),
+        ((1, 4, 9, 9), 5, 5, 2),
+        ((3, 2, 6, 8), 3, 2, 1),  # rectangular kernel, rectangular image
+        ((1, 1, 10, 10), 3, 3, 3),  # stride leaves uncovered border pixels
+    ]
+
+    @pytest.mark.parametrize("label", sorted(SUPPORTED_DTYPES))
+    @pytest.mark.parametrize("shape,kh,kw,stride", CASES)
+    def test_inner_product_identity(self, grad_rng, shape, kh, kw, stride, label):
+        dtype = resolve_dtype(label)
+        x = grad_rng.normal(size=shape).astype(dtype)
+        cols = im2col(x, kh, kw, stride)
+        c = grad_rng.normal(size=cols.shape).astype(dtype)
+        back = col2im(c, x.shape, kh, kw, stride)
+        assert back.dtype == dtype
+        lhs = float(np.sum(cols.astype(np.float64) * c.astype(np.float64)))
+        rhs = float(np.sum(x.astype(np.float64) * back.astype(np.float64)))
+        rel = 1e-5 if label == "float32" else 1e-12
+        assert lhs == pytest.approx(rhs, rel=rel, abs=1e-9)
+
+    def test_col2im_scatter_adds_overlaps(self, grad_rng):
+        # overlapping stride-1 windows: interior pixels are touched kh*kw
+        # times, so col2im of all-ones counts each pixel's window multiplicity
+        x_shape = (1, 1, 5, 5)
+        cols = np.ones((1, 9, 9))  # oh*ow = 3*3 for k=3, stride=1
+        back = col2im(cols, x_shape, 3, 3, 1)
+        assert back[0, 0, 2, 2] == 9.0  # center sits in all 9 windows
+        assert back[0, 0, 0, 0] == 1.0  # corner sits in exactly one

@@ -206,9 +206,19 @@ class TestMetrics:
         assert matrix.sum() == 4
 
     def test_per_class_accuracy_with_absent_class(self):
-        acc = per_class_accuracy(np.array([0, 0]), np.array([0, 0]), 2)
-        assert acc[0] == 1.0
-        assert np.isnan(acc[1])
+        recall, present = per_class_accuracy(np.array([0, 0]), np.array([0, 0]), 2)
+        assert recall[0] == 1.0
+        assert recall[1] == 0.0
+        assert not np.isnan(recall).any()
+        assert present.tolist() == [True, False]
+
+    def test_per_class_accuracy_all_classes_present(self):
+        recall, present = per_class_accuracy(
+            np.array([0, 1, 1, 0]), np.array([0, 1, 0, 0]), 2
+        )
+        assert present.all()
+        assert recall[0] == pytest.approx(2 / 3)
+        assert recall[1] == pytest.approx(1.0)
 
 
 class TestFlops:

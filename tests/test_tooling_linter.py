@@ -270,12 +270,13 @@ def test_num003_flags_float32_in_nn():
     assert len(rule_hits(diags, "NUM003")) == 2
 
 
-def test_num003_accepts_float64_and_other_packages():
+def test_num003_accepts_dtype_policy_module_and_other_packages():
     diags = lint({
-        "repro/nn/ok.py": """
+        "repro/nn/dtype.py": """
             import numpy as np
-            def wide(x):
-                return np.asarray(x, dtype=np.float64)
+            SUPPORTED = ("float32", "float64")
+            def narrow(x):
+                return x.astype("float32")
         """,
         "repro/xfel/elsewhere.py": """
             import numpy as np
@@ -284,6 +285,45 @@ def test_num003_accepts_float64_and_other_packages():
         """,
     })
     assert rule_hits(diags, "NUM003") == []
+
+
+# -- PERF001: float64-forcing constructs in nn/ hot paths -----------------------
+
+
+def test_perf001_flags_float64_forcing_constructs():
+    diags = lint({"repro/nn/losses.py": """
+        import numpy as np
+        def f(x, t):
+            t = np.asarray(t, dtype=float)
+            w = np.zeros(3, dtype=np.float64)
+            y = x.astype(float)
+            a = np.empty(2, dtype="float64")
+            return t, w, y, a
+    """})
+    assert len(rule_hits(diags, "PERF001")) == 4
+
+
+def test_perf001_accepts_policy_module_and_data_derived_dtypes():
+    diags = lint({
+        "repro/nn/dtype.py": """
+            import numpy as np
+            DEFAULT_DTYPE = np.dtype("float64")
+            WIDE = np.float64
+        """,
+        "repro/nn/losses.py": """
+            import numpy as np
+            def f(predictions, targets):
+                targets = np.asarray(targets, dtype=predictions.dtype)
+                return targets.astype(predictions.dtype)
+        """,
+        "repro/xfel/physics.py": """
+            import numpy as np
+            def simulate(x):
+                # float64 physics outside nn/ is out of scope
+                return np.asarray(x, dtype=np.float64)
+        """,
+    })
+    assert rule_hits(diags, "PERF001") == []
 
 
 # -- NUM004: unbounded retry loops ---------------------------------------------
@@ -469,7 +509,8 @@ def test_cli_check_list_rules(capsys):
     assert main(["check", "--list-rules"]) == 0
     out = capsys.readouterr().out
     for rule_id in ["DET001", "DET002", "API001", "API002", "API003",
-                    "NUM001", "NUM002", "NUM003", "NUM004", "LIN001", "SUP001"]:
+                    "NUM001", "NUM002", "NUM003", "NUM004", "LIN001",
+                    "SUP001", "PERF001"]:
         assert rule_id in out
 
 
