@@ -7,7 +7,7 @@
 PYTHON ?= python
 export PYTHONPATH := src
 
-.PHONY: check lint test bench bench-paper faults all
+.PHONY: check lint test bench bench-paper bench-scale faults all
 
 all: check test
 
@@ -30,7 +30,14 @@ bench:
 bench-paper:
 	$(PYTHON) -m pytest benchmarks -q
 
+# execution-backend scaling sweep (serial/thread/process × workers),
+# diffed structurally against the committed document (wall times are
+# machine-dependent and not compared)
+bench-scale:
+	$(PYTHON) -m repro bench --scaling --compare BENCH_scaling.json
+
 # fault-tolerance suite: retry/quarantine policy, pool failure
-# semantics, and the deterministic fault-injection harness
+# semantics, the deterministic fault-injection harness, and the
+# process backend's hard-kill path
 faults:
-	$(PYTHON) -m pytest tests/test_faults.py -q
+	$(PYTHON) -m pytest tests/test_faults.py tests/test_procpool.py -q

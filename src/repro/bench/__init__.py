@@ -7,6 +7,13 @@ from repro.bench.harness import (
     compare_reports,
     run_bench,
 )
+from repro.bench.scaling import (
+    SCALING_GRID,
+    SCALING_SCHEMA,
+    ScalingReport,
+    compare_scaling,
+    run_scaling,
+)
 
 __all__ = [
     "BenchReport",
@@ -14,4 +21,9 @@ __all__ = [
     "bench_kernels",
     "compare_reports",
     "run_bench",
+    "SCALING_GRID",
+    "SCALING_SCHEMA",
+    "ScalingReport",
+    "compare_scaling",
+    "run_scaling",
 ]

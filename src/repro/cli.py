@@ -80,7 +80,7 @@ def _fault_settings_from_args(args: argparse.Namespace):
 
 
 def _fastpath_overrides(args: argparse.Namespace) -> dict:
-    """Evaluation fast-path settings given explicitly on the CLI."""
+    """Evaluation fast-path / backend settings given explicitly on the CLI."""
     overrides = {}
     if args.dtype is not None:
         overrides["dtype"] = args.dtype
@@ -88,6 +88,10 @@ def _fastpath_overrides(args: argparse.Namespace) -> dict:
         overrides["rng_keying"] = args.rng_keying
     if args.eval_cache is not None:
         overrides["eval_cache"] = args.eval_cache
+    if args.backend is not None:
+        overrides["backend"] = args.backend
+    if args.n_workers is not None:
+        overrides["n_workers"] = args.n_workers
     return overrides
 
 
@@ -179,6 +183,19 @@ def _add_common_run_flags(parser: argparse.ArgumentParser) -> None:
         default=None,
         help="memoize evaluations of duplicate architectures "
         "(on by default for new runs; requires --rng-keying genome)",
+    )
+    parser.add_argument(
+        "--backend",
+        choices=["serial", "thread", "process"],
+        help="generation-execution backend: 'serial' (inline loop), "
+        "'thread' (FIFO thread pool; default), or 'process' (spawned "
+        "workers sharing the dataset through shared memory, with "
+        "hard-kill timeouts)",
+    )
+    parser.add_argument(
+        "--n-workers",
+        type=int,
+        help="concurrent evaluations per generation (default 1)",
     )
 
 
@@ -317,6 +334,8 @@ def _cmd_check(args: argparse.Namespace) -> int:
 def _cmd_bench(args: argparse.Namespace) -> int:
     from repro.bench import BenchReport, compare_reports, run_bench
 
+    if args.scaling:
+        return _cmd_bench_scaling(args)
     report = run_bench(
         seed=args.seed, repeats=args.repeats, skip_kernels=args.skip_kernels
     )
@@ -331,6 +350,29 @@ def _cmd_bench(args: argparse.Namespace) -> int:
         print(
             f"FAIL: end-to-end speedup {report.speedup:.2f}x is below the "
             f"required {args.min_speedup:.2f}x",
+            file=sys.stderr,
+        )
+        return 1
+    return 0
+
+
+def _cmd_bench_scaling(args: argparse.Namespace) -> int:
+    from repro.bench import ScalingReport, compare_scaling, run_scaling
+
+    report = run_scaling(seed=args.seed)
+    print(report.summary())
+    if args.output:
+        path = report.save(args.output)
+        print(f"wrote {path}")
+    if args.compare:
+        committed = ScalingReport.load(args.compare)
+        diff = compare_scaling(report, committed)
+        print(diff)
+        if "DIFF" in diff:
+            return 1
+    if not report.consistent():
+        print(
+            "FAIL: search outcome differs across execution backends",
             file=sys.stderr,
         )
         return 1
@@ -398,6 +440,12 @@ def build_parser() -> argparse.ArgumentParser:
     )
     bench_parser.add_argument(
         "--skip-kernels", action="store_true", help="run only the end-to-end benchmark"
+    )
+    bench_parser.add_argument(
+        "--scaling",
+        action="store_true",
+        help="run the execution-backend scaling sweep instead "
+        "(serial/thread/process × worker counts; BENCH_scaling.json)",
     )
     bench_parser.add_argument(
         "--output", type=Path, help="write the bench document (BENCH_evalpath.json)"

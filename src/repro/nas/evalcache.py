@@ -94,6 +94,17 @@ class EvaluationCache:
                 self.hits += 1
             return entry
 
+    def record_miss(self) -> None:
+        """Count a miss resolved outside :meth:`lookup`.
+
+        The process backend partitions leaders in the parent and
+        evaluates them in worker processes, so :meth:`lookup` never runs
+        for them; :meth:`MemoizingEvaluator.register_remote` calls this
+        to keep the hit/miss statistics identical to the serial path.
+        """
+        with self._lock:
+            self.misses += 1
+
     def put(self, key: tuple, entry: CacheEntry) -> None:
         """Insert an entry; the first writer for a key wins."""
         with self._lock:
@@ -230,6 +241,23 @@ class MemoizingEvaluator:
             return False
         self.cache.put(key, self._entry_from(individual, epoch_trace or []))
         return True
+
+    def register_remote(self, individual: Individual, epoch_trace: list) -> None:
+        """Account a leader evaluated in a worker process.
+
+        Wired as :class:`~repro.scheduler.procpool.ProcessWorkerPool`'s
+        ``on_result`` hook.  The leader was dispatched because
+        generation partitioning found no entry for its key — that is the
+        lookup miss :meth:`evaluate` counts on the serial path — and a
+        clean outcome primes the cache with the trace the pool replayed,
+        so followers take hits exactly as they would have locally.
+        """
+        key = self.base.memo_key(individual)
+        if key is None:
+            return
+        self.cache.record_miss()
+        if self._cacheable(individual):
+            self.cache.put(key, self._entry_from(individual, list(epoch_trace)))
 
     # -- Evaluator protocol -----------------------------------------------------
 

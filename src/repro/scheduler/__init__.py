@@ -3,8 +3,10 @@
 FIFO dynamic scheduling of per-network training jobs onto accelerators
 (paper §2.5), in two forms: a deterministic discrete-event simulator
 that replays recorded epoch durations on an N-GPU pool
-(:mod:`repro.scheduler.simulator`), and a real thread-worker pool for
-machines with actual parallelism (:mod:`repro.scheduler.pool`).  The
+(:mod:`repro.scheduler.simulator`), and real worker pools for machines
+with actual parallelism — threads (:mod:`repro.scheduler.pool`) or
+spawned processes with a shared-memory dataset and hard-kill timeouts
+(:mod:`repro.scheduler.procpool`).  The
 FLOPs→seconds cost model (:mod:`repro.scheduler.costmodel`) calibrates
 simulated epoch durations to the paper's single-V100 wall times.
 """
@@ -26,10 +28,21 @@ from repro.scheduler.fifo import (
     schedule_generation,
     schedule_run,
 )
-from repro.scheduler.pool import FifoWorkerPool, PoolReport
+from repro.scheduler.pool import FifoWorkerPool, JobTiming, PoolReport, WorkerPool
+from repro.scheduler.procpool import (
+    EvalResult,
+    EvalSpec,
+    EvalTask,
+    ProcessWorkerPool,
+)
 from repro.scheduler.resources import Gpu, GpuPool
 from repro.scheduler.simulator import WallTimeReport, jobs_by_generation, simulate_walltime
-from repro.scheduler.trace import ascii_timeline, chrome_trace
+from repro.scheduler.trace import (
+    ascii_timeline,
+    chrome_trace,
+    pool_chrome_trace,
+    pool_timeline,
+)
 
 __all__ = [
     "PAPER_TRAIN_IMAGES",
@@ -47,7 +60,13 @@ __all__ = [
     "schedule_generation",
     "schedule_run",
     "FifoWorkerPool",
+    "JobTiming",
     "PoolReport",
+    "WorkerPool",
+    "EvalResult",
+    "EvalSpec",
+    "EvalTask",
+    "ProcessWorkerPool",
     "Gpu",
     "GpuPool",
     "WallTimeReport",
@@ -55,4 +74,6 @@ __all__ = [
     "simulate_walltime",
     "ascii_timeline",
     "chrome_trace",
+    "pool_chrome_trace",
+    "pool_timeline",
 ]

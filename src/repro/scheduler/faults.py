@@ -85,10 +85,23 @@ class InjectedFault(RuntimeError):
         super().__init__(message)
         self.mode = mode
 
+    def __reduce__(self):
+        # exceptions pickle via their args by default, which would drop
+        # ``mode``; the process backend transports these across workers
+        return (type(self), (self.mode, str(self)))
+
 
 @dataclass(frozen=True)
 class FaultEvent:
-    """One fault-handling decision for one evaluation attempt."""
+    """One fault-handling decision for one evaluation attempt.
+
+    ``timeout_leaked`` records whether the timed-out attempt's
+    computation is still running somewhere: the thread/serial backends
+    cannot kill a Python thread, so their abandoned attempts keep
+    computing in the background (leaked) until they finish on their
+    own.  Only the process backend hard-kills the worker, so only there
+    is a timeout event guaranteed non-leaking (see DESIGN §8).
+    """
 
     model_id: int
     attempt: int
@@ -97,6 +110,7 @@ class FaultEvent:
     error: str
     backoff_seconds: float = 0.0
     detail: dict = field(default_factory=dict)
+    timeout_leaked: bool = False
 
     def to_dict(self) -> dict:
         return {
@@ -107,6 +121,7 @@ class FaultEvent:
             "error": self.error,
             "backoff_seconds": self.backoff_seconds,
             "detail": dict(self.detail),
+            "timeout_leaked": self.timeout_leaked,
         }
 
 
@@ -337,6 +352,12 @@ class FaultTolerantEvaluator:
         self._sleep = sleep
         self.max_epochs = evaluator.max_epochs
         self.events: list[FaultEvent] = []
+        #: Shadow threads abandoned by timed-out attempts.  Python
+        #: threads cannot be killed, so these keep computing in the
+        #: background until they finish on their own; the process
+        #: backend is the only one that truly reclaims a hung
+        #: evaluation (DESIGN §8).
+        self.leaked_threads: list[threading.Thread] = []
 
     # -- attempt execution ------------------------------------------------------
 
@@ -370,6 +391,7 @@ class FaultTolerantEvaluator:
         thread.start()
         thread.join(timeout)
         if thread.is_alive():
+            self.leaked_threads.append(thread)
             raise EvaluationTimeout(
                 f"evaluation of model {individual.model_id} attempt "
                 f"{individual.eval_attempt} exceeded {timeout}s"
@@ -391,6 +413,11 @@ class FaultTolerantEvaluator:
             return "numerical", exc.to_dict()
         return "crash", {"type": type(exc).__name__}
 
+    def n_leaked_threads(self) -> int:
+        """Abandoned evaluation threads still running right now."""
+        self.leaked_threads = [t for t in self.leaked_threads if t.is_alive()]
+        return len(self.leaked_threads)
+
     def _emit(
         self,
         individual: Individual,
@@ -409,6 +436,9 @@ class FaultTolerantEvaluator:
             error=str(exc),
             backoff_seconds=backoff,
             detail=detail,
+            # threads cannot be hard-killed: every thread-path timeout
+            # leaves its shadow evaluation running in the background
+            timeout_leaked=kind == "timeout",
         )
         self.events.append(event)
         individual.fault_events.append(event.to_dict())

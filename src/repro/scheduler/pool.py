@@ -9,7 +9,13 @@ from start to finish, and the generation boundary is a barrier, exactly
 like the simulated policy.
 
 NumPy releases the GIL inside its kernels, so thread workers give real
-overlap for the BLAS-heavy training inner loops.
+overlap for the BLAS-heavy training inner loops; the pure-Python parts
+of the loop (im2col indexing, optimizer steps, engine fits) still
+serialize.  :class:`~repro.scheduler.procpool.ProcessWorkerPool` is the
+drop-in sibling that sidesteps the GIL entirely — both implement the
+:class:`WorkerPool` protocol and record the same enriched
+:class:`PoolReport` (per-job start/end timestamps, per-worker busy
+seconds), so barrier downtime is computable for every backend.
 
 Failure semantics are identical for the serial (``n_workers == 1``) and
 threaded paths: every job in the generation settles before any error
@@ -22,28 +28,132 @@ unrecoverable, quarantined with penalized objectives.
 
 from __future__ import annotations
 
+import threading
 from concurrent.futures import ThreadPoolExecutor
-from dataclasses import dataclass
+from dataclasses import dataclass, field
+from typing import Protocol, runtime_checkable
 
 from repro.nas.evaluation import Evaluator
 from repro.nas.population import Individual
 from repro.scheduler.faults import FaultPolicy, FaultTolerantEvaluator
 from repro.utils.timing import Stopwatch
 
-__all__ = ["PoolReport", "FifoWorkerPool"]
+__all__ = ["JobTiming", "PoolReport", "WorkerPool", "FifoWorkerPool"]
+
+
+@dataclass(frozen=True)
+class JobTiming:
+    """Measured placement of one evaluation on one worker.
+
+    Timestamps are seconds relative to the generation's dispatch start,
+    so timings from different backends are directly comparable.  A job
+    that was retried keeps one timing spanning every attempt (the worker
+    slot was occupied the whole time, as on a real accelerator).
+    """
+
+    job_id: int
+    worker: int
+    start_seconds: float
+    end_seconds: float
+
+    @property
+    def duration(self) -> float:
+        return self.end_seconds - self.start_seconds
+
+    def to_dict(self) -> dict:
+        return {
+            "job_id": self.job_id,
+            "worker": self.worker,
+            "start_seconds": self.start_seconds,
+            "end_seconds": self.end_seconds,
+        }
 
 
 @dataclass(frozen=True)
 class PoolReport:
-    """Measured outcome of one generation executed on the pool."""
+    """Measured outcome of one generation executed on a pool.
+
+    Attributes
+    ----------
+    n_workers:
+        Worker slots the generation ran on.
+    wall_seconds:
+        Dispatch-to-settle wall time of the whole generation.
+    n_jobs:
+        Evaluations submitted.
+    backend:
+        ``"serial"``, ``"thread"``, or ``"process"``.
+    jobs:
+        Per-job :class:`JobTiming` entries in submission order.
+    worker_busy_seconds:
+        Seconds each worker spent executing jobs (len ``n_workers``).
+    """
 
     n_workers: int
     wall_seconds: float
     n_jobs: int
+    backend: str = "thread"
+    jobs: tuple = ()
+    worker_busy_seconds: tuple = ()
+
+    @property
+    def busy_seconds(self) -> float:
+        """Total worker-seconds spent executing jobs."""
+        return float(sum(self.worker_busy_seconds))
+
+    @property
+    def idle_seconds(self) -> float:
+        """Total worker-seconds spent idle (includes barrier downtime)."""
+        return max(self.n_workers * self.wall_seconds - self.busy_seconds, 0.0)
+
+    @property
+    def utilization(self) -> float:
+        """Busy fraction of the pool over the generation."""
+        capacity = self.n_workers * self.wall_seconds
+        return self.busy_seconds / capacity if capacity > 0 else 0.0
+
+    def barrier_downtime(self) -> list:
+        """Seconds each worker idled between its last job and the barrier.
+
+        This is the paper's generation-boundary downtime: when
+        ``population % n_workers != 0`` some workers finish early and
+        must wait for the slowest one before the next generation can be
+        bred.  Workers that never ran a job idle the whole generation.
+        """
+        last_end = [0.0] * self.n_workers
+        for job in self.jobs:
+            last_end[job.worker] = max(last_end[job.worker], job.end_seconds)
+        return [max(self.wall_seconds - end, 0.0) for end in last_end]
+
+    def to_dict(self) -> dict:
+        return {
+            "n_workers": self.n_workers,
+            "wall_seconds": self.wall_seconds,
+            "n_jobs": self.n_jobs,
+            "backend": self.backend,
+            "jobs": [job.to_dict() for job in self.jobs],
+            "worker_busy_seconds": list(self.worker_busy_seconds),
+            "barrier_downtime_seconds": self.barrier_downtime(),
+            "utilization": self.utilization,
+        }
+
+
+@runtime_checkable
+class WorkerPool(Protocol):
+    """What the orchestrator requires of a generation executor backend."""
+
+    n_workers: int
+    reports: list
+
+    def evaluate_generation(self, individuals: list) -> list:
+        """Run one generation's evaluations; blocks until all settle."""
+
+    def close(self) -> None:
+        """Release worker resources (idempotent)."""
 
 
 class FifoWorkerPool:
-    """FIFO generation executor over ``n_workers`` parallel workers.
+    """FIFO generation executor over ``n_workers`` parallel worker threads.
 
     Parameters
     ----------
@@ -68,6 +178,8 @@ class FifoWorkerPool:
     worker count because its work queue is FIFO.
     """
 
+    backend = "thread"
+
     def __init__(
         self,
         evaluator: Evaluator,
@@ -86,6 +198,27 @@ class FifoWorkerPool:
         self.n_workers = int(n_workers)
         self.reports: list[PoolReport] = []
 
+    def _run_job(
+        self,
+        individual: Individual,
+        clock: Stopwatch,
+        timings: list,
+        slots: dict,
+        busy: list,
+        lock: threading.Lock,
+    ) -> None:
+        """Evaluate one individual, timing it against the generation clock."""
+        with lock:
+            worker = slots.setdefault(threading.get_ident(), len(slots))
+        start = clock.elapsed()
+        try:
+            self.evaluator.evaluate(individual)
+        finally:
+            end = clock.elapsed()
+            with lock:
+                timings.append(JobTiming(individual.model_id, worker, start, end))
+                busy[worker] += end - start
+
     def evaluate_generation(self, individuals: list[Individual]) -> list[Individual]:
         """Evaluate one generation concurrently; blocks until all finish.
 
@@ -95,16 +228,22 @@ class FifoWorkerPool:
         """
         clock = Stopwatch().start()
         errors: list[Exception] = []
+        timings: list[JobTiming] = []
+        slots: dict[int, int] = {}
+        busy = [0.0] * self.n_workers
+        lock = threading.Lock()
         if self.n_workers == 1:
             for individual in individuals:
                 try:
-                    self.evaluator.evaluate(individual)
+                    self._run_job(individual, clock, timings, slots, busy, lock)
                 except Exception as exc:  # a4nn: noqa(NUM001) -- not swallowed: collected and re-raised after the generation settles
                     errors.append(exc)
         else:
             with ThreadPoolExecutor(max_workers=self.n_workers) as executor:
                 futures = [
-                    executor.submit(self.evaluator.evaluate, individual)
+                    executor.submit(
+                        self._run_job, individual, clock, timings, slots, busy, lock
+                    )
                     for individual in individuals
                 ]
                 for future in futures:
@@ -113,11 +252,17 @@ class FifoWorkerPool:
                     except Exception as exc:  # a4nn: noqa(NUM001) -- not swallowed: collected and re-raised after the generation settles
                         errors.append(exc)
         clock.stop()
+        order = {ind.model_id: i for i, ind in enumerate(individuals)}
         self.reports.append(
             PoolReport(
                 n_workers=self.n_workers,
                 wall_seconds=clock.total,
                 n_jobs=len(individuals),
+                backend="serial" if self.n_workers == 1 else "thread",
+                jobs=tuple(
+                    sorted(timings, key=lambda t: order.get(t.job_id, len(order)))
+                ),
+                worker_busy_seconds=tuple(busy),
             )
         )
         if len(errors) == 1:
@@ -127,6 +272,9 @@ class FifoWorkerPool:
                 f"{len(errors)} of {len(individuals)} evaluations failed", errors
             )
         return individuals
+
+    def close(self) -> None:
+        """Thread workers hold no persistent resources; nothing to release."""
 
     @property
     def total_wall_seconds(self) -> float:

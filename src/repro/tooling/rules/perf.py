@@ -15,6 +15,16 @@ the pre-fast-path losses module defeated float32 training:
   :func:`repro.nn.dtype.resolve_dtype`.  ``nn/dtype.py`` itself is
   exempt — the float64 *default* has to be named somewhere, and that
   module is its sanctioned home.
+
+* ``PERF002`` — inside the worker-entry modules of the process backend
+  (``scheduler/procpool.py``, ``xfel/shm.py``), constructs that cannot
+  cross a ``spawn`` pickle boundary or that smuggle per-process state:
+  lambdas (unpicklable — every callable shipped to a worker must be a
+  module-level function), closures returned from functions (same
+  problem, harder to spot), and module-level RNG state (each spawned
+  worker re-imports the module and gets its *own* generator, silently
+  desynchronizing workers from the serial path — derive generators from
+  :class:`repro.utils.rng.RngStream` per evaluation instead).
 """
 
 from __future__ import annotations
@@ -24,9 +34,9 @@ from typing import Iterable
 
 from repro.tooling.context import ModuleContext
 from repro.tooling.diagnostics import Diagnostic
-from repro.tooling.rules import BaseRule, dotted_name, register
+from repro.tooling.rules import BaseRule, dotted_name, register, walk_functions
 
-__all__ = ["Float64ForcingRule"]
+__all__ = ["Float64ForcingRule", "PicklingHostileRule"]
 
 _WIDE_ATTRS = {"np.float64", "numpy.float64", "np.double", "numpy.double"}
 _WIDE_LITERALS = {"float64", "double"}
@@ -89,3 +99,94 @@ class Float64ForcingRule(BaseRule):
                             "the dtype from the data or from "
                             "repro.nn.dtype.resolve_dtype",
                         )
+
+
+#: Calls whose result, bound at module level, is per-process RNG state.
+_RNG_FACTORIES = {
+    "np.random.default_rng",
+    "numpy.random.default_rng",
+    "np.random.RandomState",
+    "numpy.random.RandomState",
+    "np.random.seed",
+    "numpy.random.seed",
+    "random.Random",
+    "random.seed",
+}
+
+#: Modules that define what worker processes execute or attach to.
+_WORKER_ENTRY_FILES = ("scheduler/procpool.py", "xfel/shm.py")
+
+
+@register
+class PicklingHostileRule(BaseRule):
+    rule_id = "PERF002"
+    category = "performance"
+    description = (
+        "pickling-hostile construct (lambda, returned closure, module-level "
+        "RNG state) in a process-backend worker-entry module"
+    )
+
+    def applies_to(self, module: ModuleContext) -> bool:
+        return module.in_location(*_WORKER_ENTRY_FILES)
+
+    def _module_level_rng(self, module: ModuleContext) -> Iterable[Diagnostic]:
+        for stmt in module.tree.body:
+            targets: list[ast.AST]
+            if isinstance(stmt, ast.Assign):
+                value, targets = stmt.value, stmt.targets
+            elif isinstance(stmt, ast.AnnAssign) and stmt.value is not None:
+                value, targets = stmt.value, [stmt.target]
+            elif isinstance(stmt, ast.Expr):
+                # bare np.random.seed(...) at import time
+                value, targets = stmt.value, []
+            else:
+                continue
+            if not isinstance(value, ast.Call):
+                continue
+            chain = dotted_name(value.func)
+            if chain in _RNG_FACTORIES:
+                yield self.diag(
+                    module,
+                    value,
+                    f"module-level {chain}(...) gives every spawned worker its "
+                    "own generator state, silently desynchronizing workers "
+                    "from the serial path; derive generators from an "
+                    "RngStream per evaluation instead",
+                )
+
+    def _returned_closures(self, module: ModuleContext) -> Iterable[Diagnostic]:
+        for func in walk_functions(module.tree):
+            nested = {
+                child.name
+                for stmt in func.body
+                for child in ast.walk(stmt)
+                if isinstance(child, (ast.FunctionDef, ast.AsyncFunctionDef))
+                and child is not func
+            }
+            if not nested:
+                continue
+            for node in ast.walk(func):
+                if (
+                    isinstance(node, ast.Return)
+                    and isinstance(node.value, ast.Name)
+                    and node.value.id in nested
+                ):
+                    yield self.diag(
+                        module,
+                        node,
+                        f"returning nested function {node.value.id!r} creates "
+                        "a closure that cannot cross the spawn pickle "
+                        "boundary; promote it to a module-level function",
+                    )
+
+    def check(self, module: ModuleContext) -> Iterable[Diagnostic]:
+        for node in ast.walk(module.tree):
+            if isinstance(node, ast.Lambda):
+                yield self.diag(
+                    module,
+                    node,
+                    "lambdas are unpicklable and cannot be shipped to a "
+                    "spawned worker; use a module-level function",
+                )
+        yield from self._module_level_rng(module)
+        yield from self._returned_closures(module)

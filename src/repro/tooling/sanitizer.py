@@ -63,6 +63,15 @@ class NumericalFault(RuntimeError):
         self.layer = layer
         self.detail = dict(detail or {})
 
+    def __reduce__(self):
+        # exceptions pickle via their args by default, which would drop
+        # the keyword attributes; the process-parallel evaluation
+        # backend transports faults between worker and parent
+        return (
+            _rebuild_numerical_fault,
+            (self.kind, str(self), self.model, self.epoch, self.layer, self.detail),
+        )
+
     def to_dict(self) -> dict:
         """JSON-able snapshot for lineage records."""
         return {
@@ -73,6 +82,13 @@ class NumericalFault(RuntimeError):
             "layer": self.layer,
             "detail": self.detail,
         }
+
+
+def _rebuild_numerical_fault(kind, message, model, epoch, layer, detail):
+    """Unpickle helper for :class:`NumericalFault` (see its ``__reduce__``)."""
+    return NumericalFault(
+        kind, message, model=model, epoch=epoch, layer=layer, detail=detail
+    )
 
 
 def _nonfinite_detail(array: np.ndarray) -> dict:

@@ -54,6 +54,18 @@ class Stopwatch:
     def __exit__(self, *exc) -> None:
         self.stop()
 
+    def elapsed(self) -> float:
+        """Seconds accumulated so far, including any lap in flight.
+
+        Unlike :attr:`total`, this can be read while the stopwatch is
+        running — the scheduler pools use it to timestamp job starts
+        and ends against the generation clock.
+        """
+        running = (
+            time.perf_counter() - self._started if self._started is not None else 0.0
+        )
+        return self.total + running
+
     @property
     def mean_lap(self) -> float:
         """Mean lap duration in seconds (0 if no laps)."""

@@ -23,6 +23,7 @@ from repro.xfel.intensity import BeamIntensity
 __all__ = ["WorkflowConfig"]
 
 _MODES = ("real", "surrogate")
+_BACKENDS = ("serial", "thread", "process")
 
 
 @dataclass(frozen=True)
@@ -53,6 +54,12 @@ class WorkflowConfig:
     n_workers:
         Concurrent evaluations per generation (real parallel execution
         via the FIFO worker pool; 1 = serial).
+    backend:
+        Generation-execution backend — ``"serial"`` (in-process loop,
+        requires ``n_workers=1``), ``"thread"`` (FIFO thread pool; the
+        default), or ``"process"`` (spawned worker processes sharing the
+        dataset through shared memory; hard-kills timed-out
+        evaluations).  See DESIGN "Execution backends".
     sanitize:
         Attach the runtime numerical sanitizer to every trained network
         (real mode): non-finite losses/activations/gradients raise
@@ -95,6 +102,7 @@ class WorkflowConfig:
     run_id: str = ""
     checkpoint_models: bool = False
     n_workers: int = 1
+    backend: str = "thread"
     sanitize: bool = False
     faults: FaultPolicy | None = None
     fault_injection: FaultInjectionConfig | None = None
@@ -105,6 +113,20 @@ class WorkflowConfig:
     def __post_init__(self) -> None:
         if int(self.n_workers) < 1:
             raise ValidationError(f"n_workers must be >= 1, got {self.n_workers}")
+        if self.backend not in _BACKENDS:
+            raise ValidationError(
+                f"backend must be one of {_BACKENDS}, got {self.backend!r}"
+            )
+        if self.backend == "serial" and int(self.n_workers) != 1:
+            raise ValidationError(
+                f"backend='serial' requires n_workers=1, got {self.n_workers}"
+            )
+        if self.backend == "process" and self.checkpoint_models:
+            raise ValidationError(
+                "backend='process' cannot checkpoint per-epoch model state: "
+                "trained networks live in the worker processes and only "
+                "measurements travel back; use the thread or serial backend"
+            )
         try:
             object.__setattr__(self, "dtype", dtype_label(self.dtype))
             validate_rng_keying(self.rng_keying)
@@ -174,6 +196,7 @@ class WorkflowConfig:
             "run_id": self.run_id,
             "checkpoint_models": self.checkpoint_models,
             "n_workers": self.n_workers,
+            "backend": self.backend,
             "sanitize": self.sanitize,
             "faults": self.faults.to_dict() if self.faults else None,
             "fault_injection": self.fault_injection.to_dict()
@@ -209,6 +232,7 @@ class WorkflowConfig:
             run_id=payload.get("run_id", ""),
             checkpoint_models=payload.get("checkpoint_models", False),
             n_workers=payload.get("n_workers", 1),
+            backend=payload.get("backend", "thread"),
             sanitize=payload.get("sanitize", False),
             faults=FaultPolicy.from_dict(payload["faults"])
             if payload.get("faults")

@@ -23,12 +23,14 @@ from repro.nas.search import NSGANet, SearchResult
 from repro.nas.surrogate import SurrogateEvaluator
 from repro.scheduler.faults import FaultInjectingEvaluator, FaultTolerantEvaluator
 from repro.scheduler.pool import FifoWorkerPool
+from repro.scheduler.procpool import EvalSpec, ProcessWorkerPool
 from repro.scheduler.simulator import WallTimeReport, simulate_walltime
 from repro.utils.logging import get_logger
 from repro.utils.rng import RngStream
 from repro.workflow.history import HistoryStore
 from repro.workflow.interfaces import WorkflowConfig
 from repro.xfel.dataset import load_or_generate
+from repro.xfel.shm import share_dataset
 
 __all__ = ["WorkflowResult", "A4NNOrchestrator"]
 
@@ -104,6 +106,11 @@ class A4NNOrchestrator:
         self.checkpoint_dir = checkpoint_dir
         self.history_store = HistoryStore()
         self.memoizer: MemoizingEvaluator | None = None
+        self.pool = None  # WorkerPool behind the executor, when one exists
+        self.pool_reports: list = []  # PoolReports kept after close_pool()
+        self._tracker: LineageTracker | None = None
+        self._base = None  # innermost evaluation backend
+        self._dataset = None  # loaded dataset (real mode)
 
     # -- assembly ---------------------------------------------------------------
 
@@ -127,8 +134,10 @@ class A4NNOrchestrator:
         """
         observers = [self._history_observer, tracker.observe_epoch]
         stream = RngStream(self.config.seed)
+        self._tracker = tracker
         if self.config.mode == "real":
             dataset = load_or_generate(self.config.dataset).astype(self.config.dtype)
+            self._dataset = dataset
             base = TrainingEvaluator(
                 dataset,
                 engine,
@@ -150,6 +159,7 @@ class A4NNOrchestrator:
                 observers=observers,
                 rng_keying=self.config.rng_keying,
             )
+        self._base = base
         evaluator = base
         injection = self.config.fault_injection
         injection_active = injection is not None and injection.rate > 0
@@ -173,25 +183,88 @@ class A4NNOrchestrator:
             evaluator = self.memoizer
         return evaluator
 
+    def _build_process_pool(self) -> ProcessWorkerPool:
+        """Assemble the spawned-worker backend from the built evaluator chain.
+
+        The dataset (real mode) is published into shared memory first so
+        workers attach zero-copy; the pool owns the arena and unlinks it
+        in :meth:`close_pool`.  Requires :meth:`build_evaluator` to have
+        run (it wires the tracker and the live observers list the pool
+        replays worker traces through).
+        """
+        if self._base is None or self._tracker is None:
+            raise RuntimeError("build_evaluator must run before the process pool")
+        config = self.config
+        spec_kwargs = dict(
+            mode=config.mode,
+            seed=config.seed,
+            max_epochs=config.nas.max_epochs,
+            engine=config.engine,
+            intensity_label=config.intensity.label,
+            sanitize=config.sanitize,
+            rng_keying=config.rng_keying,
+            dtype=config.dtype,
+            injection=config.fault_injection,
+        )
+        arena = None
+        if config.mode == "real":
+            dataset_spec, arena = share_dataset(self._dataset)
+            spec_kwargs.update(
+                dataset=dataset_spec, dataset_key=config.dataset.cache_key()
+            )
+        return ProcessWorkerPool(
+            EvalSpec(**spec_kwargs),
+            n_workers=config.n_workers,
+            policy=config.faults,
+            on_fault_event=self._tracker.observe_fault_event,
+            observers=self._base.observers,
+            on_fault=self._tracker.observe_fault,
+            arena=arena,
+        )
+
     def build_executor(self, evaluator):
-        """Generation executor matching the configured cache/pool setup.
+        """Generation executor matching the configured backend/cache setup.
 
         With the cache active the memoizer partitions each generation
         deterministically (hits/leaders/followers) before dispatching,
         so serial and pooled execution produce identical record trails.
-        Returns ``None`` when plain serial evaluation suffices.
+        Returns ``None`` when the legacy inline loop suffices (thread
+        backend at ``n_workers=1``); any pool built here is kept on
+        ``self.pool`` so callers can read its reports and so
+        :meth:`close_pool` can release it.
         """
+        backend = self.config.backend
+        if backend == "process":
+            self.pool = self._build_process_pool()
+            if self.memoizer is not None:
+                self.pool.on_result = self.memoizer.register_remote
+                self.memoizer.executor = self.pool.evaluate_generation
+                return self.memoizer.evaluate_generation
+            return self.pool.evaluate_generation
+        if backend == "serial" or self.config.n_workers > 1:
+            inner = self.memoizer if self.memoizer is not None else evaluator
+            self.pool = FifoWorkerPool(inner, n_workers=self.config.n_workers)
+            if self.memoizer is not None:
+                self.memoizer.executor = self.pool.evaluate_generation
+                return self.memoizer.evaluate_generation
+            return self.pool.evaluate_generation
         if self.memoizer is not None:
-            if self.config.n_workers > 1:
-                self.memoizer.executor = FifoWorkerPool(
-                    self.memoizer, n_workers=self.config.n_workers
-                ).evaluate_generation
             return self.memoizer.evaluate_generation
-        if self.config.n_workers > 1:
-            return FifoWorkerPool(
-                evaluator, n_workers=self.config.n_workers
-            ).evaluate_generation
         return None
+
+    def close_pool(self) -> None:
+        """Release the executor's worker pool (idempotent; no-op without one).
+
+        For the process backend this stops every worker and unlinks the
+        shared-memory dataset, so it must run even when the search
+        raises — :meth:`run` calls it from a ``finally`` block.
+        """
+        if self.pool is not None:
+            # reports survive the pool so callers (the scaling bench, the
+            # pool-timeline renderers) can read them after the run
+            self.pool_reports = list(self.pool.reports)
+            self.pool.close()
+            self.pool = None
 
     # -- execution ----------------------------------------------------------------
 
@@ -225,7 +298,10 @@ class A4NNOrchestrator:
             config.intensity.label,
             config.seed,
         )
-        result = search.run()
+        try:
+            result = search.run()
+        finally:
+            self.close_pool()
 
         walltime: dict[int, WallTimeReport] = {
             n: simulate_walltime(result, n) for n in config.n_gpus

@@ -233,7 +233,10 @@ def resume_workflow(commons: DataCommons, run_id: str):
         on_individual=tracker.observe_individual,
         executor=orchestrator.build_executor(evaluator),
     )
-    result = search.run(resume=state)
+    try:
+        result = search.run(resume=state)
+    finally:
+        orchestrator.close_pool()
 
     walltime = {n: simulate_walltime(result, n) for n in config.n_gpus}
     workflow_result = WorkflowResult(

@@ -1,0 +1,166 @@
+"""Zero-copy shared-memory views of a diffraction dataset.
+
+The process worker pool (:mod:`repro.scheduler.procpool`) cannot pickle
+the XFEL dataset into every job — a paper-scale split is hundreds of
+megabytes, and each of the N workers would hold its own copy.  Instead
+the parent publishes each array once into POSIX shared memory
+(:class:`SharedArena`) and ships workers only a tiny picklable
+:class:`SharedDatasetSpec`; every worker then maps the same physical
+pages (:func:`attach_dataset`) and reads them through read-only NumPy
+views, so the marginal memory cost per worker is zero.
+
+Lifecycle contract (see DESIGN "Execution backends"):
+
+* the parent owns the blocks — it creates them before spawning workers
+  and unlinks them exactly once, in :meth:`SharedArena.close` (wired
+  into ``ProcessWorkerPool.close``);
+* workers only *attach*; their views are marked non-writable so a buggy
+  evaluator cannot corrupt the dataset under its siblings;
+* attachers must be descendants of the owning parent: spawned children
+  share the parent's resource-tracker process, which keeps exactly one
+  registration per segment name, so worker attach/exit cycles neither
+  unlink the block nor leak warnings.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from multiprocessing import shared_memory
+
+import numpy as np
+
+from repro.xfel.dataset import DiffractionDataset
+from repro.xfel.intensity import BeamIntensity
+
+__all__ = [
+    "SharedArraySpec",
+    "SharedDatasetSpec",
+    "SharedArena",
+    "share_dataset",
+    "attach_dataset",
+]
+
+
+@dataclass(frozen=True)
+class SharedArraySpec:
+    """Everything needed to rebuild one array view from shared memory."""
+
+    name: str
+    shape: tuple
+    dtype: str
+
+    @property
+    def nbytes(self) -> int:
+        return int(np.dtype(self.dtype).itemsize * int(np.prod(self.shape, dtype=np.int64)))
+
+
+@dataclass(frozen=True)
+class SharedDatasetSpec:
+    """Picklable handle to a :class:`DiffractionDataset` living in shared memory.
+
+    The array payload stays in the parent's shared blocks; this spec
+    carries only names, shapes, dtypes, and the dataset's scalar
+    metadata, so sending it to a spawned worker costs a few hundred
+    bytes regardless of dataset size.
+    """
+
+    x_train: SharedArraySpec
+    y_train: SharedArraySpec
+    x_test: SharedArraySpec
+    y_test: SharedArraySpec
+    intensity_label: str
+    image_size: int
+    seed: int
+    n_classes: int
+
+
+class SharedArena:
+    """Owner of a set of shared-memory blocks (parent side).
+
+    Create blocks with :meth:`share`; call :meth:`close` exactly once
+    when every worker has exited to release the segments.  ``close`` is
+    idempotent and also runs from ``__del__`` as a safety net, but
+    relying on the destructor leaks the blocks until interpreter exit —
+    the worker pool calls it explicitly.
+    """
+
+    def __init__(self) -> None:
+        self._blocks: list[shared_memory.SharedMemory] = []
+
+    def __len__(self) -> int:
+        return len(self._blocks)
+
+    def share(self, array: np.ndarray) -> SharedArraySpec:
+        """Copy ``array`` into a fresh shared block and return its spec."""
+        array = np.ascontiguousarray(array)
+        block = shared_memory.SharedMemory(create=True, size=max(array.nbytes, 1))
+        view = np.ndarray(array.shape, dtype=array.dtype, buffer=block.buf)
+        view[...] = array
+        self._blocks.append(block)
+        return SharedArraySpec(
+            name=block.name, shape=tuple(array.shape), dtype=array.dtype.str
+        )
+
+    def close(self) -> None:
+        """Unmap and unlink every block (idempotent)."""
+        blocks, self._blocks = self._blocks, []
+        for block in blocks:
+            try:
+                block.close()
+                block.unlink()
+            except FileNotFoundError:  # already unlinked elsewhere
+                pass
+
+    def __del__(self) -> None:  # pragma: no cover - safety net
+        self.close()
+
+
+def share_dataset(dataset: DiffractionDataset) -> tuple[SharedDatasetSpec, SharedArena]:
+    """Publish a dataset into shared memory; returns (spec, owning arena)."""
+    arena = SharedArena()
+    spec = SharedDatasetSpec(
+        x_train=arena.share(dataset.x_train),
+        y_train=arena.share(dataset.y_train),
+        x_test=arena.share(dataset.x_test),
+        y_test=arena.share(dataset.y_test),
+        intensity_label=dataset.intensity.label,
+        image_size=dataset.image_size,
+        seed=dataset.seed,
+        n_classes=dataset.n_classes,
+    )
+    return spec, arena
+
+
+def _attach_array(spec: SharedArraySpec, handles: list) -> np.ndarray:
+    # attaching re-registers the segment with the resource tracker on
+    # Python < 3.13; workers spawned by the owning parent inherit the
+    # parent's tracker process, whose registry is a per-name set, so the
+    # re-register is a harmless no-op there.  (Attaching from an
+    # *unrelated* process would hand the segment to that process's own
+    # tracker, which unlinks it at exit — the pool never does that.)
+    block = shared_memory.SharedMemory(name=spec.name)
+    handles.append(block)
+    view = np.ndarray(spec.shape, dtype=np.dtype(spec.dtype), buffer=block.buf)
+    view.flags.writeable = False
+    return view
+
+
+def attach_dataset(spec: SharedDatasetSpec) -> tuple[DiffractionDataset, list]:
+    """Map a shared dataset read-only (worker side).
+
+    Returns the dataset plus the list of live ``SharedMemory`` handles;
+    the caller must keep the handles referenced for as long as the
+    arrays are in use (the views borrow their buffers).
+    """
+    handles: list[shared_memory.SharedMemory] = []
+    dataset = DiffractionDataset(
+        x_train=_attach_array(spec.x_train, handles),
+        y_train=_attach_array(spec.y_train, handles),
+        x_test=_attach_array(spec.x_test, handles),
+        y_test=_attach_array(spec.y_test, handles),
+        intensity=BeamIntensity.from_label(spec.intensity_label),
+        image_size=spec.image_size,
+        seed=spec.seed,
+        n_classes_=spec.n_classes,
+    )
+    return dataset, handles

@@ -326,6 +326,46 @@ def test_perf001_accepts_policy_module_and_data_derived_dtypes():
     assert rule_hits(diags, "PERF001") == []
 
 
+# -- PERF002: pickling-hostile constructs in worker-entry modules ---------------
+
+
+def test_perf002_flags_lambda_module_rng_and_returned_closure():
+    diags = lint({"repro/scheduler/procpool.py": """
+        import numpy as np
+        rng = np.random.default_rng(42)
+        sort_key = lambda job: job.order
+        def make_handler(spec):
+            def handler(task):
+                return spec, task
+            return handler
+    """})
+    assert len(rule_hits(diags, "PERF002")) == 3
+
+
+def test_perf002_flags_annotated_and_bare_module_rng():
+    diags = lint({"repro/xfel/shm.py": """
+        import random
+        _SHUFFLER: object = random.Random(7)
+    """})
+    assert len(rule_hits(diags, "PERF002")) == 1
+
+
+def test_perf002_ignores_clean_worker_code_and_other_modules():
+    diags = lint({
+        "repro/xfel/shm.py": """
+            import numpy as np
+            def attach(spec):
+                view = np.ndarray(spec.shape)
+                view.flags.writeable = False
+                return view
+        """,
+        "repro/nas/evaluation.py": """
+            sort_key = lambda ind: ind.model_id
+        """,
+    })
+    assert rule_hits(diags, "PERF002") == []
+
+
 # -- NUM004: unbounded retry loops ---------------------------------------------
 
 
