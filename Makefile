@@ -7,11 +7,13 @@
 PYTHON ?= python
 export PYTHONPATH := src
 
-.PHONY: check lint test bench bench-paper bench-scale faults all
+.PHONY: check lint test bench bench-paper bench-scale bench-check faults readme-rules all
 
 all: check test
 
-# static-analysis rule catalog over the package source
+# static-analysis rule catalog over the package source (full semantic
+# engine: file rules + project-scoped flow packs, incremental cache
+# under .a4nn-cache/, baseline from .a4nn-baseline.json)
 check:
 	$(PYTHON) -m repro check src
 
@@ -35,6 +37,16 @@ bench-paper:
 # machine-dependent and not compared)
 bench-scale:
 	$(PYTHON) -m repro bench --scaling --compare BENCH_scaling.json
+
+# static-analysis engine benchmark: cold vs warm-cache `a4nn check`
+# timings, diffed against the committed document
+bench-check:
+	$(PYTHON) -m repro bench --check --compare BENCH_check.json
+
+# regenerate the README rule-catalog table from the rule registry
+# (tests/test_tooling_linter.py asserts it is in sync)
+readme-rules:
+	$(PYTHON) -c "from pathlib import Path; from repro.tooling.rules import inject_catalog; p = Path('README.md'); p.write_text(inject_catalog(p.read_text(encoding='utf-8')), encoding='utf-8')"
 
 # fault-tolerance suite: retry/quarantine policy, pool failure
 # semantics, the deterministic fault-injection harness, and the

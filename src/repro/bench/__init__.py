@@ -7,6 +7,11 @@ from repro.bench.harness import (
     compare_reports,
     run_bench,
 )
+from repro.bench.checkbench import (
+    CheckBenchReport,
+    compare_checkbench,
+    run_checkbench,
+)
 from repro.bench.scaling import (
     SCALING_GRID,
     SCALING_SCHEMA,
@@ -17,6 +22,9 @@ from repro.bench.scaling import (
 
 __all__ = [
     "BenchReport",
+    "CheckBenchReport",
+    "compare_checkbench",
+    "run_checkbench",
     "bench_evalpath",
     "bench_kernels",
     "compare_reports",

@@ -1,0 +1,173 @@
+"""Benchmark the static-analysis engine (``a4nn bench --check``).
+
+Measures the thing the incremental cache exists for: the cold
+(parse-everything) vs warm (all content hashes unchanged) wall time of
+a full ``a4nn check`` over the ``repro`` package.  Each cold repeat
+starts from an empty cache directory; each warm repeat reuses the
+populated one.  The headline number is the warm/cold ratio — the cost
+of a no-change re-check, which the ROADMAP's watch-mode item will pay
+on every save.
+
+Results serialize to ``BENCH_check.json`` at the repo root so CI and
+``make bench-check`` can compare a fresh run against the committed
+machine's numbers (informational: absolute times are machine-bound,
+but the *ratio* should hold anywhere).
+"""
+
+from __future__ import annotations
+
+import json
+import shutil
+import tempfile
+from dataclasses import dataclass
+from pathlib import Path
+
+from repro.tooling import all_rules
+from repro.tooling.linter import run_check
+from repro.utils.logging import get_logger
+from repro.utils.timing import Stopwatch
+
+__all__ = ["CheckBenchReport", "run_checkbench", "compare_checkbench"]
+
+_LOG = get_logger("bench.check")
+
+#: Schema tag written into every check-bench document.
+CHECK_SCHEMA = "a4nn-checkbench/1"
+
+
+@dataclass
+class CheckBenchReport:
+    """Cold-vs-warm analysis timings for one tree."""
+
+    n_files: int
+    n_rules: int
+    cold: dict  #: {"best_seconds", "mean_seconds", "repeats"}
+    warm: dict
+    warm_cache_hits: int
+
+    @property
+    def cold_seconds(self) -> float:
+        return float(self.cold["best_seconds"])
+
+    @property
+    def warm_seconds(self) -> float:
+        return float(self.warm["best_seconds"])
+
+    @property
+    def speedup(self) -> float:
+        return self.cold_seconds / max(self.warm_seconds, 1e-12)
+
+    def to_dict(self) -> dict:
+        return {
+            "schema": CHECK_SCHEMA,
+            "n_files": self.n_files,
+            "n_rules": self.n_rules,
+            "cold": self.cold,
+            "warm": self.warm,
+            "warm_cache_hits": self.warm_cache_hits,
+            "speedup": round(self.speedup, 2),
+        }
+
+    def save(self, path: str | Path) -> Path:
+        path = Path(path)
+        path.write_text(
+            json.dumps(self.to_dict(), indent=2, sort_keys=True) + "\n",
+            encoding="utf-8",
+        )
+        return path
+
+    @classmethod
+    def load(cls, path: str | Path) -> "CheckBenchReport":
+        payload = json.loads(Path(path).read_text(encoding="utf-8"))
+        if payload.get("schema") != CHECK_SCHEMA:
+            raise ValueError(f"{path} is not an {CHECK_SCHEMA} document")
+        return cls(
+            n_files=payload["n_files"],
+            n_rules=payload["n_rules"],
+            cold=payload["cold"],
+            warm=payload["warm"],
+            warm_cache_hits=payload["warm_cache_hits"],
+        )
+
+    def summary(self) -> str:
+        lines = [
+            f"a4nn check bench: {self.n_files} file(s), {self.n_rules} rule(s)",
+            f"  cold (empty cache) : {self.cold_seconds * 1e3:8.1f} ms best "
+            f"({self.cold['mean_seconds'] * 1e3:.1f} ms mean, "
+            f"{self.cold['repeats']} repeats)",
+            f"  warm (all cached)  : {self.warm_seconds * 1e3:8.1f} ms best "
+            f"({self.warm['mean_seconds'] * 1e3:.1f} ms mean, "
+            f"{self.warm_cache_hits} cache hits)",
+            f"  warm speedup       : {self.speedup:8.2f}x",
+        ]
+        return "\n".join(lines)
+
+
+def run_checkbench(
+    paths: list | None = None, *, repeats: int = 3
+) -> CheckBenchReport:
+    """Time cold and warm ``a4nn check`` runs over ``paths``.
+
+    Defaults to the installed ``repro`` package — the same tree
+    ``make check`` gates — so the committed numbers describe the real
+    workload.
+    """
+    if paths is None:
+        import repro
+
+        paths = [Path(repro.__file__).parent]
+    clock_cold = Stopwatch()
+    clock_warm = Stopwatch()
+    n_files = 0
+    warm_hits = 0
+    tmp = Path(tempfile.mkdtemp(prefix="a4nn-checkbench-"))
+    try:
+        cache_dir = tmp / "cache"
+        for i in range(repeats):
+            shutil.rmtree(cache_dir, ignore_errors=True)
+            with clock_cold:
+                result = run_check(paths, cache_dir=cache_dir)
+            n_files = result.n_files
+            _LOG.debug("cold repeat %d: %d files", i, result.n_files)
+        # cache_dir is now fully populated from the last cold run
+        for i in range(repeats):
+            with clock_warm:
+                result = run_check(paths, cache_dir=cache_dir)
+            warm_hits = result.n_cache_hits
+            _LOG.debug("warm repeat %d: %d hits", i, result.n_cache_hits)
+    finally:
+        shutil.rmtree(tmp, ignore_errors=True)
+    return CheckBenchReport(
+        n_files=n_files,
+        n_rules=len(all_rules()),
+        cold={
+            "best_seconds": min(clock_cold.laps),
+            "mean_seconds": clock_cold.mean_lap,
+            "repeats": repeats,
+        },
+        warm={
+            "best_seconds": min(clock_warm.laps),
+            "mean_seconds": clock_warm.mean_lap,
+            "repeats": repeats,
+        },
+        warm_cache_hits=warm_hits,
+    )
+
+
+def compare_checkbench(fresh: CheckBenchReport, committed: CheckBenchReport) -> str:
+    """Human diff of a fresh run against the committed document.
+
+    Absolute times are machine-bound, so the comparison is
+    informational; only a warm run *slower* than cold marks a DIFF.
+    """
+    lines = [
+        "vs committed BENCH_check.json:",
+        f"  cold: {fresh.cold_seconds * 1e3:8.1f} ms (committed "
+        f"{committed.cold_seconds * 1e3:.1f} ms)",
+        f"  warm: {fresh.warm_seconds * 1e3:8.1f} ms (committed "
+        f"{committed.warm_seconds * 1e3:.1f} ms)",
+        f"  speedup: {fresh.speedup:.2f}x (committed {committed.speedup:.2f}x)",
+    ]
+    if fresh.warm_seconds >= fresh.cold_seconds:
+        lines.append("  DIFF: warm-cache run is not faster than cold")
+    return "\n".join(lines)

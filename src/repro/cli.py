@@ -38,7 +38,16 @@ from repro.analysis import (
 from repro.experiments.reporting import ReportTable
 from repro.lineage import DataCommons, verify_run
 from repro.scheduler.faults import FaultInjectionConfig, FaultPolicy
-from repro.tooling import all_rules, render_json, render_text, run_check
+from repro.tooling import (
+    all_rules,
+    apply_fixes,
+    markdown_catalog,
+    render_json,
+    render_sarif,
+    render_text,
+    run_check,
+    write_baseline,
+)
 from repro.utils.io import read_json
 from repro.utils.logging import configure_logging
 from repro.utils.timing import format_hours
@@ -311,23 +320,58 @@ def _cmd_report(args: argparse.Namespace) -> int:
 
 def _cmd_check(args: argparse.Namespace) -> int:
     if args.list_rules:
-        for rule in all_rules():
-            print(f"{rule.rule_id}  [{rule.category}]  {rule.description}")
+        if args.format == "md":
+            print(markdown_catalog())
+        else:
+            for rule in all_rules():
+                print(f"{rule.rule_id}  [{rule.category}]  {rule.description}")
         return 0
+    if args.format == "md":
+        print("--format md is only valid with --list-rules", file=sys.stderr)
+        return 2
     paths = args.paths or [Path(__file__).parent]
     select = args.select.split(",") if args.select else None
     ignore = args.ignore.split(",") if args.ignore else None
+    cache_dir = None if args.no_cache else args.cache_dir
+    baseline = None
+    if not args.update_baseline and args.baseline.exists():
+        baseline = args.baseline
+
+    def check() -> "object":
+        return run_check(
+            paths, select=select, ignore=ignore, cache_dir=cache_dir, baseline=baseline
+        )
+
     try:
-        result = run_check(paths, select=select, ignore=ignore)
+        result = check()
+        if args.fix:
+            outcome = apply_fixes(result.diagnostics + result.grandfathered)
+            for path, n in sorted(outcome.applied.items()):
+                print(f"fixed {n} finding(s) in {path}")
+            for path, fix, reason in outcome.skipped:
+                print(f"skipped a fix in {path}: {reason}", file=sys.stderr)
+            if outcome.n_applied:
+                result = check()
     except (FileNotFoundError, ValueError) as exc:
         print(str(exc), file=sys.stderr)
         return 2
+    if args.update_baseline:
+        write_baseline(result.diagnostics, args.baseline)
+        print(
+            f"wrote {args.baseline} grandfathering {len(result.diagnostics)} finding(s)"
+        )
+        return 0
+    cache_note = f"cache: {result.n_cache_hits} hit(s), {result.n_analyzed} analyzed"
     if args.format == "json":
         print(render_json(result.diagnostics))
+    elif args.format == "sarif":
+        print(render_sarif(result.diagnostics, all_rules()))
     elif result.diagnostics:
         print(render_text(result.diagnostics))
+        print(f"({cache_note})")
     else:
-        print(f"a4nn check: {result.n_files} file(s) clean")
+        note = f" ({len(result.grandfathered)} grandfathered)" if result.grandfathered else ""
+        print(f"a4nn check: {result.n_files} file(s) clean{note} ({cache_note})")
     return result.exit_code
 
 
@@ -336,6 +380,8 @@ def _cmd_bench(args: argparse.Namespace) -> int:
 
     if args.scaling:
         return _cmd_bench_scaling(args)
+    if args.check:
+        return _cmd_bench_check(args)
     report = run_bench(
         seed=args.seed, repeats=args.repeats, skip_kernels=args.skip_kernels
     )
@@ -373,6 +419,26 @@ def _cmd_bench_scaling(args: argparse.Namespace) -> int:
     if not report.consistent():
         print(
             "FAIL: search outcome differs across execution backends",
+            file=sys.stderr,
+        )
+        return 1
+    return 0
+
+
+def _cmd_bench_check(args: argparse.Namespace) -> int:
+    from repro.bench import CheckBenchReport, compare_checkbench, run_checkbench
+
+    report = run_checkbench(repeats=args.repeats)
+    print(report.summary())
+    if args.output:
+        path = report.save(args.output)
+        print(f"wrote {path}")
+    if args.compare:
+        committed = CheckBenchReport.load(args.compare)
+        print(compare_checkbench(report, committed))
+    if report.warm_seconds >= report.cold_seconds:
+        print(
+            "FAIL: warm-cache analysis is not faster than cold",
             file=sys.stderr,
         )
         return 1
@@ -448,6 +514,12 @@ def build_parser() -> argparse.ArgumentParser:
         "(serial/thread/process × worker counts; BENCH_scaling.json)",
     )
     bench_parser.add_argument(
+        "--check",
+        action="store_true",
+        help="benchmark the static-analysis engine instead: cold vs "
+        "warm-cache 'a4nn check' timings (BENCH_check.json)",
+    )
+    bench_parser.add_argument(
         "--output", type=Path, help="write the bench document (BENCH_evalpath.json)"
     )
     bench_parser.add_argument(
@@ -470,13 +542,44 @@ def build_parser() -> argparse.ArgumentParser:
         help="files/directories to lint (default: the installed repro package)",
     )
     check_parser.add_argument(
-        "--format", choices=["text", "json"], default="text", help="diagnostic format"
+        "--format",
+        choices=["text", "json", "sarif", "md"],
+        default="text",
+        help="diagnostic format (md is the README rule-catalog table, "
+        "only with --list-rules)",
     )
     check_parser.add_argument(
         "--list-rules", action="store_true", help="print the rule catalog and exit"
     )
     check_parser.add_argument("--select", help="comma-separated rule ids to run exclusively")
     check_parser.add_argument("--ignore", help="comma-separated rule ids to skip")
+    check_parser.add_argument(
+        "--cache-dir",
+        type=Path,
+        default=Path(".a4nn-cache"),
+        help="incremental analysis cache location (default .a4nn-cache)",
+    )
+    check_parser.add_argument(
+        "--no-cache",
+        action="store_true",
+        help="disable the incremental cache (always re-parse everything)",
+    )
+    check_parser.add_argument(
+        "--baseline",
+        type=Path,
+        default=Path(".a4nn-baseline.json"),
+        help="baseline of grandfathered findings (applied when the file exists)",
+    )
+    check_parser.add_argument(
+        "--update-baseline",
+        action="store_true",
+        help="record the current findings as the new grandfathered baseline",
+    )
+    check_parser.add_argument(
+        "--fix",
+        action="store_true",
+        help="apply the mechanical autofixes attached to findings, then re-check",
+    )
     check_parser.set_defaults(handler=_cmd_check)
 
     return parser

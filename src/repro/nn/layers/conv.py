@@ -133,7 +133,7 @@ class Conv2D(Layer):
         )
         if self.use_bias:
             self.params["bias"] = Parameter(
-                np.zeros(self.out_channels), dtype=self.dtype
+                np.zeros(self.out_channels, dtype=self.dtype), dtype=self.dtype
             )
         self._cache: tuple | None = None
 

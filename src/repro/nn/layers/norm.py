@@ -30,8 +30,12 @@ class _BatchNorm(Layer):
         self.momentum = float(momentum)
         self.eps = float(eps)
         self.dtype = resolve_dtype(dtype)
-        self.params["gamma"] = Parameter(np.ones(self.num_features), dtype=self.dtype)
-        self.params["beta"] = Parameter(np.zeros(self.num_features), dtype=self.dtype)
+        self.params["gamma"] = Parameter(
+            np.ones(self.num_features, dtype=self.dtype), dtype=self.dtype
+        )
+        self.params["beta"] = Parameter(
+            np.zeros(self.num_features, dtype=self.dtype), dtype=self.dtype
+        )
         # running statistics are state, not trainable parameters; they
         # live in the layer dtype so eval-mode forwards stay in-dtype
         self.running_mean = np.zeros(self.num_features, dtype=self.dtype)

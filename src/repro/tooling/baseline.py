@@ -1,0 +1,88 @@
+"""Committed baseline of grandfathered findings.
+
+Adopting a new rule pack on a mature tree shouldn't force fixing every
+historical finding before the gate turns green — but it also must not
+let *new* violations ride in on the old ones' backs.  The baseline file
+(committed as ``.a4nn-baseline.json``) records a count per finding
+fingerprint; ``a4nn check --baseline`` subtracts matching findings from
+the failure set (reporting them separately) while anything beyond the
+recorded count still fails.
+
+Fingerprints are ``(path, rule id, message digest)`` — deliberately
+*line-independent*, so unrelated edits shifting a grandfathered finding
+down the file do not resurrect it, while a genuinely new instance of
+the same rule in the same file (different message, or one more
+occurrence of an identical message) is still caught.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+from collections import Counter
+from pathlib import Path
+
+from repro.tooling.context import package_path
+from repro.tooling.diagnostics import Diagnostic
+
+__all__ = ["fingerprint", "load_baseline", "write_baseline", "apply_baseline"]
+
+SCHEMA = "a4nn-baseline/1"
+
+
+def fingerprint(diagnostic: Diagnostic) -> str:
+    """Stable, line-independent identity of one finding."""
+    digest = hashlib.blake2b(
+        diagnostic.message.encode("utf-8"), digest_size=8
+    ).hexdigest()
+    return f"{package_path(diagnostic.path)}::{diagnostic.rule_id}::{digest}"
+
+
+def load_baseline(path: str | Path) -> Counter:
+    """Read a baseline document into fingerprint counts.
+
+    A missing file is an empty baseline; a malformed one is an error —
+    silently ignoring it would un-grandfather everything at once.
+    """
+    path = Path(path)
+    if not path.exists():
+        return Counter()
+    payload = json.loads(path.read_text(encoding="utf-8"))
+    if not isinstance(payload, dict) or payload.get("schema") != SCHEMA:
+        raise ValueError(f"{path} is not an {SCHEMA} document")
+    entries = payload.get("findings", {})
+    return Counter({str(k): int(v) for k, v in entries.items()})
+
+
+def write_baseline(diagnostics: list[Diagnostic], path: str | Path) -> Path:
+    """Record the current findings as the new grandfathered set."""
+    counts = Counter(fingerprint(d) for d in diagnostics)
+    payload = {
+        "schema": SCHEMA,
+        "findings": {k: counts[k] for k in sorted(counts)},
+    }
+    path = Path(path)
+    path.write_text(json.dumps(payload, indent=2, sort_keys=True) + "\n", encoding="utf-8")
+    return path
+
+
+def apply_baseline(
+    diagnostics: list[Diagnostic], baseline: Counter
+) -> tuple[list[Diagnostic], list[Diagnostic]]:
+    """Split findings into ``(fresh, grandfathered)``.
+
+    Matching is per fingerprint with multiplicity: a baseline count of 2
+    absorbs the first two identical findings (in stable sort order) and
+    the third fails the check as new.
+    """
+    budget = Counter(baseline)
+    fresh: list[Diagnostic] = []
+    grandfathered: list[Diagnostic] = []
+    for diagnostic in sorted(diagnostics, key=Diagnostic.sort_key):
+        key = fingerprint(diagnostic)
+        if budget[key] > 0:
+            budget[key] -= 1
+            grandfathered.append(diagnostic)
+        else:
+            fresh.append(diagnostic)
+    return fresh, grandfathered

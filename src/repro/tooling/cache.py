@@ -1,0 +1,135 @@
+"""Incremental per-file analysis cache for ``a4nn check``.
+
+A warm run must re-parse only the files whose *content* changed — on a
+tree the size of ``src/`` the parse + file-scope-rule pass dominates
+lint time, and the daemon-facing ROADMAP items will run the checker far
+more often than the tree changes.
+
+Each cache entry is keyed by the BLAKE2b hash of the file's bytes plus
+an engine/ruleset fingerprint, and stores everything a warm run needs
+to skip the parse:
+
+* the pickled AST (``ast`` trees pickle cleanly and rebuild much faster
+  than re-parsing),
+* the comment-token list (so suppression parsing skips re-tokenizing),
+* the diagnostics produced by **file-scoped** rules.
+
+Project-scoped rules (the cross-file flow packs, registry checks) are
+*never* cached — they re-run each invocation against the cached ASTs,
+because their verdict on an unchanged file can legitimately change when
+a sibling file changes.  The fingerprint folds in the participating
+rule ids and a cache-format version, so adding a rule or upgrading the
+engine invalidates stale entries wholesale.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import pickle
+from dataclasses import dataclass
+from pathlib import Path
+
+from repro.tooling.diagnostics import Diagnostic
+
+__all__ = ["AnalysisCache", "CachedModule", "DEFAULT_CACHE_DIR", "CACHE_FORMAT"]
+
+DEFAULT_CACHE_DIR = ".a4nn-cache"
+
+#: Bump when the entry layout changes; folded into every entry key.
+CACHE_FORMAT = 1
+
+
+@dataclass
+class CachedModule:
+    """One warm-cache hit: the artifacts of a previously analyzed file."""
+
+    content_hash: str
+    tree: object
+    comments: list
+    file_diagnostics: list[Diagnostic]
+
+
+class AnalysisCache:
+    """Content-hash-keyed store under ``.a4nn-cache/``.
+
+    Entries are one pickle per file, named by the hash of the file's
+    *path* (so renames miss naturally) and validated by content hash +
+    ruleset fingerprint on read.  Corrupt or unreadable entries are
+    treated as misses — the cache can always be deleted wholesale.
+    """
+
+    def __init__(self, root: str | Path = DEFAULT_CACHE_DIR, *, fingerprint: str = "") -> None:
+        self.root = Path(root)
+        self.fingerprint = fingerprint
+        self.hits = 0
+        self.misses = 0
+
+    @staticmethod
+    def ruleset_fingerprint(rules) -> str:
+        """Stable digest of the participating file-scoped rule ids."""
+        ids = sorted(
+            f"{r.rule_id}:{type(r).__name__}"
+            for r in rules
+            if getattr(r, "scope", "file") == "file"
+        )
+        payload = f"v{CACHE_FORMAT}|" + "|".join(ids)
+        return hashlib.blake2b(payload.encode("utf-8"), digest_size=8).hexdigest()
+
+    def _entry_path(self, display_path: str, content_hash: str) -> Path:
+        key = f"{display_path}\x00{content_hash}".encode("utf-8")
+        name = hashlib.blake2b(key, digest_size=12).hexdigest()
+        return self.root / f"{name}.pkl"
+
+    def lookup(self, display_path: str, content_hash: str) -> CachedModule | None:
+        """The cached artifacts, or ``None`` on any mismatch/corruption.
+
+        Entries are keyed on path *and* content hash, so reverting a
+        file to previously analyzed content hits its old entry again.
+        """
+        entry_path = self._entry_path(display_path, content_hash)
+        try:
+            with entry_path.open("rb") as fh:
+                payload = pickle.load(fh)
+        except (OSError, pickle.UnpicklingError, EOFError, AttributeError, ImportError):
+            self.misses += 1
+            return None
+        if (
+            not isinstance(payload, dict)
+            or payload.get("fingerprint") != self.fingerprint
+            or payload.get("content_hash") != content_hash
+        ):
+            self.misses += 1
+            return None
+        self.hits += 1
+        return CachedModule(
+            content_hash=content_hash,
+            tree=payload["tree"],
+            comments=payload["comments"],
+            file_diagnostics=payload["diagnostics"],
+        )
+
+    def store(
+        self,
+        display_path: str,
+        content_hash: str,
+        tree: object,
+        comments: list,
+        file_diagnostics: list[Diagnostic],
+    ) -> None:
+        """Persist one file's artifacts; IO errors are non-fatal."""
+        payload = {
+            "fingerprint": self.fingerprint,
+            "content_hash": content_hash,
+            "tree": tree,
+            "comments": comments,
+            "diagnostics": list(file_diagnostics),
+        }
+        try:
+            self.root.mkdir(parents=True, exist_ok=True)
+            entry = self._entry_path(display_path, content_hash)
+            tmp = entry.with_suffix(".tmp")
+            with tmp.open("wb") as fh:
+                pickle.dump(payload, fh, protocol=pickle.HIGHEST_PROTOCOL)
+            tmp.replace(entry)
+        except OSError:
+            pass

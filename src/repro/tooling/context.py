@@ -10,14 +10,37 @@ sources came from disk or from in-memory test fixtures.
 from __future__ import annotations
 
 import ast
+import hashlib
 import io
 import tokenize
 from dataclasses import dataclass, field
 from pathlib import Path
 
-__all__ = ["ModuleContext", "ProjectContext", "package_path"]
+__all__ = ["ModuleContext", "ProjectContext", "package_path", "module_name", "content_hash"]
 
 _PACKAGE_ROOT = "repro"
+
+
+def module_name(pkg_path: str) -> str:
+    """Dotted module name for a package-rooted path.
+
+    ``repro/nn/layers/dense.py`` → ``repro.nn.layers.dense``;
+    ``repro/nn/layers/__init__.py`` → ``repro.nn.layers``.  Paths outside
+    the package keep their stem chain so fixtures still get stable names.
+    """
+    parts = pkg_path.split("/")
+    if parts[-1].endswith(".py"):
+        parts[-1] = parts[-1][: -len(".py")]
+    if parts[-1] == "__init__":
+        parts = parts[:-1]
+    return ".".join(parts)
+
+
+def content_hash(data: str | bytes) -> str:
+    """Stable BLAKE2b digest of file content (the incremental-cache key)."""
+    if isinstance(data, str):
+        data = data.encode("utf-8")
+    return hashlib.blake2b(data, digest_size=16).hexdigest()
 
 
 def package_path(path: str | Path) -> str:
@@ -57,6 +80,7 @@ class ModuleContext:
     source: str
     tree: ast.Module
     project: "ProjectContext | None" = None
+    _comments: "list[tuple[int, int, str]] | None" = None
 
     @classmethod
     def parse(
@@ -70,6 +94,28 @@ class ModuleContext:
             source=source,
             tree=tree,
         )
+
+    @classmethod
+    def from_cache(
+        cls,
+        source: str,
+        display_path: str,
+        tree: ast.Module,
+        comments: list[tuple[int, int, str]],
+    ) -> "ModuleContext":
+        """Rebuild a context from cached artifacts without re-parsing."""
+        return cls(
+            display_path=display_path,
+            pkg_path=package_path(display_path),
+            source=source,
+            tree=tree,
+            _comments=list(comments),
+        )
+
+    @property
+    def mod_name(self) -> str:
+        """Dotted module name derived from ``pkg_path``."""
+        return module_name(self.pkg_path)
 
     def in_location(self, *suffixes_or_dirs: str) -> bool:
         """Whether this module lives at any of the given package spots.
@@ -92,15 +138,19 @@ class ModuleContext:
 
         Tokenization failures (which imply the file would not parse
         either) yield an empty list; the parse-error diagnostic is
-        raised separately by the linter.
+        raised separately by the linter.  The result is memoized (and
+        pre-seeded when the module was rebuilt from the analysis cache).
         """
+        if self._comments is not None:
+            return self._comments
         found: list[tuple[int, int, str]] = []
         try:
             for token in tokenize.generate_tokens(io.StringIO(self.source).readline):
                 if token.type == tokenize.COMMENT:
                     found.append((token.start[0], token.start[1], token.string))
         except (tokenize.TokenError, IndentationError, SyntaxError):
-            return []
+            found = []
+        self._comments = found
         return found
 
 

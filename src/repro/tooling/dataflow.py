@@ -1,0 +1,276 @@
+"""Dataflow pass framework: "does value X reach seam Y".
+
+Built on :mod:`repro.tooling.graph`, this module gives cross-file rules
+two primitives:
+
+* **Reachability with witnesses** — :func:`reach_from` wraps the call
+  graph's breadth-first closure and renders human-readable witness
+  chains for diagnostics ("via a → b → c").
+* **Value tracing** — :func:`trace_value` follows an expression
+  backwards through local and module-level assignments (a bounded,
+  intraprocedural reaching-definitions approximation) and classifies
+  what flows at a seam: a lambda, a locally-defined closure, a call to
+  a known factory, a constant, or an unresolvable opaque value.  Rules
+  then decide which origins are hostile at their seam (non-picklable
+  values entering ``EvalSpec``, RNG objects parked on module globals).
+
+The analysis is deliberately approximate — it must be fast enough to
+run on every ``a4nn check`` and never crash on strange code — but the
+approximations are one-sided per use: reachability over-approximates
+(no missed paths), value tracing under-approximates (``unknown`` is
+never flagged).
+"""
+
+from __future__ import annotations
+
+import ast
+from dataclasses import dataclass
+
+from repro.tooling.graph import FunctionInfo, ModuleSymbols, ProjectGraph
+
+__all__ = [
+    "ValueOrigin",
+    "reach_from",
+    "render_chain",
+    "trace_value",
+    "unseeded_rng_call",
+    "rng_factory_call",
+    "iter_unseeded_rng_calls",
+    "RNG_FACTORY_CHAINS",
+    "MUTABLE_CONSTRUCTORS",
+]
+
+# np.random attributes that construct explicit generator machinery rather
+# than touching hidden global state (mirrors DET001's allowlist).
+_ALLOWED_NP_RANDOM = {
+    "Generator",
+    "PCG64",
+    "PCG64DXSM",
+    "Philox",
+    "SFC64",
+    "SeedSequence",
+    "BitGenerator",
+}
+
+#: Call chains that produce an RNG *object* (seeded or not) — parking one
+#: of these on a module global is shared mutable state (DET004) and
+#: shipping one into an ``EvalSpec`` violates the "RNG is re-derived, not
+#: shipped" contract (CONC002).
+RNG_FACTORY_CHAINS = {
+    "np.random.default_rng",
+    "numpy.random.default_rng",
+    "np.random.RandomState",
+    "numpy.random.RandomState",
+    "np.random.Generator",
+    "numpy.random.Generator",
+    "random.Random",
+    "random.SystemRandom",
+    "derive_rng",
+    "fallback_rng",
+}
+
+#: Module-level constructors whose result is mutable shared state.
+MUTABLE_CONSTRUCTORS = {"dict", "list", "set", "defaultdict", "deque", "OrderedDict", "Counter"}
+
+
+def _dotted(node: ast.AST) -> str | None:
+    parts: list[str] = []
+    while isinstance(node, ast.Attribute):
+        parts.append(node.attr)
+        node = node.value
+    if isinstance(node, ast.Name):
+        parts.append(node.id)
+        return ".".join(reversed(parts))
+    return None
+
+
+def unseeded_rng_call(node: ast.AST) -> str | None:
+    """Describe ``node`` when it is an unseeded/global-state RNG call.
+
+    The single source of truth shared by the syntactic DET001 rule and
+    the cross-file DET003 flow rule, so the two packs can never drift on
+    what "unseeded" means.  Returns a short description or ``None``.
+    """
+    if not isinstance(node, ast.Call):
+        return None
+    chain = _dotted(node.func)
+    if chain is None:
+        return None
+    if chain.startswith(("np.random.", "numpy.random.")):
+        tail = chain.split(".", 2)[2]
+        if tail in _ALLOWED_NP_RANDOM:
+            return None
+        if tail == "default_rng":
+            if not node.args and not node.keywords:
+                return f"{chain}() without a seed"
+            return None
+        return f"{chain}() (numpy hidden global RNG state)"
+    if chain.startswith("random.") and chain.count(".") == 1:
+        tail = chain.rsplit(".", 1)[1]
+        if tail == "SystemRandom":
+            return f"{chain}() (draws OS entropy)"
+        if tail == "Random":
+            if not node.args and not node.keywords:
+                return f"{chain}() without a seed"
+            return None
+        return f"{chain}() (stdlib global RNG)"
+    return None
+
+
+def iter_unseeded_rng_calls(tree: ast.AST):
+    """Yield ``(node, description)`` for every unseeded RNG call under ``tree``."""
+    for node in ast.walk(tree):
+        what = unseeded_rng_call(node)
+        if what is not None:
+            yield node, what
+
+
+def rng_factory_call(node: ast.AST) -> str | None:
+    """The factory chain when ``node`` constructs an RNG object, else ``None``."""
+    if not isinstance(node, ast.Call):
+        return None
+    chain = _dotted(node.func)
+    if chain in RNG_FACTORY_CHAINS:
+        return chain
+    return None
+
+
+# -- reachability --------------------------------------------------------------
+
+
+def reach_from(
+    graph: ProjectGraph, entry_modules: list[str], *, name_matches: bool = True
+) -> dict[str, tuple[str, ...]]:
+    """Call-graph closure from every function defined in ``entry_modules``.
+
+    Returns ``{qualname: witness chain}`` including the entries
+    themselves (chain length 1).
+    """
+    entries = [f.qualname for f in graph.functions_in(*entry_modules)]
+    return graph.reachable(entries, name_matches=name_matches)
+
+
+def render_chain(chain: tuple[str, ...], *, max_hops: int = 4) -> str:
+    """``a → b → c`` witness text, elided in the middle when long."""
+    names = [q.rsplit(".", 2)[-1] if q.count(".") < 2 else ".".join(q.split(".")[-2:]) for q in chain]
+    if len(names) > max_hops:
+        names = names[:2] + ["…"] + names[-1:]
+    return " → ".join(names)
+
+
+# -- value tracing -------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class ValueOrigin:
+    """Classification of what an expression evaluates to.
+
+    ``kind`` is one of ``lambda``, ``closure``, ``genexp``, ``call``,
+    ``constant``, ``mapping``, or ``unknown``; ``detail`` carries the
+    resolved call chain (for ``call``) or the local function name (for
+    ``closure``); ``node`` is the AST node where the value originates
+    (used to anchor diagnostics at the *source* end of the edge).
+    """
+
+    kind: str
+    detail: str = ""
+    node: ast.AST | None = None
+
+
+def _local_assignments(func: ast.AST) -> dict[str, ast.AST]:
+    """Last textual assignment to each local name (approximate reaching defs)."""
+    assigns: dict[str, ast.AST] = {}
+    for node in ast.walk(func):
+        if isinstance(node, ast.Assign):
+            for target in node.targets:
+                if isinstance(target, ast.Name):
+                    assigns[target.id] = node.value
+                elif (
+                    isinstance(target, (ast.Tuple, ast.List))
+                    and isinstance(node.value, (ast.Tuple, ast.List))
+                    and len(target.elts) == len(node.value.elts)
+                ):
+                    # positional unpacking: a, b = x, y
+                    for t, v in zip(target.elts, node.value.elts):
+                        if isinstance(t, ast.Name):
+                            assigns[t.id] = v
+        elif isinstance(node, ast.AnnAssign) and node.value is not None:
+            if isinstance(node.target, ast.Name):
+                assigns[node.target.id] = node.value
+        elif isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)) and node is not func:
+            assigns[node.name] = node
+    return assigns
+
+
+def trace_value(
+    symbols: ModuleSymbols,
+    scope: FunctionInfo | None,
+    expr: ast.AST,
+    *,
+    _depth: int = 0,
+) -> ValueOrigin:
+    """Classify the value ``expr`` evaluates to, following assignments.
+
+    ``scope`` is the function whose locals to search (``None`` for
+    module-level expressions).  Resolution is bounded (depth 8) and
+    falls back to ``unknown`` rather than guessing.
+    """
+    if _depth > 8:
+        return ValueOrigin("unknown", node=expr)
+    if isinstance(expr, ast.Lambda):
+        return ValueOrigin("lambda", node=expr)
+    if isinstance(expr, (ast.FunctionDef, ast.AsyncFunctionDef)):
+        return ValueOrigin("closure", detail=expr.name, node=expr)
+    if isinstance(expr, (ast.GeneratorExp,)):
+        return ValueOrigin("genexp", node=expr)
+    if isinstance(expr, ast.Constant):
+        return ValueOrigin("constant", node=expr)
+    if isinstance(expr, ast.Dict):
+        return ValueOrigin("mapping", node=expr)
+    if isinstance(expr, ast.Call):
+        chain = _dotted(expr.func)
+        if chain == "dict":
+            return ValueOrigin("mapping", node=expr)
+        if chain is not None:
+            resolved = symbols.resolve(chain) or chain
+            return ValueOrigin("call", detail=resolved, node=expr)
+        return ValueOrigin("unknown", node=expr)
+    if isinstance(expr, ast.Name):
+        if scope is not None:
+            local = _local_assignments(scope.node).get(expr.id)
+            if local is not None and local is not expr:
+                return trace_value(symbols, scope, local, _depth=_depth + 1)
+        module_value = symbols.module_assigns.get(expr.id)
+        if module_value is not None:
+            return trace_value(symbols, None, module_value, _depth=_depth + 1)
+        return ValueOrigin("unknown", node=expr)
+    return ValueOrigin("unknown", node=expr)
+
+
+def mapping_values(
+    symbols: ModuleSymbols, scope: FunctionInfo | None, expr: ast.AST
+) -> list[tuple[str | None, ast.AST]]:
+    """Expand a dict literal / ``dict(...)`` call into ``(key, value)`` pairs.
+
+    Used to see through ``Spec(**kwargs)`` construction: the caller
+    traces each value individually.  Unresolvable mappings yield ``[]``.
+    """
+    if isinstance(expr, ast.Name):
+        origin_expr = None
+        if scope is not None:
+            origin_expr = _local_assignments(scope.node).get(expr.id)
+        if origin_expr is None:
+            origin_expr = symbols.module_assigns.get(expr.id)
+        if origin_expr is None or origin_expr is expr:
+            return []
+        expr = origin_expr
+    pairs: list[tuple[str | None, ast.AST]] = []
+    if isinstance(expr, ast.Dict):
+        for key, value in zip(expr.keys, expr.values):
+            name = key.value if isinstance(key, ast.Constant) and isinstance(key.value, str) else None
+            pairs.append((name, value))
+    elif isinstance(expr, ast.Call) and _dotted(expr.func) == "dict":
+        for kw in expr.keywords:
+            if kw.arg is not None:
+                pairs.append((kw.arg, kw.value))
+    return pairs

@@ -11,9 +11,17 @@ from __future__ import annotations
 
 import enum
 import json
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 
-__all__ = ["Severity", "Diagnostic", "render_text", "render_json"]
+__all__ = [
+    "Severity",
+    "RelatedLocation",
+    "Fix",
+    "Diagnostic",
+    "render_text",
+    "render_json",
+    "render_sarif",
+]
 
 
 class Severity(enum.Enum):
@@ -24,6 +32,43 @@ class Severity(enum.Enum):
 
     def __str__(self) -> str:  # pragma: no cover - trivial
         return self.value
+
+
+@dataclass(frozen=True)
+class RelatedLocation:
+    """The other end of a cross-file flow edge.
+
+    Cross-file rules anchor the primary diagnostic at the *source* site
+    (say, the unseeded RNG call) and attach the *sink* end (the
+    evaluator entry point it flows into) here.  A justified suppression
+    at either end silences the finding.
+    """
+
+    path: str
+    line: int
+    col: int
+    note: str = ""
+
+    def to_dict(self) -> dict:
+        return {"path": self.path, "line": self.line, "col": self.col, "note": self.note}
+
+
+@dataclass(frozen=True)
+class Fix:
+    """A mechanical, span-exact autofix for one diagnostic.
+
+    ``start``/``end`` are ``(line, col)`` pairs (1-based line, 0-based
+    col, matching diagnostics); ``replacement`` substitutes the spanned
+    text verbatim.  ``requires_import`` names a top-level import
+    statement the applier must ensure exists (e.g. the ``fallback_rng``
+    import after rewriting a seedless ``default_rng()``).
+    """
+
+    start: tuple[int, int]
+    end: tuple[int, int]
+    replacement: str
+    description: str = ""
+    requires_import: str | None = None
 
 
 @dataclass(frozen=True)
@@ -50,12 +95,14 @@ class Diagnostic:
     rule_id: str
     severity: Severity
     message: str
+    related: RelatedLocation | None = field(default=None, compare=False)
+    fix: Fix | None = field(default=None, compare=False)
 
     def sort_key(self) -> tuple:
         return (self.path, self.line, self.col, self.rule_id)
 
     def to_dict(self) -> dict:
-        return {
+        payload = {
             "path": self.path,
             "line": self.line,
             "col": self.col,
@@ -63,6 +110,11 @@ class Diagnostic:
             "severity": self.severity.value,
             "message": self.message,
         }
+        if self.related is not None:
+            payload["related"] = self.related.to_dict()
+        if self.fix is not None:
+            payload["fixable"] = True
+        return payload
 
     def render(self) -> str:
         return (
@@ -90,3 +142,73 @@ def render_json(diagnostics: list[Diagnostic]) -> str:
         "n_warnings": sum(1 for d in diagnostics if d.severity is Severity.WARNING),
     }
     return json.dumps(payload, indent=2, sort_keys=True)
+
+
+_SARIF_SCHEMA = (
+    "https://raw.githubusercontent.com/oasis-tcs/sarif-spec/master/"
+    "Schemata/sarif-schema-2.1.0.json"
+)
+_SARIF_LEVELS = {Severity.ERROR: "error", Severity.WARNING: "warning"}
+
+
+def render_sarif(diagnostics: list[Diagnostic], rules: list | None = None) -> str:
+    """A SARIF 2.1.0 document (``--format=sarif``) for CI code-scanning.
+
+    ``rules`` (the registered catalog) populates the tool's rule
+    metadata so viewers can show descriptions; results reference rules
+    by id.  Columns are converted to SARIF's 1-based convention.
+    """
+    rule_meta = [
+        {
+            "id": rule.rule_id,
+            "shortDescription": {"text": rule.description},
+            "properties": {"category": rule.category},
+        }
+        for rule in (rules or [])
+    ]
+    results = []
+    for d in sorted(diagnostics, key=Diagnostic.sort_key):
+        result = {
+            "ruleId": d.rule_id,
+            "level": _SARIF_LEVELS[d.severity],
+            "message": {"text": d.message},
+            "locations": [
+                {
+                    "physicalLocation": {
+                        "artifactLocation": {"uri": d.path},
+                        "region": {"startLine": d.line, "startColumn": d.col + 1},
+                    }
+                }
+            ],
+        }
+        if d.related is not None:
+            result["relatedLocations"] = [
+                {
+                    "physicalLocation": {
+                        "artifactLocation": {"uri": d.related.path},
+                        "region": {
+                            "startLine": d.related.line,
+                            "startColumn": d.related.col + 1,
+                        },
+                    },
+                    "message": {"text": d.related.note},
+                }
+            ]
+        results.append(result)
+    document = {
+        "$schema": _SARIF_SCHEMA,
+        "version": "2.1.0",
+        "runs": [
+            {
+                "tool": {
+                    "driver": {
+                        "name": "a4nn",
+                        "informationUri": "https://github.com/a4nn/a4nn",
+                        "rules": rule_meta,
+                    }
+                },
+                "results": results,
+            }
+        ],
+    }
+    return json.dumps(document, indent=2, sort_keys=True)

@@ -1,0 +1,125 @@
+"""Applying autofixes attached to diagnostics (``a4nn check --fix``).
+
+A :class:`~repro.tooling.diagnostics.Fix` is a span-exact replacement —
+the rule that produced it computed the span from the AST node it fired
+on, so applying it is pure text surgery with no re-inference.  The only
+intelligence here is bookkeeping:
+
+* fixes for one file are applied **bottom-up** so earlier spans stay
+  valid as later ones change the text;
+* identical ``(span, replacement)`` pairs are deduplicated (DET001 and
+  DET003 can both fire on the same seedless ``default_rng()``);
+* overlapping but non-identical fixes are refused — both are skipped
+  and reported, never half-applied;
+* a fix carrying ``requires_import`` gets the import inserted after the
+  file's last top-level import (deduplicated against existing imports).
+"""
+
+from __future__ import annotations
+
+import ast
+from pathlib import Path
+
+from repro.tooling.diagnostics import Diagnostic, Fix
+
+__all__ = ["FixOutcome", "apply_fixes"]
+
+
+class FixOutcome:
+    """What ``apply_fixes`` did, per file and in total."""
+
+    def __init__(self) -> None:
+        self.applied: dict[str, int] = {}
+        self.skipped: list[tuple[str, Fix, str]] = []  #: (path, fix, reason)
+
+    @property
+    def n_applied(self) -> int:
+        return sum(self.applied.values())
+
+
+def _line_offsets(text: str) -> list[int]:
+    offsets = [0]
+    for line in text.splitlines(keepends=True):
+        offsets.append(offsets[-1] + len(line))
+    return offsets
+
+
+def _to_offset(offsets: list[int], pos: tuple[int, int]) -> int:
+    line, col = pos
+    return offsets[line - 1] + col
+
+
+def _insert_import(text: str, import_line: str) -> str:
+    """Add ``import_line`` after the last top-level import, once."""
+    if any(line.strip() == import_line for line in text.splitlines()):
+        return text
+    try:
+        tree = ast.parse(text)
+    except SyntaxError:
+        return text
+    last_import_line = 0
+    for stmt in tree.body:
+        if isinstance(stmt, (ast.Import, ast.ImportFrom)):
+            last_import_line = max(last_import_line, stmt.end_lineno or stmt.lineno)
+    lines = text.splitlines(keepends=True)
+    if last_import_line == 0:
+        # no imports: after the module docstring, if any
+        if (
+            tree.body
+            and isinstance(tree.body[0], ast.Expr)
+            and isinstance(tree.body[0].value, ast.Constant)
+            and isinstance(tree.body[0].value.value, str)
+        ):
+            last_import_line = tree.body[0].end_lineno or 1
+    lines.insert(last_import_line, import_line + "\n")
+    return "".join(lines)
+
+
+def apply_fixes(diagnostics: list[Diagnostic], *, root: str | Path = ".") -> FixOutcome:
+    """Apply every attached fix, rewriting files in place."""
+    outcome = FixOutcome()
+    by_path: dict[str, list[Fix]] = {}
+    for diagnostic in diagnostics:
+        if diagnostic.fix is not None:
+            by_path.setdefault(diagnostic.path, []).append(diagnostic.fix)
+
+    for path, fixes in sorted(by_path.items()):
+        file_path = Path(path)
+        if not file_path.is_absolute():
+            file_path = Path(root) / path
+        try:
+            text = file_path.read_text(encoding="utf-8")
+        except OSError as exc:
+            for fix in fixes:
+                outcome.skipped.append((path, fix, f"unreadable: {exc}"))
+            continue
+        offsets = _line_offsets(text)
+        # dedupe identical fixes, then order bottom-up
+        unique: dict[tuple, Fix] = {}
+        for fix in fixes:
+            unique.setdefault((fix.start, fix.end, fix.replacement), fix)
+        ordered = sorted(
+            unique.values(),
+            key=lambda f: (_to_offset(offsets, f.start), _to_offset(offsets, f.end)),
+            reverse=True,
+        )
+        applied = 0
+        imports_needed: list[str] = []
+        last_start = len(text) + 1
+        for fix in ordered:
+            start = _to_offset(offsets, fix.start)
+            end = _to_offset(offsets, fix.end)
+            if end > last_start or end < start or end > len(text):
+                outcome.skipped.append((path, fix, "overlaps another fix"))
+                continue
+            text = text[:start] + fix.replacement + text[end:]
+            last_start = start
+            applied += 1
+            if fix.requires_import:
+                imports_needed.append(fix.requires_import)
+        for import_line in dict.fromkeys(imports_needed):
+            text = _insert_import(text, import_line)
+        if applied:
+            file_path.write_text(text, encoding="utf-8")
+            outcome.applied[path] = applied
+    return outcome

@@ -1,0 +1,308 @@
+"""Project-wide semantic graph: imports, symbols, and an approximate call graph.
+
+Single-file AST rules cannot see the bugs that matter once evaluator
+chains span modules and processes: an unseeded RNG reached *indirectly*
+from the eval path, or module-level state mutated three calls below a
+worker entry point.  This module builds the shared substrate those
+cross-file rules stand on:
+
+* a **symbol table** per module (imports resolved to dotted targets,
+  top-level assignments, functions and methods with stable qualnames);
+* an **import graph** (which ``repro`` modules each module imports); and
+* an **approximate call graph**.  Edges come in two precisions:
+  ``resolved`` edges follow statically certain bindings (module-level
+  functions, imported functions, ``self.method`` within a class), while
+  ``name`` edges match a method/function call by bare name against every
+  same-named definition in the project.  Name edges over-approximate
+  (that is the point: reachability queries must not miss a path through
+  a duck-typed seam like ``evaluator.evaluate(...)``); precision-first
+  rules can ask for resolved edges only.
+
+The graph is rebuilt per linter invocation from the already-parsed
+:class:`~repro.tooling.context.ProjectContext` — the incremental cache
+makes re-parsing cheap, and building the graph itself is linear in the
+AST size.
+"""
+
+from __future__ import annotations
+
+import ast
+from dataclasses import dataclass, field
+
+from repro.tooling.context import ModuleContext, ProjectContext
+
+__all__ = ["FunctionInfo", "ModuleSymbols", "ProjectGraph", "build_graph"]
+
+
+@dataclass
+class FunctionInfo:
+    """One function or method definition with its call sites."""
+
+    qualname: str  #: e.g. ``repro.nas.evaluation.TrainingEvaluator.evaluate``
+    bare_name: str  #: the trailing identifier, e.g. ``evaluate``
+    module: str  #: dotted module name
+    class_name: str | None  #: owning class, if a method
+    node: ast.AST  #: the ``FunctionDef`` / ``AsyncFunctionDef``
+    calls: list[tuple[str, str]] = field(default_factory=list)  #: (kind, target)
+
+
+@dataclass
+class ModuleSymbols:
+    """Symbol table for one module."""
+
+    name: str
+    context: ModuleContext
+    imports: dict[str, str] = field(default_factory=dict)  #: local name → dotted target
+    module_assigns: dict[str, ast.expr] = field(default_factory=dict)
+    functions: dict[str, FunctionInfo] = field(default_factory=dict)  #: qualname → info
+    classes: dict[str, ast.ClassDef] = field(default_factory=dict)
+
+    def resolve(self, chain: str) -> str | None:
+        """Resolve a dotted reference through this module's imports.
+
+        ``EvalSpec`` imported from ``repro.scheduler.procpool`` resolves
+        to ``repro.scheduler.procpool.EvalSpec``; ``procpool.EvalSpec``
+        after ``from repro.scheduler import procpool`` does too.  Returns
+        ``None`` when the head is not an import or module symbol.
+        """
+        head, _, rest = chain.partition(".")
+        target = self.imports.get(head)
+        if target is None:
+            local = f"{self.name}.{head}"
+            if head in self.classes or local in self.functions or head in self.module_assigns:
+                target = local
+            else:
+                return None
+        return f"{target}.{rest}" if rest else target
+
+
+def _relative_base(mod_name: str, level: int, is_package: bool) -> str:
+    """The package a ``from ...x import y`` (level dots) resolves against."""
+    parts = mod_name.split(".")
+    # a package module (__init__) is its own first parent
+    drop = level - 1 if is_package else level
+    if drop > 0:
+        parts = parts[:-drop] if drop < len(parts) else []
+    return ".".join(parts)
+
+
+def _collect_imports(module: ModuleContext, symbols: ModuleSymbols) -> None:
+    is_package = module.pkg_path.endswith("/__init__.py")
+    for node in ast.walk(module.tree):
+        if isinstance(node, ast.Import):
+            for alias in node.names:
+                local = alias.asname or alias.name.split(".")[0]
+                target = alias.name if alias.asname else alias.name.split(".")[0]
+                symbols.imports[local] = target
+        elif isinstance(node, ast.ImportFrom):
+            base = node.module or ""
+            if node.level:
+                prefix = _relative_base(symbols.name, node.level, is_package)
+                base = f"{prefix}.{base}" if base and prefix else (prefix or base)
+            for alias in node.names:
+                if alias.name == "*":
+                    continue
+                local = alias.asname or alias.name
+                symbols.imports[local] = f"{base}.{alias.name}" if base else alias.name
+
+
+class _FunctionCollector(ast.NodeVisitor):
+    """Index functions/methods; nested defs fold into their enclosing function."""
+
+    def __init__(self, symbols: ModuleSymbols) -> None:
+        self.symbols = symbols
+        self._class_stack: list[str] = []
+        self._func_stack: list[FunctionInfo] = []
+
+    def _visit_func(self, node: ast.FunctionDef | ast.AsyncFunctionDef) -> None:
+        if self._func_stack:
+            # nested function: its body belongs to the enclosing function
+            self._func_stack.append(self._func_stack[-1])
+            self.generic_visit(node)
+            self._func_stack.pop()
+            return
+        class_name = self._class_stack[-1] if self._class_stack else None
+        prefix = f"{self.symbols.name}.{class_name}." if class_name else f"{self.symbols.name}."
+        info = FunctionInfo(
+            qualname=f"{prefix}{node.name}",
+            bare_name=node.name,
+            module=self.symbols.name,
+            class_name=class_name,
+            node=node,
+        )
+        self.symbols.functions[info.qualname] = info
+        self._func_stack.append(info)
+        self.generic_visit(node)
+        self._func_stack.pop()
+
+    visit_FunctionDef = _visit_func
+    visit_AsyncFunctionDef = _visit_func
+
+    def visit_ClassDef(self, node: ast.ClassDef) -> None:
+        if self._func_stack:
+            self.generic_visit(node)
+            return
+        self.symbols.classes[node.name] = node
+        self._class_stack.append(node.name)
+        self.generic_visit(node)
+        self._class_stack.pop()
+
+
+def _dotted(node: ast.AST) -> str | None:
+    parts: list[str] = []
+    while isinstance(node, ast.Attribute):
+        parts.append(node.attr)
+        node = node.value
+    if isinstance(node, ast.Name):
+        parts.append(node.id)
+        return ".".join(reversed(parts))
+    return None
+
+
+@dataclass
+class ProjectGraph:
+    """Import graph + symbol tables + call graph over one project."""
+
+    modules: dict[str, ModuleSymbols] = field(default_factory=dict)
+    imports: dict[str, set[str]] = field(default_factory=dict)  #: module → imported modules
+    functions: dict[str, FunctionInfo] = field(default_factory=dict)
+    by_bare_name: dict[str, list[str]] = field(default_factory=dict)
+
+    # -- queries ---------------------------------------------------------------
+
+    def functions_in(self, *mod_names: str) -> list[FunctionInfo]:
+        """All functions defined in the named modules (exact dotted names)."""
+        wanted = set(mod_names)
+        return [f for f in self.functions.values() if f.module in wanted]
+
+    def imported_by(self, mod_name: str) -> set[str]:
+        """Project modules the named module imports (transitively closed
+        by calling repeatedly; this returns the direct edge set)."""
+        return self.imports.get(mod_name, set())
+
+    def reachable(
+        self, entries: list[str], *, name_matches: bool = True
+    ) -> dict[str, tuple[str, ...]]:
+        """Call-graph closure from ``entries`` with witness chains.
+
+        Returns ``{qualname: (entry, ..., qualname)}`` — the first
+        discovered path from an entry point, breadth-first, so the
+        witness in a diagnostic is a *shortest* chain.  ``name_matches``
+        includes the approximate by-bare-name edges; precision-first
+        rules (e.g. the dtype pack) pass ``False`` to follow only
+        statically resolved bindings.
+        """
+        frontier = [q for q in entries if q in self.functions]
+        chains: dict[str, tuple[str, ...]] = {q: (q,) for q in frontier}
+        while frontier:
+            next_frontier: list[str] = []
+            for qualname in frontier:
+                info = self.functions[qualname]
+                for kind, target in info.calls:
+                    if kind == "name" and not name_matches:
+                        continue
+                    candidates = (
+                        self.by_bare_name.get(target, ())
+                        if kind == "name"
+                        else ((target,) if target in self.functions else ())
+                    )
+                    for candidate in candidates:
+                        if candidate not in chains:
+                            chains[candidate] = chains[qualname] + (candidate,)
+                            next_frontier.append(candidate)
+            frontier = next_frontier
+        return chains
+
+
+def _collect_calls(graph: ProjectGraph, symbols: ModuleSymbols) -> None:
+    """Attach (kind, target) call edges to every function in ``symbols``."""
+    method_index = {
+        (f.module, f.class_name, f.bare_name): f.qualname
+        for f in symbols.functions.values()
+        if f.class_name is not None
+    }
+    seen_funcs: dict[int, FunctionInfo] = {}
+    for info in symbols.functions.values():
+        if id(info.node) in seen_funcs:
+            continue
+        seen_funcs[id(info.node)] = info
+        for node in ast.walk(info.node):
+            if not isinstance(node, ast.Call):
+                continue
+            chain = _dotted(node.func)
+            if chain is None:
+                continue
+            head, _, rest = chain.partition(".")
+            if not rest:
+                # bare call: module function, imported function, else unresolved
+                local = f"{symbols.name}.{head}"
+                if local in graph.functions:
+                    info.calls.append(("resolved", local))
+                    continue
+                resolved = symbols.imports.get(head)
+                if resolved is not None:
+                    if resolved in graph.functions:
+                        info.calls.append(("resolved", resolved))
+                    elif head in graph.by_bare_name:
+                        info.calls.append(("name", head))
+                elif head in graph.by_bare_name:
+                    info.calls.append(("name", head))
+                continue
+            final = chain.rsplit(".", 1)[1]
+            if head == "self" and info.class_name is not None and chain.count(".") == 1:
+                own = method_index.get((symbols.name, info.class_name, final))
+                if own is not None:
+                    info.calls.append(("resolved", own))
+                    continue
+                info.calls.append(("name", final))
+                continue
+            resolved = symbols.resolve(chain)
+            if resolved is not None and resolved in graph.functions:
+                info.calls.append(("resolved", resolved))
+            elif final in graph.by_bare_name:
+                info.calls.append(("name", final))
+
+
+def build_graph(project: ProjectContext) -> ProjectGraph:
+    """Build the full semantic graph for one parsed project.
+
+    Memoized on the project: every project-scoped rule in one linter
+    invocation shares a single graph build (the project's module list
+    is fully populated before any rule runs).
+    """
+    cached = getattr(project, "_graph_cache", None)
+    if cached is not None and cached[0] == len(project.modules):
+        return cached[1]
+    graph = ProjectGraph()
+    for module in project.modules:
+        symbols = ModuleSymbols(name=module.mod_name, context=module)
+        _collect_imports(module, symbols)
+        _FunctionCollector(symbols).visit(module.tree)
+        for stmt in module.tree.body:
+            if isinstance(stmt, ast.Assign):
+                for target in stmt.targets:
+                    if isinstance(target, ast.Name):
+                        symbols.module_assigns[target.id] = stmt.value
+            elif isinstance(stmt, ast.AnnAssign) and stmt.value is not None:
+                if isinstance(stmt.target, ast.Name):
+                    symbols.module_assigns[stmt.target.id] = stmt.value
+        graph.modules[symbols.name] = symbols
+        graph.functions.update(symbols.functions)
+    # import graph restricted to modules in the project
+    known = set(graph.modules)
+    for name, symbols in graph.modules.items():
+        edges = set()
+        for target in symbols.imports.values():
+            probe = target
+            while probe:
+                if probe in known and probe != name:
+                    edges.add(probe)
+                    break
+                probe = probe.rpartition(".")[0]
+        graph.imports[name] = edges
+    for info in graph.functions.values():
+        graph.by_bare_name.setdefault(info.bare_name, []).append(info.qualname)
+    for symbols in graph.modules.values():
+        _collect_calls(graph, symbols)
+    project._graph_cache = (len(project.modules), graph)
+    return graph

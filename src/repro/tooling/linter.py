@@ -1,10 +1,18 @@
 """The ``a4nn check`` linter: run the rule catalog over a source tree.
 
-The linter parses every file once, hands the whole project to each
-registered rule (so cross-file rules can see siblings), applies the
-justified-``noqa`` suppressions, and returns sorted diagnostics.  It is
+The linter parses every file once (or rehydrates it from the
+incremental cache), runs **file-scoped** rules per module and
+**project-scoped** rules once per invocation, applies the justified-
+``noqa`` suppressions (statement-span aware, and honored at *either*
+end of a cross-file finding), and returns sorted diagnostics.  It is
 importable (the test suite runs it in-process on ``src/``) and drives
 the ``a4nn check`` CLI subcommand.
+
+Cache discipline: a warm run re-parses only files whose content hash
+changed.  Cache entries store the AST, comment tokens, and the
+*pre-suppression* file-scoped diagnostics — suppressions and
+project-scoped rules are re-evaluated every run, because both can
+legitimately change without the file itself changing.
 """
 
 from __future__ import annotations
@@ -13,15 +21,27 @@ from dataclasses import dataclass, field
 from pathlib import Path
 from typing import Iterable, Mapping
 
-from repro.tooling.context import ModuleContext, ProjectContext
+from repro.tooling.baseline import apply_baseline, load_baseline
+from repro.tooling.cache import AnalysisCache
+from repro.tooling.context import ModuleContext, ProjectContext, content_hash
 from repro.tooling.diagnostics import Diagnostic, Severity
 from repro.tooling.rules import Rule, all_rules, rule_ids
-from repro.tooling.rules.suppressions import parse_suppressions
+from repro.tooling.rules.suppressions import suppressed_lines
 
-__all__ = ["CheckResult", "Linter", "collect_files", "run_check", "PARSE_ERROR_ID"]
+__all__ = [
+    "CheckResult",
+    "Linter",
+    "collect_files",
+    "run_check",
+    "PARSE_ERROR_ID",
+    "SKIPPED_FILE_ID",
+]
 
 #: Pseudo-rule id for files that do not parse at all.
 PARSE_ERROR_ID = "GEN001"
+
+#: Pseudo-rule id (warning) for files skipped because they are not UTF-8.
+SKIPPED_FILE_ID = "GEN002"
 
 
 @dataclass
@@ -30,6 +50,9 @@ class CheckResult:
 
     diagnostics: list[Diagnostic] = field(default_factory=list)
     n_files: int = 0
+    n_cache_hits: int = 0  #: files rehydrated from the analysis cache
+    n_analyzed: int = 0  #: files parsed + file-rule-analyzed this run
+    grandfathered: list[Diagnostic] = field(default_factory=list)
 
     @property
     def n_errors(self) -> int:
@@ -41,13 +64,24 @@ class CheckResult:
         return 1 if self.n_errors else 0
 
 
+def _excluded(rel_parts: tuple[str, ...]) -> bool:
+    return any(part == "__pycache__" or part.startswith(".") for part in rel_parts)
+
+
 def collect_files(paths: Iterable[str | Path]) -> list[Path]:
-    """Expand files/directories into a sorted, de-duplicated ``*.py`` list."""
+    """Expand files/directories into a sorted, de-duplicated ``*.py`` list.
+
+    Directory walks deterministically skip ``__pycache__`` and hidden
+    directories (any path component starting with ``.``); explicitly
+    named files are always included.
+    """
     seen: dict[Path, None] = {}
     for raw in paths:
         path = Path(raw)
         if path.is_dir():
             for candidate in sorted(path.rglob("*.py")):
+                if _excluded(candidate.relative_to(path).parts):
+                    continue
                 seen.setdefault(candidate, None)
         elif path.is_file():
             seen.setdefault(path, None)
@@ -85,69 +119,157 @@ class Linter:
             dropped = set(ignore)
             chosen = [r for r in chosen if r.rule_id not in dropped]
         self.rules = chosen
+        self.file_rules = [r for r in chosen if getattr(r, "scope", "file") == "file"]
+        self.project_rules = [r for r in chosen if getattr(r, "scope", "file") == "project"]
 
     # -- entry points -----------------------------------------------------------
 
-    def lint_paths(self, paths: Iterable[str | Path]) -> CheckResult:
-        """Lint files/directories from disk."""
+    def lint_paths(
+        self, paths: Iterable[str | Path], *, cache: AnalysisCache | None = None
+    ) -> CheckResult:
+        """Lint files/directories from disk, optionally through the cache."""
         project = ProjectContext()
-        parse_failures: list[Diagnostic] = []
+        pseudo: list[Diagnostic] = []
+        cached_diags: dict[str, list[Diagnostic]] = {}
+        hashes: dict[str, str] = {}
         files = collect_files(paths)
+        n_cache_hits = 0
         for path in files:
+            display = str(path)
             try:
-                source = path.read_text(encoding="utf-8")
-                project.add(ModuleContext.parse(source, str(path)))
-            except (SyntaxError, UnicodeDecodeError) as exc:
-                parse_failures.append(_parse_failure(str(path), exc))
-        result = self._lint_project(project)
-        result.diagnostics.extend(parse_failures)
+                raw = path.read_bytes()
+                source = raw.decode("utf-8")
+            except UnicodeDecodeError as exc:
+                pseudo.append(_skip_warning(display, exc))
+                continue
+            digest = content_hash(raw)
+            hashes[display] = digest
+            entry = cache.lookup(display, digest) if cache is not None else None
+            if entry is not None:
+                module = ModuleContext.from_cache(
+                    source, display, entry.tree, entry.comments
+                )
+                cached_diags[display] = list(entry.file_diagnostics)
+                n_cache_hits += 1
+            else:
+                try:
+                    module = ModuleContext.parse(source, display)
+                except SyntaxError as exc:
+                    pseudo.append(_parse_failure(display, source, exc))
+                    continue
+            project.add(module)
+        result = self._lint_project(project, cache=cache, cached_diags=cached_diags, hashes=hashes)
+        result.diagnostics.extend(pseudo)
         result.diagnostics.sort(key=Diagnostic.sort_key)
         result.n_files = len(files)
+        result.n_cache_hits = n_cache_hits
+        result.n_analyzed = len(project.modules) - n_cache_hits
         return result
 
     def lint_sources(self, sources: Mapping[str, str]) -> CheckResult:
         """Lint in-memory ``{virtual_path: source}`` fixtures (tests)."""
         project = ProjectContext()
-        parse_failures: list[Diagnostic] = []
+        pseudo: list[Diagnostic] = []
         for virtual_path, source in sources.items():
             try:
                 project.add(ModuleContext.parse(source, virtual_path))
             except SyntaxError as exc:
-                parse_failures.append(_parse_failure(virtual_path, exc))
+                pseudo.append(_parse_failure(virtual_path, source, exc))
         result = self._lint_project(project)
-        result.diagnostics.extend(parse_failures)
+        result.diagnostics.extend(pseudo)
         result.diagnostics.sort(key=Diagnostic.sort_key)
         result.n_files = len(sources)
+        result.n_analyzed = len(project.modules)
         return result
 
     # -- core -------------------------------------------------------------------
 
-    def _lint_project(self, project: ProjectContext) -> CheckResult:
-        known = set(rule_ids())
-        diagnostics: list[Diagnostic] = []
+    def _lint_project(
+        self,
+        project: ProjectContext,
+        *,
+        cache: AnalysisCache | None = None,
+        cached_diags: dict[str, list[Diagnostic]] | None = None,
+        hashes: dict[str, str] | None = None,
+    ) -> CheckResult:
+        cached_diags = cached_diags or {}
+        hashes = hashes or {}
+        found: list[Diagnostic] = []
+
         for module in project.modules:
-            found: list[Diagnostic] = []
-            for rule in self.rules:
+            if module.display_path in cached_diags:
+                found.extend(cached_diags[module.display_path])
+                continue
+            file_found: list[Diagnostic] = []
+            for rule in self.file_rules:
+                if rule.applies_to(module):
+                    file_found.extend(rule.check(module))
+            found.extend(file_found)
+            digest = hashes.get(module.display_path)
+            if cache is not None and digest is not None:
+                cache.store(
+                    module.display_path,
+                    digest,
+                    module.tree,
+                    module.comments(),
+                    file_found,
+                )
+
+        for module in project.modules:
+            for rule in self.project_rules:
                 if rule.applies_to(module):
                     found.extend(rule.check(module))
-            suppressed, _ = parse_suppressions(module, known)
-            for diagnostic in found:
-                if diagnostic.rule_id in suppressed.get(diagnostic.line, ()):
-                    continue
-                diagnostics.append(diagnostic)
+
+        # suppression filtering: statement-span aware, and a cross-file
+        # finding is silenced by a justified noqa at either end
+        known = set(rule_ids())
+        effective: dict[str, dict[int, set[str]]] = {}
+        for module in project.modules:
+            effective[module.display_path] = suppressed_lines(module, known)
+
+        def is_suppressed(d: Diagnostic) -> bool:
+            if d.rule_id in effective.get(d.path, {}).get(d.line, ()):
+                return True
+            if d.related is not None and d.rule_id in effective.get(
+                d.related.path, {}
+            ).get(d.related.line, ()):
+                return True
+            return False
+
+        diagnostics = [d for d in found if not is_suppressed(d)]
         return CheckResult(diagnostics=diagnostics, n_files=len(project.modules))
 
 
-def _parse_failure(path: str, exc: Exception) -> Diagnostic:
-    line = getattr(exc, "lineno", None) or 1
-    col = (getattr(exc, "offset", None) or 1) - 1
+def _parse_failure(path: str, source: str, exc: SyntaxError) -> Diagnostic:
+    line = int(getattr(exc, "lineno", None) or 1)
+    col = max(int((getattr(exc, "offset", None) or 1) - 1), 0)
+    offending = (getattr(exc, "text", None) or "").strip()
+    if not offending:
+        lines = source.splitlines()
+        if 0 < line <= len(lines):
+            offending = lines[line - 1].strip()
+    msg = exc.msg if hasattr(exc, "msg") else str(exc)
+    detail = f"file does not parse: {msg} at line {line}, col {col + 1}"
+    if offending:
+        detail += f": {offending!r}"
     return Diagnostic(
         path=path,
-        line=int(line),
-        col=max(int(col), 0),
+        line=line,
+        col=col,
         rule_id=PARSE_ERROR_ID,
         severity=Severity.ERROR,
-        message=f"file does not parse: {exc.msg if hasattr(exc, 'msg') else exc}",
+        message=detail,
+    )
+
+
+def _skip_warning(path: str, exc: UnicodeDecodeError) -> Diagnostic:
+    return Diagnostic(
+        path=path,
+        line=1,
+        col=0,
+        rule_id=SKIPPED_FILE_ID,
+        severity=Severity.WARNING,
+        message=f"skipped: file is not valid UTF-8 ({exc.reason} at byte {exc.start})",
     )
 
 
@@ -156,6 +278,26 @@ def run_check(
     *,
     select: Iterable[str] | None = None,
     ignore: Iterable[str] | None = None,
+    cache_dir: str | Path | None = None,
+    baseline: str | Path | None = None,
 ) -> CheckResult:
-    """One-call convenience used by the CLI and the self-check test."""
-    return Linter(select=select, ignore=ignore).lint_paths(paths)
+    """One-call convenience used by the CLI and the self-check test.
+
+    ``cache_dir`` enables the incremental cache rooted there (``None``
+    disables caching); ``baseline`` subtracts grandfathered findings
+    recorded in the named baseline file from the failure set.
+    """
+    linter = Linter(select=select, ignore=ignore)
+    cache = None
+    if cache_dir is not None:
+        cache = AnalysisCache(
+            cache_dir, fingerprint=AnalysisCache.ruleset_fingerprint(linter.rules)
+        )
+    result = linter.lint_paths(paths, cache=cache)
+    if baseline is not None:
+        fresh, grandfathered = apply_baseline(
+            result.diagnostics, load_baseline(baseline)
+        )
+        result.diagnostics = fresh
+        result.grandfathered = grandfathered
+    return result

@@ -25,6 +25,10 @@ __all__ = [
     "rule_ids",
     "get_rule",
     "load_builtin_rules",
+    "markdown_catalog",
+    "inject_catalog",
+    "CATALOG_BEGIN",
+    "CATALOG_END",
 ]
 
 
@@ -44,11 +48,21 @@ class Rule(Protocol):
 
 
 class BaseRule:
-    """Convenience base: applies everywhere, error severity, ``diag`` helper."""
+    """Convenience base: applies everywhere, error severity, ``diag`` helper.
+
+    ``scope`` drives the incremental cache: ``"file"`` rules see one
+    module at a time, so their diagnostics are cacheable per content
+    hash; ``"project"`` rules read sibling modules (cross-file flow
+    rules, registry checks) and re-run on every invocation against the
+    cached ASTs.  ``doc`` is the README catalog prose — the rule table
+    in README.md is generated from it (``--list-rules --format md``).
+    """
 
     rule_id: str = ""
     category: str = ""
     description: str = ""
+    doc: str = ""
+    scope: str = "file"
     severity: Severity = Severity.ERROR
 
     def applies_to(self, module: ModuleContext) -> bool:
@@ -108,13 +122,51 @@ def get_rule(rule_id: str) -> Rule:
 def load_builtin_rules() -> None:
     """Import the built-in rule modules (idempotent)."""
     from repro.tooling.rules import (  # noqa: F401
+        concurrency,
         contracts,
+        det_flow,
         determinism,
         lineage,
+        num_flow,
         perf,
         safety,
         suppressions,
     )
+
+
+def markdown_catalog(rules: Iterable[Rule] | None = None) -> str:
+    """The README rule-catalog table, generated from the registry.
+
+    README.md embeds this output verbatim between the
+    ``RULE CATALOG`` markers; ``tests/test_tooling_linter.py`` asserts
+    the two stay in sync, so a new rule pack cannot drift from docs.
+    """
+    chosen = list(rules) if rules is not None else all_rules()
+    lines = ["| rule | category | what it enforces |", "|---|---|---|"]
+    for rule in chosen:
+        prose = (getattr(rule, "doc", "") or rule.description).strip()
+        lines.append(f"| `{rule.rule_id}` | {rule.category} | {prose} |")
+    return "\n".join(lines)
+
+
+#: Markers bounding the generated rule table in README.md.
+CATALOG_BEGIN = "<!-- a4nn-rule-catalog:begin -->"
+CATALOG_END = "<!-- a4nn-rule-catalog:end -->"
+
+
+def inject_catalog(readme_text: str, rules: Iterable[Rule] | None = None) -> str:
+    """Replace the marked README region with the generated catalog.
+
+    Raises :class:`ValueError` when the markers are missing or out of
+    order — a silent no-op would let the docs drift undetected.
+    """
+    begin = readme_text.find(CATALOG_BEGIN)
+    end = readme_text.find(CATALOG_END)
+    if begin < 0 or end < 0 or end < begin:
+        raise ValueError("README is missing the a4nn-rule-catalog markers")
+    head = readme_text[: begin + len(CATALOG_BEGIN)]
+    tail = readme_text[end:]
+    return f"{head}\n{markdown_catalog(rules)}\n{tail}"
 
 
 def walk_functions(tree: ast.Module) -> Iterator[ast.AST]:

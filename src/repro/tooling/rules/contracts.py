@@ -69,6 +69,10 @@ def _positional_names(fn: ast.FunctionDef) -> list[str]:
 class LayerPairRule(BaseRule):
     rule_id = "API001"
     category = "api-contract"
+    doc = (
+        "every layer defines `forward(self, x, training=False)` **and** "
+        "`backward(self, grad_out)` with exactly those signatures"
+    )
     description = (
         "Layer subclass must define forward/backward as a pair with the "
         "base signatures forward(self, x, training=False) / backward(self, grad_out)"
@@ -142,6 +146,11 @@ def _registered_layer_names(init_tree: ast.Module) -> set[str] | None:
 class LayerRegistryRule(BaseRule):
     rule_id = "API002"
     category = "api-contract"
+    scope = "project"
+    doc = (
+        "every public layer class is registered in `LAYER_TYPES`, so checkpoints "
+        "of any architecture can be reloaded"
+    )
     description = "public layer class missing from the LAYER_TYPES serialization registry"
 
     def applies_to(self, module: ModuleContext) -> bool:
@@ -178,6 +187,10 @@ class LayerRegistryRule(BaseRule):
 class ExperimentShapeRule(BaseRule):
     rule_id = "API003"
     category = "api-contract"
+    doc = (
+        "every `experiments/fig*.py` exports the common `run_*` / `format_*` / "
+        "`*Result` entrypoint shape the benchmark harness drives"
+    )
     description = (
         "experiments/fig*.py must expose run_figN / format_figN / FigNResult in __all__"
     )

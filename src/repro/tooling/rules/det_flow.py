@@ -1,0 +1,163 @@
+"""Cross-file determinism rules: RNG dataflow into the evaluation path.
+
+DET001 polices unseeded RNG *syntactically*, one file at a time.  These
+rules use the project call graph (:mod:`repro.tooling.graph`) to catch
+what that structurally cannot see:
+
+* ``DET003`` — an unseeded/global-state RNG call inside any function
+  *transitively reachable* from an evaluator or genome-operator entry
+  point (everything defined in ``nas/evaluation.py`` /
+  ``nas/operators.py``).  A helper three calls below
+  ``TrainingEvaluator.evaluate`` that draws OS entropy breaks bit-exact
+  replay just as surely as one inside it — and a DET001 suppression in
+  the helper's module does not make the *flow* acceptable.  The
+  diagnostic anchors at the RNG call and carries the entry point as a
+  related location, so a justified ``noqa(DET003)`` at either end of
+  the edge silences it.
+* ``DET004`` — an RNG object (seeded or not) parked on a module global,
+  project-wide.  Module-level generators are shared mutable state:
+  import order changes draw order, spawned workers re-import and
+  silently fork the stream, and two consumers perturb each other.
+  PERF002 already bans this in the worker-entry modules; DET004
+  generalizes it everywhere except ``utils/rng.py`` (whose whole job is
+  owning generator state).
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterable
+
+from repro.tooling.context import ModuleContext
+from repro.tooling.dataflow import (
+    iter_unseeded_rng_calls,
+    reach_from,
+    render_chain,
+    rng_factory_call,
+)
+from repro.tooling.diagnostics import Diagnostic, RelatedLocation
+from repro.tooling.graph import build_graph
+from repro.tooling.rules import BaseRule, register
+
+__all__ = ["RngFlowRule", "ModuleGlobalRngRule", "EVAL_ENTRY_MODULES"]
+
+#: Modules whose functions are the evaluation-path entry points.
+EVAL_ENTRY_MODULES = ["repro.nas.evaluation", "repro.nas.operators"]
+
+
+@register
+class RngFlowRule(BaseRule):
+    rule_id = "DET003"
+    category = "determinism"
+    scope = "project"
+    description = (
+        "unseeded/global RNG in a function transitively reachable from an "
+        "evaluator or genome-operator entry point"
+    )
+    doc = (
+        "no unseeded/global RNG in any function *transitively reachable* (call "
+        "graph) from `nas/evaluation.py` / `nas/operators.py` entry points — an "
+        "entropy draw three calls below `evaluate()` breaks replay exactly like "
+        "one inside it; suppressible at either end of the flow edge"
+    )
+
+    def applies_to(self, module: ModuleContext) -> bool:
+        # project-wide pass: run exactly once per invocation, anchored to
+        # the first scanned module (diagnostics carry their own paths)
+        return module.project is not None and module.project.modules[0] is module
+
+    def check(self, module: ModuleContext) -> Iterable[Diagnostic]:
+        graph = build_graph(module.project)
+        chains = reach_from(graph, EVAL_ENTRY_MODULES, name_matches=True)
+        for qualname, chain in sorted(chains.items()):
+            info = graph.functions[qualname]
+            if info.module == "repro.utils.rng":
+                continue
+            owner = graph.modules[info.module].context
+            entry_info = graph.functions[chain[0]]
+            entry_ctx = graph.modules[entry_info.module].context
+            for node, what in iter_unseeded_rng_calls(info.node):
+                yield Diagnostic(
+                    path=owner.display_path,
+                    line=node.lineno,
+                    col=node.col_offset,
+                    rule_id=self.rule_id,
+                    severity=self.severity,
+                    message=(
+                        f"{what} flows into the evaluation path: reachable from "
+                        f"entry point {chain[0]} via {render_chain(chain)}; "
+                        "derive the generator from the seed-keyed streams in "
+                        "repro.utils.rng"
+                    ),
+                    related=RelatedLocation(
+                        path=entry_ctx.display_path,
+                        line=entry_info.node.lineno,
+                        col=entry_info.node.col_offset,
+                        note=f"evaluation-path entry point {chain[0]}",
+                    ),
+                )
+
+
+def _global_stores(func: ast.AST) -> Iterable[tuple[str, ast.AST]]:
+    """(name, value) for assignments to ``global``-declared names in ``func``."""
+    declared: set[str] = set()
+    for node in ast.walk(func):
+        if isinstance(node, ast.Global):
+            declared.update(node.names)
+    if not declared:
+        return
+    for node in ast.walk(func):
+        if isinstance(node, ast.Assign):
+            for target in node.targets:
+                if isinstance(target, ast.Name) and target.id in declared:
+                    yield target.id, node.value
+        elif isinstance(node, ast.AnnAssign) and node.value is not None:
+            if isinstance(node.target, ast.Name) and node.target.id in declared:
+                yield node.target.id, node.value
+
+
+@register
+class ModuleGlobalRngRule(BaseRule):
+    rule_id = "DET004"
+    category = "determinism"
+    description = "RNG object stored on a module global (shared mutable stream state)"
+    doc = (
+        "no RNG objects (seeded or not) stored on module globals anywhere outside "
+        "`utils/rng.py` — module-level generators are shared mutable state that "
+        "forks silently across spawned workers and couples unrelated consumers' "
+        "draw order"
+    )
+
+    def applies_to(self, module: ModuleContext) -> bool:
+        return not module.in_location("utils/rng.py")
+
+    def check(self, module: ModuleContext) -> Iterable[Diagnostic]:
+        for stmt in module.tree.body:
+            if isinstance(stmt, ast.Assign):
+                value = stmt.value
+            elif isinstance(stmt, ast.AnnAssign) and stmt.value is not None:
+                value = stmt.value
+            else:
+                continue
+            chain = rng_factory_call(value)
+            if chain is not None:
+                yield self.diag(
+                    module,
+                    value,
+                    f"module-level {chain}(...) parks generator state on the "
+                    "module: every importer (and every spawned worker) shares "
+                    "or silently forks the stream; derive generators per "
+                    "consumer from repro.utils.rng",
+                )
+        for node in ast.walk(module.tree):
+            if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                for name, value in _global_stores(node) or ():
+                    chain = rng_factory_call(value)
+                    if chain is not None:
+                        yield self.diag(
+                            module,
+                            value,
+                            f"storing {chain}(...) into module global {name!r} "
+                            "creates shared mutable stream state; derive "
+                            "generators per consumer from repro.utils.rng",
+                        )

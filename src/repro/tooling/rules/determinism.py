@@ -22,15 +22,14 @@ from __future__ import annotations
 import ast
 from typing import Iterable
 
+import dataclasses
+
 from repro.tooling.context import ModuleContext
-from repro.tooling.diagnostics import Diagnostic
+from repro.tooling.dataflow import iter_unseeded_rng_calls
+from repro.tooling.diagnostics import Diagnostic, Fix
 from repro.tooling.rules import BaseRule, dotted_name, register
 
 __all__ = ["GlobalRngRule", "WallClockRule"]
-
-# np.random attributes that are *not* violations: constructing explicit
-# generator objects is exactly what utils/rng.py hands out.
-_ALLOWED_NP_RANDOM = {"Generator", "PCG64", "PCG64DXSM", "Philox", "SFC64", "SeedSequence", "BitGenerator"}
 
 _CLOCK_CALLS = {
     "time.time",
@@ -51,14 +50,14 @@ _CLOCK_CALLS = {
 }
 
 
-def _is_np_random(chain: str) -> bool:
-    return chain.startswith(("np.random.", "numpy.random."))
-
-
 @register
 class GlobalRngRule(BaseRule):
     rule_id = "DET001"
     category = "determinism"
+    doc = (
+        "no global/unseeded RNG (`np.random.*`, `random.*`) outside `utils/rng.py` "
+        "— seeded runs must replay bit-exactly"
+    )
     description = (
         "global-state or unseeded RNG outside utils/rng.py "
         "(np.random.* module functions, bare np.random.default_rng(), stdlib random)"
@@ -68,44 +67,37 @@ class GlobalRngRule(BaseRule):
         return not module.in_location("utils/rng.py")
 
     def check(self, module: ModuleContext) -> Iterable[Diagnostic]:
-        for node in ast.walk(module.tree):
-            if not isinstance(node, ast.Call):
-                continue
-            chain = dotted_name(node.func)
-            if chain is None:
-                continue
-            if _is_np_random(chain):
-                tail = chain.split(".", 2)[2]
-                if tail in _ALLOWED_NP_RANDOM:
-                    continue
-                if tail == "default_rng":
-                    if not node.args and not node.keywords:
-                        yield self.diag(
-                            module,
-                            node,
-                            "np.random.default_rng() without a seed draws OS entropy; "
-                            "derive a generator via repro.utils.rng instead",
-                        )
-                    continue
-                yield self.diag(
+        # detection is shared with the cross-file DET003 flow rule
+        # (repro.tooling.dataflow) so the two packs cannot drift
+        for node, what in iter_unseeded_rng_calls(module.tree):
+            fix = None
+            if "default_rng" in what and node.end_lineno is not None:
+                # seedless default_rng() has a mechanical replacement
+                fix = Fix(
+                    start=(node.lineno, node.col_offset),
+                    end=(node.end_lineno, node.end_col_offset),
+                    replacement="fallback_rng()",
+                    description="replace seedless default_rng() with fallback_rng()",
+                    requires_import="from repro.utils.rng import fallback_rng",
+                )
+            yield dataclasses.replace(
+                self.diag(
                     module,
                     node,
-                    f"{chain}() uses numpy's hidden global RNG state; "
-                    "derive a generator via repro.utils.rng instead",
-                )
-            elif chain.startswith("random.") and chain.count(".") == 1:
-                yield self.diag(
-                    module,
-                    node,
-                    f"{chain}() uses the stdlib global RNG; "
-                    "derive a numpy generator via repro.utils.rng instead",
-                )
+                    f"{what}; derive a generator via repro.utils.rng instead",
+                ),
+                fix=fix,
+            )
 
 
 @register
 class WallClockRule(BaseRule):
     rule_id = "DET002"
     category = "determinism"
+    doc = (
+        "no wall clock (`time.time`, `datetime.now`, ...) outside `utils/timing.py` "
+        "— timing flows through one mockable seam"
+    )
     description = "direct wall-clock read outside utils/timing.py"
 
     def applies_to(self, module: ModuleContext) -> bool:

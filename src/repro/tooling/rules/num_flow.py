@@ -1,0 +1,252 @@
+"""Cross-file numerical rules: dtype discipline along the nn hot path.
+
+PERF001 catches float64-*forcing* constructs syntactically inside
+``nn/``.  These rules close the two remaining holes:
+
+* ``NUM005`` — a dtype-*unannotated* allocation (``np.zeros`` /
+  ``np.ones`` / ``np.empty`` / ``np.full`` without ``dtype=``) in any
+  function reachable from the nn hot path — the modules PERF001 already
+  polices, plus the helpers they call through *statically resolved*
+  call edges (precision-first: duck-typed name matches are excluded so
+  the rule never guesses).  NumPy defaults those constructors to
+  float64, so one bare ``np.zeros(n)`` in a helper quietly upcasts the
+  whole float32 pipeline.  Allocations immediately ``.astype(...)``-ed
+  and the ``*_like`` constructors (which inherit dtype) are exempt.
+  The mechanical case — a ``dtype`` name already in scope — is
+  autofixable (``a4nn check --fix`` appends ``dtype=dtype``).
+* ``NUM006`` — a float64-*defaulting* producer (``rng.random``,
+  ``rng.normal``, ``rng.standard_normal``, ``rng.uniform``,
+  ``np.linspace``, ``np.eye``, ``np.identity``) without ``dtype=`` and
+  without an immediate ``.astype(...)`` inside a loop body of the
+  trainer/optimizer/network/schedules modules.  Mixing one float64 draw
+  into a float32 update upcasts the whole parameter state from that
+  iteration on — the most expensive place to leak precision policy.
+"""
+
+from __future__ import annotations
+
+import ast
+import dataclasses
+from typing import Iterable
+
+from repro.tooling.context import ModuleContext
+from repro.tooling.dataflow import reach_from, render_chain
+from repro.tooling.diagnostics import Diagnostic, Fix, RelatedLocation
+from repro.tooling.graph import ProjectGraph, build_graph
+from repro.tooling.rules import BaseRule, dotted_name, register
+
+__all__ = ["DtypeFlowRule", "LoopUpcastRule", "HOT_PATH_PREFIX"]
+
+#: The nn hot path: PERF001's scope, expressed as dotted-module prefix.
+HOT_PATH_PREFIX = "repro.nn"
+_POLICY_MODULE = "repro.nn.dtype"
+
+_ALLOC_CALLS = {
+    "np.zeros",
+    "numpy.zeros",
+    "np.ones",
+    "numpy.ones",
+    "np.empty",
+    "numpy.empty",
+    "np.full",
+    "numpy.full",
+}
+
+_F64_PRODUCER_ATTRS = {"random", "normal", "standard_normal", "uniform"}
+_F64_PRODUCER_CALLS = {
+    "np.linspace",
+    "numpy.linspace",
+    "np.eye",
+    "numpy.eye",
+    "np.identity",
+    "numpy.identity",
+}
+
+_LOOP_MODULES = (
+    "nn/trainer.py",
+    "nn/optimizers.py",
+    "nn/network.py",
+    "nn/schedules.py",
+)
+
+
+def _has_dtype_kwarg(node: ast.Call) -> bool:
+    return any(kw.arg == "dtype" for kw in node.keywords)
+
+
+def _astype_receivers(tree: ast.AST) -> set[int]:
+    """ids of call nodes that are immediately ``.astype(...)``-ed."""
+    wrapped: set[int] = set()
+    for node in ast.walk(tree):
+        if isinstance(node, ast.Attribute) and node.attr == "astype":
+            wrapped.add(id(node.value))
+    return wrapped
+
+
+def _dtype_in_scope(func: ast.AST) -> bool:
+    """Whether a name ``dtype`` is a parameter or local of ``func``."""
+    args = getattr(func, "args", None)
+    if args is not None:
+        for arg in (
+            list(args.posonlyargs) + list(args.args) + list(args.kwonlyargs)
+        ):
+            if arg.arg == "dtype":
+                return True
+    for node in ast.walk(func):
+        if isinstance(node, ast.Assign):
+            for target in node.targets:
+                if isinstance(target, ast.Name) and target.id == "dtype":
+                    return True
+        elif isinstance(node, ast.AnnAssign):
+            if isinstance(node.target, ast.Name) and node.target.id == "dtype":
+                return True
+        elif isinstance(node, ast.Attribute) and node.attr == "dtype":
+            # `self.dtype` / `x.dtype` available — still mechanical, but
+            # choosing the receiver is a human call; no autofix
+            continue
+    return False
+
+
+def _hot_entry_modules(graph: ProjectGraph) -> list[str]:
+    return [
+        name
+        for name in graph.modules
+        if (name == HOT_PATH_PREFIX or name.startswith(HOT_PATH_PREFIX + "."))
+        and name != _POLICY_MODULE
+    ]
+
+
+@register
+class DtypeFlowRule(BaseRule):
+    rule_id = "NUM005"
+    category = "numerical-safety"
+    scope = "project"
+    description = (
+        "dtype-unannotated array allocation reachable from the nn hot path "
+        "(defaults to float64, defeating the compute-dtype policy)"
+    )
+    doc = (
+        "no dtype-unannotated allocations (`np.zeros(n)` et al. default to "
+        "float64) in any function statically reachable from the `nn/` hot path — "
+        "pass `dtype=` or `.astype(...)` the result; `a4nn check --fix` appends "
+        "`dtype=dtype` when the name is already in scope"
+    )
+
+    def applies_to(self, module: ModuleContext) -> bool:
+        return module.project is not None and module.project.modules[0] is module
+
+    def check(self, module: ModuleContext) -> Iterable[Diagnostic]:
+        graph = build_graph(module.project)
+        entry_modules = _hot_entry_modules(graph)
+        if not entry_modules:
+            return
+        chains = reach_from(graph, entry_modules, name_matches=False)
+        seen: set[tuple[str, int, int]] = set()
+        for qualname, chain in sorted(chains.items()):
+            info = graph.functions[qualname]
+            if info.module == _POLICY_MODULE:
+                continue
+            owner = graph.modules[info.module].context
+            wrapped = _astype_receivers(info.node)
+            in_hot_module = info.module in entry_modules
+            for node in ast.walk(info.node):
+                if not isinstance(node, ast.Call):
+                    continue
+                chain_name = dotted_name(node.func)
+                if chain_name not in _ALLOC_CALLS:
+                    continue
+                if _has_dtype_kwarg(node) or id(node) in wrapped:
+                    continue
+                key = (owner.display_path, node.lineno, node.col_offset)
+                if key in seen:
+                    continue
+                seen.add(key)
+                where = (
+                    "in nn hot-path code"
+                    if in_hot_module
+                    else f"reachable from the nn hot path via {render_chain(chain)}"
+                )
+                fix = None
+                if _dtype_in_scope(info.node) and node.end_lineno is not None:
+                    fix = Fix(
+                        start=(node.end_lineno, node.end_col_offset - 1),
+                        end=(node.end_lineno, node.end_col_offset - 1),
+                        replacement=", dtype=dtype",
+                        description="thread the in-scope dtype through the allocation",
+                    )
+                related = None
+                if not in_hot_module:
+                    entry_info = graph.functions[chain[0]]
+                    entry_ctx = graph.modules[entry_info.module].context
+                    related = RelatedLocation(
+                        path=entry_ctx.display_path,
+                        line=entry_info.node.lineno,
+                        col=entry_info.node.col_offset,
+                        note=f"nn hot-path entry point {chain[0]}",
+                    )
+                yield dataclasses.replace(
+                    Diagnostic(
+                        path=owner.display_path,
+                        line=node.lineno,
+                        col=node.col_offset,
+                        rule_id=self.rule_id,
+                        severity=self.severity,
+                        message=(
+                            f"{chain_name}(...) without dtype= {where} defaults "
+                            "to float64 and silently upcasts the configured "
+                            "compute dtype; pass dtype= (or .astype the result)"
+                        ),
+                        related=related,
+                    ),
+                    fix=fix,
+                )
+
+
+@register
+class LoopUpcastRule(BaseRule):
+    rule_id = "NUM006"
+    category = "numerical-safety"
+    description = (
+        "float64-defaulting producer (rng draw, linspace, eye) without dtype "
+        "inside a trainer/optimizer loop body"
+    )
+    doc = (
+        "no float64-defaulting producers (`rng.random`, `rng.normal`, "
+        "`np.linspace`, `np.eye`, ...) without `dtype=`/`.astype` inside loop "
+        "bodies of `nn/trainer.py`, `nn/optimizers.py`, `nn/network.py`, "
+        "`nn/schedules.py` — one float64 draw upcasts the parameter state for "
+        "every following iteration"
+    )
+
+    def applies_to(self, module: ModuleContext) -> bool:
+        return module.in_location(*_LOOP_MODULES)
+
+    def check(self, module: ModuleContext) -> Iterable[Diagnostic]:
+        wrapped = _astype_receivers(module.tree)
+        seen: set[int] = set()
+        for loop in ast.walk(module.tree):
+            if not isinstance(loop, (ast.For, ast.While)):
+                continue
+            for node in ast.walk(loop):
+                if not isinstance(node, ast.Call) or id(node) in seen:
+                    continue
+                seen.add(id(node))
+                chain = dotted_name(node.func)
+                if chain is None:
+                    continue
+                is_producer = chain in _F64_PRODUCER_CALLS or (
+                    "." in chain
+                    and chain.rsplit(".", 1)[1] in _F64_PRODUCER_ATTRS
+                    and not chain.startswith(("np.", "numpy."))
+                )
+                if not is_producer:
+                    continue
+                if _has_dtype_kwarg(node) or id(node) in wrapped:
+                    continue
+                yield self.diag(
+                    module,
+                    node,
+                    f"{chain}(...) defaults to float64 inside a training loop; "
+                    "pass dtype= or .astype the result so one draw cannot "
+                    "upcast the loop-carried state",
+                )

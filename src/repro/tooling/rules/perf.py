@@ -61,6 +61,11 @@ def _forces_float64(arg: ast.AST) -> str | None:
 class Float64ForcingRule(BaseRule):
     rule_id = "PERF001"
     category = "performance"
+    doc = (
+        "no float64-forcing constructs (`dtype=float`, `np.float64`, `astype(float)`) "
+        "inside `nn/` outside `nn/dtype.py` — a single upcast silently defeats the "
+        "float32 fast path"
+    )
     description = "construct that forces float64 in nn/ hot-path code, defeating the dtype policy"
 
     def applies_to(self, module: ModuleContext) -> bool:
@@ -121,6 +126,12 @@ _WORKER_ENTRY_FILES = ("scheduler/procpool.py", "xfel/shm.py")
 class PicklingHostileRule(BaseRule):
     rule_id = "PERF002"
     category = "performance"
+    doc = (
+        "no pickling-hostile constructs (lambdas, returned closures, module-level "
+        "RNG state) in the process-backend worker-entry modules "
+        "(`scheduler/procpool.py`, `xfel/shm.py`) — everything shipped to a spawned "
+        "worker must cross the pickle boundary and re-derive RNG state"
+    )
     description = (
         "pickling-hostile construct (lambda, returned closure, module-level "
         "RNG state) in a process-backend worker-entry module"

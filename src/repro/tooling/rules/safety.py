@@ -86,6 +86,10 @@ def _handles_visibly(handler: ast.ExceptHandler) -> bool:
 class SwallowedExceptRule(BaseRule):
     rule_id = "NUM001"
     category = "numerical-safety"
+    doc = (
+        "broad `except:` blocks in all code must re-raise or log — silent "
+        "swallowing corrupts fitness histories invisibly"
+    )
     description = "broad except that neither re-raises nor logs swallows faults silently"
 
     def check(self, module: ModuleContext) -> Iterable[Diagnostic]:
@@ -161,6 +165,10 @@ def _clamped_earlier(node: ast.BinOp, denom_src: str, parents: dict) -> bool:
 class UnguardedDivisionRule(BaseRule):
     rule_id = "NUM002"
     category = "numerical-safety"
+    doc = (
+        "divisions in fitting/metrics code need a visible guard (epsilon, clamp, "
+        "or `np.where`)"
+    )
     description = "division by a bare variable without an epsilon/where guard in numeric code"
 
     def applies_to(self, module: ModuleContext) -> bool:
@@ -205,6 +213,10 @@ def _handler_escapes(handler: ast.ExceptHandler) -> bool:
 class UnboundedRetryRule(BaseRule):
     rule_id = "NUM004"
     category = "numerical-safety"
+    doc = (
+        "no unbounded retry loops (`while True` swallowing exceptions) outside "
+        "`scheduler/faults.py` — retries are bounded by `FaultPolicy`"
+    )
     description = "unbounded retry loop (while True swallowing exceptions) outside the fault-policy seam"
 
     def applies_to(self, module: ModuleContext) -> bool:
@@ -240,6 +252,11 @@ class UnboundedRetryRule(BaseRule):
 class NarrowDtypeRule(BaseRule):
     rule_id = "NUM003"
     category = "numerical-safety"
+    doc = (
+        "no hardcoded narrow dtype names (`float32`/`float16`) inside `nn/` outside "
+        "`nn/dtype.py` — the compute dtype is threaded through `resolve_dtype`, "
+        "never baked into a layer"
+    )
     description = "hard-coded narrow float dtype in nn/ outside the dtype policy module"
 
     def applies_to(self, module: ModuleContext) -> bool:

@@ -8,10 +8,23 @@ The justification after ``--`` is mandatory: an unjustified or
 malformed suppression, or one naming an unknown rule id, is itself an
 error and suppresses nothing.  This keeps every exemption in the tree
 reviewable — the *reason* lives next to the code, not in tribal memory.
+
+Two ergonomics rules govern *where* a suppression lands:
+
+* **Statement spans** — a noqa on any physical line of a multi-line
+  statement (implicit continuation or parenthesized) covers the whole
+  statement, so the comment can sit on the readable line rather than
+  the exact line the AST anchors the finding to.  Compound statements
+  (``if``/``for``/``def``/...) span only their *header*: a noqa on a
+  ``def`` line does not blanket the body.
+* **Stacked suppressions** — one line may carry several markers
+  (``# a4nn: noqa(A) -- x  # a4nn: noqa(B) -- y``), each with its own
+  justification.
 """
 
 from __future__ import annotations
 
+import ast
 import re
 from typing import Iterable
 
@@ -19,11 +32,17 @@ from repro.tooling.context import ModuleContext
 from repro.tooling.diagnostics import Diagnostic
 from repro.tooling.rules import BaseRule, register
 
-__all__ = ["SuppressionHygieneRule", "parse_suppressions"]
+__all__ = [
+    "SuppressionHygieneRule",
+    "parse_suppressions",
+    "statement_spans",
+    "suppressed_lines",
+]
 
-#: Matches "a4nn: noqa(...)" comments; group 1 = rule list, group 2 = justification.
+#: One "a4nn: noqa(...)" marker; group 1 = rule list, group 2 = justification.
+#: The justification runs until the next ``#`` (a stacked marker) or EOL.
 NOQA_RE = re.compile(
-    r"#\s*a4nn:\s*noqa\s*\(([^)]*)\)\s*(?:--\s*(.*\S))?\s*$"
+    r"#\s*a4nn:\s*noqa\s*\(([^)]*)\)\s*(?:--\s*((?:[^#]*?\S)?))?\s*(?=#|$)"
 )
 #: Anything mentioning the marker at all, to catch malformed attempts.
 NOQA_HINT_RE = re.compile(r"#\s*a4nn:\s*noqa\b")
@@ -36,48 +55,123 @@ def parse_suppressions(
 
     Returns ``(valid, problems)`` where ``valid`` maps line number to
     the rule ids suppressed on that line, and each problem is a
-    ``(line, col, message)`` triple for a ``SUP001`` diagnostic.
+    ``(line, col, message)`` triple for a ``SUP001`` diagnostic.  A
+    comment may stack several markers; each is validated independently.
     """
     valid: dict[int, set[str]] = {}
     problems: list[tuple[int, int, str]] = []
     for line, col, text in module.comments():
-        if not NOQA_HINT_RE.search(text):
-            continue
-        match = NOQA_RE.search(text)
-        if match is None:
-            problems.append(
-                (line, col, "malformed suppression; use '# a4nn: noqa(RULE-ID) -- reason'")
-            )
-            continue
-        ids = {part.strip() for part in match.group(1).split(",") if part.strip()}
-        justification = match.group(2)
-        if not ids:
-            problems.append((line, col, "suppression names no rule ids"))
-            continue
-        unknown = sorted(ids - known_ids)
-        if unknown:
-            problems.append(
-                (line, col, f"suppression names unknown rule id(s): {', '.join(unknown)}")
-            )
-            continue
-        if not justification:
-            problems.append(
-                (
-                    line,
-                    col,
-                    f"suppression of {', '.join(sorted(ids))} lacks a justification; "
-                    "append ' -- <reason>' (unjustified suppressions suppress nothing)",
+        matched_starts: set[int] = set()
+        for match in NOQA_RE.finditer(text):
+            matched_starts.add(match.start())
+            at_col = col + match.start()
+            ids = {part.strip() for part in match.group(1).split(",") if part.strip()}
+            justification = match.group(2)
+            if not ids:
+                problems.append((line, at_col, "suppression names no rule ids"))
+                continue
+            unknown = sorted(ids - known_ids)
+            if unknown:
+                problems.append(
+                    (line, at_col, f"suppression names unknown rule id(s): {', '.join(unknown)}")
                 )
-            )
-            continue
-        valid.setdefault(line, set()).update(ids)
+                continue
+            if not justification:
+                problems.append(
+                    (
+                        line,
+                        at_col,
+                        f"suppression of {', '.join(sorted(ids))} lacks a justification; "
+                        "append ' -- <reason>' (unjustified suppressions suppress nothing)",
+                    )
+                )
+                continue
+            valid.setdefault(line, set()).update(ids)
+        # hints that no well-formed marker consumed are malformed attempts
+        for hint in NOQA_HINT_RE.finditer(text):
+            if hint.start() not in matched_starts:
+                problems.append(
+                    (
+                        line,
+                        col + hint.start(),
+                        "malformed suppression; use '# a4nn: noqa(RULE-ID) -- reason'",
+                    )
+                )
     return valid, problems
+
+
+_COMPOUND = (
+    ast.If,
+    ast.For,
+    ast.AsyncFor,
+    ast.While,
+    ast.With,
+    ast.AsyncWith,
+    ast.Try,
+    ast.FunctionDef,
+    ast.AsyncFunctionDef,
+    ast.ClassDef,
+)
+
+
+def statement_spans(tree: ast.AST) -> dict[int, tuple[int, int]]:
+    """Map each physical line to the span of its innermost statement.
+
+    Simple statements span ``lineno..end_lineno`` (so a noqa anywhere in
+    a parenthesized or backslash-continued statement covers it all);
+    compound statements span only their header — from ``lineno`` to the
+    line before their first child statement.  ``ast.walk`` visits outer
+    statements before inner ones, so inner assignments win on shared
+    lines.
+    """
+    spans: dict[int, tuple[int, int]] = {}
+    for node in ast.walk(tree):
+        if not isinstance(node, (ast.stmt, ast.excepthandler)):
+            continue
+        end = node.end_lineno or node.lineno
+        if isinstance(node, _COMPOUND + (ast.excepthandler,)):
+            children: list[ast.stmt] = []
+            for attr in ("body", "orelse", "finalbody"):
+                children.extend(getattr(node, attr, None) or [])
+            children.extend(getattr(node, "handlers", None) or [])
+            first_child = min((c.lineno for c in children), default=end + 1)
+            end = max(node.lineno, first_child - 1)
+        span = (node.lineno, end)
+        for line in range(span[0], span[1] + 1):
+            spans[line] = span
+    return spans
+
+
+def suppressed_lines(
+    module: ModuleContext, known_ids: set[str]
+) -> dict[int, set[str]]:
+    """Per-line suppressed rule ids, expanded over statement spans.
+
+    A valid noqa on line ``N`` suppresses the named rules on every line
+    of the statement containing ``N`` (or just ``N`` when the comment
+    stands alone between statements).
+    """
+    valid, _ = parse_suppressions(module, known_ids)
+    if not valid:
+        return {}
+    spans = statement_spans(module.tree)
+    effective: dict[int, set[str]] = {}
+    for line, ids in valid.items():
+        start, end = spans.get(line, (line, line))
+        for covered in range(start, end + 1):
+            effective.setdefault(covered, set()).update(ids)
+    return effective
 
 
 @register
 class SuppressionHygieneRule(BaseRule):
     rule_id = "SUP001"
     category = "suppression"
+    doc = (
+        "every `# a4nn: noqa(RULE)` carries a ` -- reason` justification; "
+        "malformed, unknown-id, or unjustified suppressions are themselves "
+        "errors and suppress nothing"
+    )
     description = "a4nn: noqa suppression that is malformed, unknown, or unjustified"
 
     def check(self, module: ModuleContext) -> Iterable[Diagnostic]:

@@ -1,0 +1,108 @@
+"""The incremental analysis cache: warm runs re-parse only changed files."""
+
+import textwrap
+
+from repro.tooling import AnalysisCache, Linter, run_check
+from repro.tooling.cache import CachedModule
+
+
+def write_tree(root, files: dict) -> None:
+    for rel, text in files.items():
+        path = root / rel
+        path.parent.mkdir(parents=True, exist_ok=True)
+        path.write_text(textwrap.dedent(text), encoding="utf-8")
+
+
+CLEAN = "def ok():\n    return 1\n"
+DIRTY = """
+    import numpy as np
+    def draw():
+        return np.random.rand()
+"""
+
+
+def test_warm_run_reanalyzes_nothing_when_unchanged(tmp_path):
+    write_tree(tmp_path / "pkg", {"a.py": CLEAN, "b.py": CLEAN, "c.py": DIRTY})
+    cache_dir = tmp_path / "cache"
+    cold = run_check([tmp_path / "pkg"], cache_dir=cache_dir)
+    warm = run_check([tmp_path / "pkg"], cache_dir=cache_dir)
+    assert cold.n_cache_hits == 0 and cold.n_analyzed == 3
+    assert warm.n_cache_hits == 3 and warm.n_analyzed == 0
+    # cached findings still reported, byte-identically
+    assert [d.render() for d in cold.diagnostics] == [d.render() for d in warm.diagnostics]
+    assert any(d.rule_id == "DET001" for d in warm.diagnostics)
+
+
+def test_changed_file_is_the_only_one_reanalyzed(tmp_path):
+    write_tree(tmp_path / "pkg", {"a.py": CLEAN, "b.py": CLEAN, "c.py": CLEAN})
+    cache_dir = tmp_path / "cache"
+    run_check([tmp_path / "pkg"], cache_dir=cache_dir)
+    (tmp_path / "pkg" / "b.py").write_text(textwrap.dedent(DIRTY), encoding="utf-8")
+    warm = run_check([tmp_path / "pkg"], cache_dir=cache_dir)
+    assert warm.n_cache_hits == 2
+    assert warm.n_analyzed == 1
+    assert any(d.rule_id == "DET001" and d.path.endswith("b.py") for d in warm.diagnostics)
+
+
+def test_reverting_a_file_hits_the_old_entry_again(tmp_path):
+    write_tree(tmp_path / "pkg", {"a.py": CLEAN})
+    cache_dir = tmp_path / "cache"
+    run_check([tmp_path / "pkg"], cache_dir=cache_dir)
+    (tmp_path / "pkg" / "a.py").write_text("x = 2\n", encoding="utf-8")
+    run_check([tmp_path / "pkg"], cache_dir=cache_dir)
+    # reverting restores the original content hash → miss is not required
+    (tmp_path / "pkg" / "a.py").write_text(CLEAN, encoding="utf-8")
+    warm = run_check([tmp_path / "pkg"], cache_dir=cache_dir)
+    assert warm.n_cache_hits == 1
+
+
+def test_ruleset_fingerprint_change_invalidates_everything(tmp_path):
+    write_tree(tmp_path / "pkg", {"a.py": CLEAN})
+    cache_dir = tmp_path / "cache"
+    linter = Linter()
+    fp = AnalysisCache.ruleset_fingerprint(linter.rules)
+    linter.lint_paths([tmp_path / "pkg"], cache=AnalysisCache(cache_dir, fingerprint=fp))
+    stale = linter.lint_paths(
+        [tmp_path / "pkg"], cache=AnalysisCache(cache_dir, fingerprint="different")
+    )
+    assert stale.n_cache_hits == 0 and stale.n_analyzed == 1
+
+
+def test_fingerprint_ignores_project_scoped_rules():
+    file_rules = [r for r in Linter().rules if getattr(r, "scope", "file") == "file"]
+    all_fp = AnalysisCache.ruleset_fingerprint(Linter().rules)
+    file_fp = AnalysisCache.ruleset_fingerprint(file_rules)
+    assert all_fp == file_fp
+
+
+def test_corrupt_cache_entry_is_a_miss_not_a_crash(tmp_path):
+    write_tree(tmp_path / "pkg", {"a.py": CLEAN})
+    cache_dir = tmp_path / "cache"
+    run_check([tmp_path / "pkg"], cache_dir=cache_dir)
+    for entry in cache_dir.glob("*.pkl"):
+        entry.write_bytes(b"not a pickle")
+    warm = run_check([tmp_path / "pkg"], cache_dir=cache_dir)
+    assert warm.n_cache_hits == 0 and warm.n_analyzed == 1
+    assert warm.exit_code == 0
+
+
+def test_cache_roundtrips_comments_for_suppression_parsing(tmp_path):
+    source = """
+        import numpy as np
+        def draw():
+            return np.random.rand()  # a4nn: noqa(DET001) -- fixture exemption
+    """
+    write_tree(tmp_path / "pkg", {"a.py": source})
+    cache_dir = tmp_path / "cache"
+    cold = run_check([tmp_path / "pkg"], cache_dir=cache_dir)
+    warm = run_check([tmp_path / "pkg"], cache_dir=cache_dir)
+    assert cold.exit_code == 0  # suppressed on the cold run
+    assert warm.exit_code == 0  # and still suppressed when served from cache
+    assert warm.n_cache_hits == 1
+
+
+def test_lookup_rejects_wrong_content_hash(tmp_path):
+    cache = AnalysisCache(tmp_path / "cache", fingerprint="fp")
+    cache.store("x.py", "hash-one", None, [], [])
+    assert isinstance(cache.lookup("x.py", "hash-one"), CachedModule)
+    assert cache.lookup("x.py", "hash-two") is None

@@ -1,0 +1,332 @@
+"""The cross-file rule packs: DET003/004, NUM005/006, CONC001/002."""
+
+import textwrap
+
+from repro.tooling import Linter
+
+
+def lint(sources: dict) -> list:
+    return Linter().lint_sources(
+        {path: textwrap.dedent(text) for path, text in sources.items()}
+    ).diagnostics
+
+
+def rule_hits(diagnostics, rule_id):
+    return [d for d in diagnostics if d.rule_id == rule_id]
+
+
+# -- DET003: RNG flow into the eval path ---------------------------------------
+
+
+def test_det003_flags_unseeded_rng_reachable_from_evaluator():
+    diags = lint({
+        "repro/nas/evaluation.py": """
+            from repro.support import jitter
+            def evaluate(genome):
+                return jitter(genome)
+        """,
+        "repro/support.py": """
+            import numpy as np
+            def jitter(genome):
+                rng = np.random.default_rng()
+                return rng.random()
+        """,
+    })
+    hits = rule_hits(diags, "DET003")
+    assert len(hits) == 1
+    assert hits[0].path == "repro/support.py"
+    assert "evaluate" in hits[0].message  # witness chain names the entry
+    assert hits[0].related is not None
+    assert hits[0].related.path == "repro/nas/evaluation.py"
+
+
+def test_det003_crosses_duck_typed_method_calls():
+    diags = lint({
+        "repro/nas/operators.py": """
+            def mutate(genome, evaluator):
+                return evaluator.evaluate(genome)
+        """,
+        "repro/engines.py": """
+            import numpy as np
+            class Engine:
+                def evaluate(self, genome):
+                    return np.random.rand()
+        """,
+    })
+    assert len(rule_hits(diags, "DET003")) == 1
+
+
+def test_det003_clean_when_rng_is_seeded_or_unreachable():
+    diags = lint({
+        "repro/nas/evaluation.py": """
+            from repro.support import jitter
+            def evaluate(genome):
+                return jitter(genome)
+        """,
+        "repro/support.py": """
+            import numpy as np
+            def jitter(genome):
+                return np.random.default_rng(42).random()
+        """,
+        "repro/unrelated.py": """
+            import numpy as np
+            def elsewhere():
+                return np.random.default_rng()
+        """,
+    })
+    assert rule_hits(diags, "DET003") == []
+
+
+# -- DET004: module-level RNG objects ------------------------------------------
+
+
+def test_det004_flags_module_level_rng_even_seeded():
+    diags = lint({"repro/workflow/state.py": """
+        import numpy as np
+        RNG = np.random.default_rng(42)
+    """})
+    assert len(rule_hits(diags, "DET004")) == 1
+
+
+def test_det004_flags_global_rebind_from_function():
+    diags = lint({"repro/workflow/state.py": """
+        import numpy as np
+        _rng = None
+        def setup(seed):
+            global _rng
+            _rng = np.random.default_rng(seed)
+    """})
+    assert len(rule_hits(diags, "DET004")) == 1
+
+
+def test_det004_allows_function_local_and_rng_module():
+    diags = lint({
+        "repro/utils/rng.py": """
+            import numpy as np
+            _GLOBAL = np.random.default_rng(0)
+        """,
+        "repro/workflow/ok.py": """
+            import numpy as np
+            def fresh(seed):
+                return np.random.default_rng(seed)
+        """,
+    })
+    assert rule_hits(diags, "DET004") == []
+
+
+# -- NUM005: dtype-unannotated allocations on the nn hot path ------------------
+
+
+def test_num005_flags_bare_allocation_in_reachable_helper():
+    diags = lint({
+        "repro/nn/network.py": """
+            from repro.shapes import blank
+            def forward(x):
+                return blank(x)
+        """,
+        "repro/shapes.py": """
+            import numpy as np
+            def blank(x):
+                return np.zeros(x.shape)
+        """,
+    })
+    hits = rule_hits(diags, "NUM005")
+    assert len(hits) == 1
+    assert hits[0].path == "repro/shapes.py"
+    assert hits[0].related is not None  # points back at the nn entry point
+
+
+def test_num005_exempts_dtype_kwarg_astype_and_unreachable_code():
+    diags = lint({
+        "repro/nn/network.py": """
+            import numpy as np
+            from repro.shapes import ok_a, ok_b
+            def forward(x, dtype):
+                buf = np.zeros(x.shape, dtype=dtype)
+                return ok_a(buf) + ok_b(buf)
+        """,
+        "repro/shapes.py": """
+            import numpy as np
+            def ok_a(x):
+                return np.ones(x.shape).astype(x.dtype)
+            def ok_b(x):
+                return np.full(x.shape, 2.0, dtype=x.dtype)
+        """,
+        "repro/baselines/other.py": """
+            import numpy as np
+            def unreached(n):
+                return np.zeros(n)
+        """,
+    })
+    assert rule_hits(diags, "NUM005") == []
+
+
+def test_num005_attaches_autofix_when_dtype_in_scope():
+    diags = lint({
+        "repro/nn/network.py": """
+            import numpy as np
+            def forward(n, dtype):
+                return np.zeros(n)
+        """,
+    })
+    hits = rule_hits(diags, "NUM005")
+    assert len(hits) == 1
+    assert hits[0].fix is not None
+    assert hits[0].fix.replacement == ", dtype=dtype"
+
+
+# -- NUM006: float64 producers in training loops -------------------------------
+
+
+def test_num006_flags_f64_draw_inside_trainer_loop():
+    diags = lint({"repro/nn/trainer.py": """
+        import numpy as np
+        def fit(rng, steps):
+            total = np.float32(0)
+            for _ in range(steps):
+                noise = rng.normal(0.0, 1.0)
+                grid = np.linspace(0, 1, 8)
+                total = total + noise + grid.sum()
+            return total
+    """})
+    assert len(rule_hits(diags, "NUM006")) == 2
+
+
+def test_num006_allows_dtype_astype_and_outside_loops():
+    diags = lint({"repro/nn/trainer.py": """
+        import numpy as np
+        def fit(rng, steps, dtype):
+            setup = rng.normal(0.0, 1.0)
+            for _ in range(steps):
+                a = rng.normal(0.0, 1.0, size=3).astype(dtype)
+                b = np.linspace(0, 1, 8, dtype=dtype)
+        """})
+    assert rule_hits(diags, "NUM006") == []
+
+
+# -- CONC001: module state written below a worker entry ------------------------
+
+
+def test_conc001_flags_reachable_module_container_write():
+    diags = lint({
+        "repro/scheduler/procpool.py": """
+            from repro.registry import remember
+            def _worker_main(conn, spec):
+                remember(spec)
+        """,
+        "repro/registry.py": """
+            _SEEN = {}
+            def remember(spec):
+                _SEEN[spec.seed] = spec
+        """,
+    })
+    hits = rule_hits(diags, "CONC001")
+    assert len(hits) == 1
+    assert hits[0].path == "repro/registry.py"
+    assert "worker entry" in hits[0].message
+
+
+def test_conc001_flags_global_rebind_and_mutator_methods():
+    diags = lint({
+        "repro/xfel/shm.py": """
+            _CACHE = []
+            _TOTAL = 0
+            def attach(block):
+                global _TOTAL
+                _TOTAL = _TOTAL + 1
+                _CACHE.append(block)
+        """,
+    })
+    assert len(rule_hits(diags, "CONC001")) == 2
+
+
+def test_conc001_clean_for_local_state_and_non_worker_modules():
+    diags = lint({
+        "repro/scheduler/procpool.py": """
+            def _worker_main(conn, spec):
+                seen = {}
+                seen[spec.seed] = spec
+                return seen
+        """,
+        "repro/analysis.py": """
+            _MEMO = {}
+            def cache_result(key, value):
+                _MEMO[key] = value
+        """,
+    })
+    assert rule_hits(diags, "CONC001") == []
+
+
+# -- CONC002: non-picklable flows into EvalSpec --------------------------------
+
+
+_SPEC_MODULE = """
+    class EvalSpec:
+        def __init__(self, **kw):
+            pass
+    def _worker_main(conn, spec):
+        pass
+"""
+
+
+def test_conc002_flags_lambda_through_assignment():
+    diags = lint({
+        "repro/scheduler/procpool.py": _SPEC_MODULE,
+        "repro/workflow/build.py": """
+            from repro.scheduler.procpool import EvalSpec
+            def make(config):
+                factory = lambda: config
+                return EvalSpec(mode="real", factory=factory)
+        """,
+    })
+    hits = rule_hits(diags, "CONC002")
+    assert len(hits) == 1
+    assert "lambda" in hits[0].message
+    assert hits[0].related is not None  # the EvalSpec construction site
+
+
+def test_conc002_sees_through_kwargs_dicts():
+    diags = lint({
+        "repro/scheduler/procpool.py": _SPEC_MODULE,
+        "repro/workflow/build.py": """
+            import threading
+            from repro.scheduler.procpool import EvalSpec
+            def make(config):
+                kw = dict(mode="real", lock=threading.Lock())
+                return EvalSpec(**kw)
+        """,
+    })
+    hits = rule_hits(diags, "CONC002")
+    assert len(hits) == 1
+    assert "lock" in hits[0].message
+
+
+def test_conc002_flags_rng_objects_as_contract_breaking():
+    diags = lint({
+        "repro/scheduler/procpool.py": _SPEC_MODULE,
+        "repro/workflow/build.py": """
+            import numpy as np
+            from repro.scheduler.procpool import EvalSpec
+            def make(seed):
+                return EvalSpec(mode="real", rng=np.random.default_rng(seed))
+        """,
+    })
+    hits = rule_hits(diags, "CONC002")
+    assert len(hits) == 1
+    assert "re-derive" in hits[0].message
+
+
+def test_conc002_clean_for_picklable_values():
+    diags = lint({
+        "repro/scheduler/procpool.py": _SPEC_MODULE,
+        "repro/workflow/build.py": """
+            from repro.scheduler.procpool import EvalSpec
+            def build_net():
+                pass
+            def make(config):
+                kw = dict(mode="real", seed=7)
+                kw.update(batch_size=32)
+                return EvalSpec(factory=build_net, **kw)
+        """,
+    })
+    assert rule_hits(diags, "CONC002") == []

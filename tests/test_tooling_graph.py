@@ -1,0 +1,223 @@
+"""The semantic engine: symbol tables, call graph, and value tracing."""
+
+import ast
+import textwrap
+
+from repro.tooling.context import ModuleContext, ProjectContext
+from repro.tooling.dataflow import (
+    mapping_values,
+    trace_value,
+    unseeded_rng_call,
+)
+from repro.tooling.graph import build_graph
+
+
+def project_of(sources: dict) -> ProjectContext:
+    project = ProjectContext()
+    for path, text in sources.items():
+        project.add(ModuleContext.parse(textwrap.dedent(text), path))
+    return project
+
+
+# -- symbol tables -------------------------------------------------------------
+
+
+def test_imports_resolve_to_dotted_targets():
+    graph = build_graph(project_of({
+        "repro/a.py": """
+            import numpy as np
+            from repro.b import helper
+            from repro.b import helper as h2
+            from . import b
+        """,
+        "repro/b.py": "def helper():\n    pass\n",
+    }))
+    symbols = graph.modules["repro.a"]
+    assert symbols.imports["np"] == "numpy"
+    assert symbols.imports["helper"] == "repro.b.helper"
+    assert symbols.imports["h2"] == "repro.b.helper"
+    assert symbols.imports["b"] == "repro.b"
+    assert symbols.resolve("helper") == "repro.b.helper"
+    assert symbols.resolve("b.helper") == "repro.b.helper"
+
+
+def test_relative_import_resolution_from_submodule():
+    graph = build_graph(project_of({
+        "repro/pkg/mod.py": "from ..other import thing\n",
+        "repro/other.py": "thing = 1\n",
+    }))
+    assert graph.modules["repro.pkg.mod"].imports["thing"] == "repro.other.thing"
+
+
+def test_local_definitions_resolve_without_imports():
+    graph = build_graph(project_of({
+        "repro/a.py": """
+            class Widget:
+                pass
+            def make():
+                return Widget()
+        """,
+    }))
+    symbols = graph.modules["repro.a"]
+    assert symbols.resolve("Widget") == "repro.a.Widget"
+    assert symbols.resolve("make") == "repro.a.make"
+    assert symbols.resolve("not_here") is None
+
+
+def test_function_qualnames_and_method_indexing():
+    graph = build_graph(project_of({
+        "repro/m.py": """
+            def top():
+                pass
+            class Box:
+                def get(self):
+                    def inner():
+                        pass
+                    return inner
+        """,
+    }))
+    assert "repro.m.top" in graph.functions
+    assert "repro.m.Box.get" in graph.functions
+    # nested defs fold into the enclosing function, not the index
+    assert not any(q.endswith(".inner") for q in graph.functions)
+
+
+def test_import_graph_restricted_to_project_modules():
+    graph = build_graph(project_of({
+        "repro/a.py": "import numpy as np\nfrom repro.b import helper\n",
+        "repro/b.py": "def helper():\n    pass\n",
+    }))
+    assert graph.imports["repro.a"] == {"repro.b"}
+
+
+# -- call graph reachability ---------------------------------------------------
+
+
+def test_resolved_edges_follow_imports_and_self_methods():
+    graph = build_graph(project_of({
+        "repro/a.py": """
+            from repro.b import helper
+            class Runner:
+                def go(self):
+                    self.step()
+                    return helper()
+                def step(self):
+                    pass
+        """,
+        "repro/b.py": "def helper():\n    pass\n",
+    }))
+    calls = graph.functions["repro.a.Runner.go"].calls
+    assert ("resolved", "repro.a.Runner.step") in calls
+    assert ("resolved", "repro.b.helper") in calls
+
+
+def test_reachable_returns_shortest_witness_chain():
+    graph = build_graph(project_of({
+        "repro/a.py": """
+            from repro.b import mid
+            from repro.c import leaf
+            def entry():
+                mid()
+                leaf()
+        """,
+        "repro/b.py": """
+            from repro.c import leaf
+            def mid():
+                leaf()
+        """,
+        "repro/c.py": "def leaf():\n    pass\n",
+    }))
+    chains = graph.reachable(["repro.a.entry"], name_matches=False)
+    # both paths reach leaf; BFS must report the direct one
+    assert chains["repro.c.leaf"] == ("repro.a.entry", "repro.c.leaf")
+
+
+def test_name_edges_cross_duck_typed_seams_and_can_be_excluded():
+    sources = {
+        "repro/a.py": """
+            def entry(evaluator):
+                return evaluator.evaluate()
+        """,
+        "repro/b.py": """
+            class TrainingEvaluator:
+                def evaluate(self):
+                    pass
+        """,
+    }
+    graph = build_graph(project_of(sources))
+    loose = graph.reachable(["repro.a.entry"], name_matches=True)
+    strict = graph.reachable(["repro.a.entry"], name_matches=False)
+    assert "repro.b.TrainingEvaluator.evaluate" in loose
+    assert "repro.b.TrainingEvaluator.evaluate" not in strict
+
+
+# -- RNG call classification ---------------------------------------------------
+
+
+def classify(expr: str):
+    node = ast.parse(expr, mode="eval").body
+    return unseeded_rng_call(node)
+
+
+def test_unseeded_rng_classification():
+    assert classify("np.random.default_rng()") is not None
+    assert classify("np.random.default_rng(42)") is None
+    assert classify("np.random.rand(3)") is not None
+    assert classify("random.random()") is not None
+    assert classify("random.Random(7)") is None
+    assert classify("random.Random()") is not None
+    assert classify("random.SystemRandom(7)") is not None  # OS entropy, always
+    assert classify("math.sqrt(2)") is None
+
+
+# -- value tracing -------------------------------------------------------------
+
+
+def scope_and_symbols(source: str, func_name: str = "f"):
+    graph = build_graph(project_of({"repro/t.py": source}))
+    symbols = graph.modules["repro.t"]
+    info = graph.functions[f"repro.t.{func_name}"]
+    return symbols, info
+
+
+def test_trace_value_classifies_lambda_and_closure():
+    symbols, info = scope_and_symbols("""
+        def f():
+            cb = lambda: 1
+            def local():
+                pass
+            a, b = cb, local
+            return a, b
+    """)
+    assigns = [n for n in ast.walk(info.node) if isinstance(n, ast.Return)]
+    a_expr, b_expr = assigns[0].value.elts
+    assert trace_value(symbols, info, a_expr).kind == "lambda"
+    origin = trace_value(symbols, info, b_expr)
+    assert origin.kind == "closure"
+    assert origin.detail == "local"
+
+
+def test_trace_value_follows_assignment_chains_to_calls():
+    symbols, info = scope_and_symbols("""
+        import threading
+        def f():
+            lock = threading.Lock()
+            alias = lock
+            return alias
+    """)
+    ret = next(n for n in ast.walk(info.node) if isinstance(n, ast.Return))
+    origin = trace_value(symbols, info, ret.value)
+    assert origin.kind == "call"
+    assert origin.detail == "threading.Lock"
+
+
+def test_mapping_values_expands_dict_literals():
+    symbols, info = scope_and_symbols("""
+        def f():
+            kw = dict(mode="x", factory=lambda: 1)
+            return kw
+    """)
+    ret = next(n for n in ast.walk(info.node) if isinstance(n, ast.Return))
+    values = dict(mapping_values(symbols, info, ret.value))
+    assert set(values) == {"mode", "factory"}
+    assert trace_value(symbols, info, values["factory"]).kind == "lambda"

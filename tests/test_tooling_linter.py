@@ -7,10 +7,20 @@ from pathlib import Path
 import pytest
 
 from repro.cli import main
-from repro.tooling import Linter, render_json, run_check
-from repro.tooling.linter import PARSE_ERROR_ID, collect_files
+from repro.tooling import (
+    Linter,
+    all_rules,
+    apply_fixes,
+    render_json,
+    render_sarif,
+    run_check,
+    write_baseline,
+)
+from repro.tooling.linter import PARSE_ERROR_ID, SKIPPED_FILE_ID, collect_files
+from repro.tooling.rules import inject_catalog, markdown_catalog, rule_ids
 
 SRC = Path(__file__).resolve().parents[1] / "src"
+ROOT = SRC.parent
 
 
 def lint(sources: dict) -> list:
@@ -558,11 +568,330 @@ def test_cli_check_exit_codes(tmp_path, capsys):
     bad = tmp_path / "repro" / "core"
     bad.mkdir(parents=True)
     (bad / "bad.py").write_text("import numpy as np\nnp.random.seed(0)\n")
-    assert main(["check", str(tmp_path)]) == 1
+    assert main(["check", str(tmp_path), "--no-cache"]) == 1
     assert "DET001" in capsys.readouterr().out
-    assert main(["check", str(tmp_path), "--format=json"]) == 1
+    assert main(["check", str(tmp_path), "--no-cache", "--format=json"]) == 1
     assert json.loads(capsys.readouterr().out)["n_errors"] == 1
-    assert main(["check", str(tmp_path / "nowhere")]) == 2
+    assert main(["check", str(tmp_path / "nowhere"), "--no-cache"]) == 2
+
+
+# -- GEN001 / GEN002: parse failures and skipped files ---------------------------
+
+
+def test_parse_diagnostic_reports_line_col_and_offending_text():
+    diags = lint({"repro/core/broken.py": "x = 1\ndef oops(:\n"})
+    assert len(diags) == 1
+    d = diags[0]
+    assert d.rule_id == PARSE_ERROR_ID
+    assert d.line == 2
+    assert "line 2" in d.message
+    assert "def oops(:" in d.message
+
+
+def test_non_utf8_file_is_skipped_with_warning(tmp_path):
+    pkg = tmp_path / "pkg"
+    pkg.mkdir()
+    (pkg / "ok.py").write_text("x = 1\n", encoding="utf-8")
+    (pkg / "binary.py").write_bytes(b"\x80\x81\x82 not utf-8")
+    result = run_check([pkg])
+    skips = [d for d in result.diagnostics if d.rule_id == SKIPPED_FILE_ID]
+    assert len(skips) == 1
+    assert skips[0].path.endswith("binary.py")
+    assert "not valid UTF-8" in skips[0].message
+    assert result.exit_code == 0  # a warning, not an error
+
+
+def test_collect_files_skips_pycache_and_hidden_dirs(tmp_path):
+    pkg = tmp_path / "pkg"
+    (pkg / "__pycache__").mkdir(parents=True)
+    (pkg / ".tox" / "sub").mkdir(parents=True)
+    (pkg / "a.py").write_text("x = 1\n")
+    (pkg / "__pycache__" / "b.py").write_text("x = 1\n")
+    (pkg / ".tox" / "sub" / "c.py").write_text("x = 1\n")
+    (pkg / ".hidden.py").write_text("x = 1\n")
+    assert collect_files([pkg]) == [pkg / "a.py"]
+    # explicitly named files are always included, even under excluded dirs
+    explicit = pkg / "__pycache__" / "b.py"
+    assert collect_files([explicit]) == [explicit]
+
+
+# -- suppression edge cases ------------------------------------------------------
+
+
+def test_noqa_on_the_closing_line_of_a_multiline_statement():
+    diags = lint({"repro/core/multi.py": """
+        import numpy as np
+        value = np.random.rand(
+            3,
+        )  # a4nn: noqa(DET001) -- fixture: marker on the closing paren line
+    """})
+    assert rule_hits(diags, "DET001") == []
+    assert rule_hits(diags, "SUP001") == []
+
+
+def test_noqa_on_the_opening_line_of_a_multiline_statement():
+    diags = lint({"repro/core/multi.py": """
+        import numpy as np
+        value = np.random.rand(  # a4nn: noqa(DET001) -- fixture: opening line
+            3,
+        )
+    """})
+    assert rule_hits(diags, "DET001") == []
+    assert rule_hits(diags, "SUP001") == []
+
+
+def test_noqa_on_compound_header_does_not_blanket_the_body():
+    diags = lint({"repro/core/hdr.py": """
+        import numpy as np
+        def draw():  # a4nn: noqa(DET001) -- fixture: header marker must not leak
+            return np.random.rand()
+    """})
+    assert len(rule_hits(diags, "DET001")) == 1
+
+
+def test_stacked_noqa_markers_on_one_line():
+    diags = lint({"repro/core/both.py": """
+        import time
+        import numpy as np
+        x = np.random.rand() + time.time()  # a4nn: noqa(DET001) -- fixture rng  # a4nn: noqa(DET002) -- fixture clock
+    """})
+    assert rule_hits(diags, "DET001") == []
+    assert rule_hits(diags, "DET002") == []
+    assert rule_hits(diags, "SUP001") == []
+
+
+def test_stacked_noqa_markers_are_validated_independently():
+    diags = lint({"repro/core/both.py": """
+        import time
+        import numpy as np
+        x = np.random.rand() + time.time()  # a4nn: noqa(DET001) -- fixture rng  # a4nn: noqa(DET002)
+    """})
+    assert rule_hits(diags, "DET001") == []  # the justified marker still works
+    assert len(rule_hits(diags, "DET002")) == 1  # the bare one suppresses nothing
+    assert len(rule_hits(diags, "SUP001")) == 1
+
+
+def test_crossfile_finding_suppressed_at_the_source_end():
+    diags = lint({
+        "repro/nas/evaluation.py": """
+            from repro.support import jitter
+            def evaluate(genome):
+                return jitter(genome)
+        """,
+        "repro/support.py": """
+            import numpy as np
+            def jitter(genome):
+                return np.random.default_rng().random()  # a4nn: noqa(DET003) -- fixture: vetted draw
+        """,
+    })
+    assert rule_hits(diags, "DET003") == []
+    assert len(rule_hits(diags, "DET001")) == 1  # only the named rule is silenced
+
+
+def test_crossfile_finding_suppressed_at_the_entry_end():
+    diags = lint({
+        "repro/nas/evaluation.py": """
+            from repro.support import jitter
+            def evaluate(genome):  # a4nn: noqa(DET003) -- fixture: vetted entry point
+                return jitter(genome)
+        """,
+        "repro/support.py": """
+            import numpy as np
+            def jitter(genome):
+                return np.random.default_rng().random()
+        """,
+    })
+    assert rule_hits(diags, "DET003") == []
+    assert len(rule_hits(diags, "DET001")) == 1  # per-file rule still fires at source
+
+
+# -- README rule catalog ---------------------------------------------------------
+
+
+def test_readme_rule_catalog_is_in_sync():
+    readme = (ROOT / "README.md").read_text(encoding="utf-8")
+    assert inject_catalog(readme) == readme, (
+        "README rule catalog is stale: run `make readme-rules`"
+    )
+
+
+def test_markdown_catalog_covers_every_registered_rule():
+    md = markdown_catalog()
+    for rule_id in rule_ids():
+        assert f"`{rule_id}`" in md
+
+
+def test_inject_catalog_requires_markers():
+    with pytest.raises(ValueError):
+        inject_catalog("no markers here")
+
+
+def test_cli_check_list_rules_markdown(capsys):
+    assert main(["check", "--list-rules", "--format=md"]) == 0
+    out = capsys.readouterr().out
+    assert out.startswith("| rule | category |")
+    assert "`DET003`" in out
+
+
+def test_cli_check_rejects_md_format_without_list_rules(tmp_path, capsys):
+    assert main(["check", str(tmp_path), "--no-cache", "--format=md"]) == 2
+
+
+# -- SARIF output ----------------------------------------------------------------
+
+
+def test_render_sarif_shape():
+    diags = lint({"repro/core/bad.py": "import numpy as np\nnp.random.seed(0)\n"})
+    doc = json.loads(render_sarif(diags, all_rules()))
+    assert doc["version"] == "2.1.0"
+    assert doc["$schema"].endswith("sarif-schema-2.1.0.json")
+    driver = doc["runs"][0]["tool"]["driver"]
+    assert driver["name"] == "a4nn"
+    assert {r["id"] for r in driver["rules"]} == set(rule_ids())
+    result = doc["runs"][0]["results"][0]
+    assert result["ruleId"] == "DET001"
+    assert result["level"] == "error"
+    region = result["locations"][0]["physicalLocation"]["region"]
+    assert region["startLine"] == 2
+    assert region["startColumn"] == 1  # SARIF columns are 1-based
+
+
+def test_render_sarif_carries_related_locations():
+    diags = lint({
+        "repro/nas/evaluation.py": """
+            from repro.support import jitter
+            def evaluate(genome):
+                return jitter(genome)
+        """,
+        "repro/support.py": """
+            import numpy as np
+            def jitter(genome):
+                return np.random.default_rng().random()
+        """,
+    })
+    doc = json.loads(render_sarif(diags, all_rules()))
+    flows = [r for r in doc["runs"][0]["results"] if r["ruleId"] == "DET003"]
+    assert len(flows) == 1
+    related = flows[0]["relatedLocations"][0]
+    assert related["physicalLocation"]["artifactLocation"]["uri"] == "repro/nas/evaluation.py"
+    assert "entry point" in related["message"]["text"]
+
+
+def test_cli_check_format_sarif(tmp_path, capsys):
+    bad = tmp_path / "repro" / "core"
+    bad.mkdir(parents=True)
+    (bad / "bad.py").write_text("import numpy as np\nnp.random.seed(0)\n")
+    assert main(["check", str(tmp_path), "--no-cache", "--format=sarif"]) == 1
+    doc = json.loads(capsys.readouterr().out)
+    assert doc["version"] == "2.1.0"
+    assert doc["runs"][0]["results"][0]["ruleId"] == "DET001"
+
+
+# -- baseline --------------------------------------------------------------------
+
+
+def test_baseline_grandfathers_existing_findings(tmp_path):
+    pkg = tmp_path / "repro" / "core"
+    pkg.mkdir(parents=True)
+    bad = pkg / "bad.py"
+    bad.write_text("import numpy as np\nnp.random.seed(0)\n")
+    baseline = tmp_path / "baseline.json"
+    first = run_check([tmp_path])
+    assert first.exit_code == 1
+    write_baseline(first.diagnostics, baseline)
+    second = run_check([tmp_path], baseline=baseline)
+    assert second.exit_code == 0
+    assert len(second.grandfathered) == 1
+
+
+def test_baseline_is_line_independent_but_count_exact(tmp_path):
+    pkg = tmp_path / "repro" / "core"
+    pkg.mkdir(parents=True)
+    bad = pkg / "bad.py"
+    bad.write_text("import numpy as np\nnp.random.seed(0)\n")
+    baseline = tmp_path / "baseline.json"
+    write_baseline(run_check([tmp_path]).diagnostics, baseline)
+    # the finding moving down the file does not resurrect it ...
+    bad.write_text("import numpy as np\nx = 1\nnp.random.seed(0)\n")
+    moved = run_check([tmp_path], baseline=baseline)
+    assert moved.exit_code == 0
+    # ... but a second identical occurrence exceeds the recorded count
+    bad.write_text("import numpy as np\nnp.random.seed(0)\nnp.random.seed(0)\n")
+    doubled = run_check([tmp_path], baseline=baseline)
+    assert doubled.exit_code == 1
+    assert len(doubled.grandfathered) == 1
+    assert len(doubled.diagnostics) == 1
+
+
+def test_cli_check_update_baseline_then_green(tmp_path, capsys):
+    pkg = tmp_path / "repro" / "core"
+    pkg.mkdir(parents=True)
+    (pkg / "bad.py").write_text("import numpy as np\nnp.random.seed(0)\n")
+    baseline = tmp_path / "baseline.json"
+    args = ["check", str(tmp_path), "--no-cache", "--baseline", str(baseline)]
+    assert main(args) == 1
+    capsys.readouterr()
+    assert main(args + ["--update-baseline"]) == 0
+    assert "grandfathering 1 finding(s)" in capsys.readouterr().out
+    assert main(args) == 0
+    assert "1 grandfathered" in capsys.readouterr().out
+
+
+def test_cli_check_rejects_malformed_baseline(tmp_path, capsys):
+    (tmp_path / "ok.py").write_text("x = 1\n")
+    baseline = tmp_path / "baseline.json"
+    baseline.write_text('{"schema": "bogus"}')
+    assert main(["check", str(tmp_path), "--no-cache", "--baseline", str(baseline)]) == 2
+    assert "a4nn-baseline" in capsys.readouterr().err
+
+
+# -- autofixes -------------------------------------------------------------------
+
+
+def test_cli_check_fix_rewrites_seedless_default_rng(tmp_path, capsys):
+    pkg = tmp_path / "repro" / "core"
+    pkg.mkdir(parents=True)
+    target = pkg / "draws.py"
+    target.write_text(
+        "import numpy as np\n\ndef fresh():\n    return np.random.default_rng()\n"
+    )
+    assert main(
+        ["check", str(tmp_path), "--fix", "--cache-dir", str(tmp_path / "cache")]
+    ) == 0  # fixed, then re-checked clean
+    text = target.read_text()
+    assert "fallback_rng()" in text
+    assert "from repro.utils.rng import fallback_rng" in text
+    assert "default_rng()" not in text
+    assert "fixed 1 finding(s)" in capsys.readouterr().out
+
+
+def test_apply_fixes_appends_dtype_kwarg(tmp_path):
+    pkg = tmp_path / "repro" / "nn"
+    pkg.mkdir(parents=True)
+    target = pkg / "network.py"
+    target.write_text(
+        "import numpy as np\n\ndef forward(n, dtype):\n    return np.zeros(n)\n"
+    )
+    result = run_check([tmp_path])
+    assert result.exit_code == 1
+    outcome = apply_fixes(result.diagnostics)
+    assert outcome.n_applied == 1
+    assert "np.zeros(n, dtype=dtype)" in target.read_text()
+    assert run_check([tmp_path]).exit_code == 0
+
+
+# -- CLI cache reporting ---------------------------------------------------------
+
+
+def test_cli_check_reports_cache_stats(tmp_path, capsys):
+    pkg = tmp_path / "repro" / "core"
+    pkg.mkdir(parents=True)
+    (pkg / "ok.py").write_text("x = 1\n")
+    cache = ["--cache-dir", str(tmp_path / "cache")]
+    assert main(["check", str(tmp_path)] + cache) == 0
+    assert "cache: 0 hit(s), 1 analyzed" in capsys.readouterr().out
+    assert main(["check", str(tmp_path)] + cache) == 0
+    assert "cache: 1 hit(s), 0 analyzed" in capsys.readouterr().out
 
 
 # -- self-check: the repo passes its own linter (tier-1 regression gate) --------
