@@ -2,7 +2,8 @@
 
 Runs the same fully-seeded real-mode mini search on every execution
 backend × worker-count combination (serial, thread × {1,2,4},
-process × {1,2,4}) and reports, per entry:
+process × {1,2,4}), plus steady-state evolution points sharing one
+pinned breeding lag, and reports, per entry:
 
 * the end-to-end wall time (machine-dependent — recorded for context,
   never compared);
@@ -14,7 +15,11 @@ process × {1,2,4}) and reports, per entry:
   generation-boundary *barrier downtime* each worker spends waiting for
   the stragglers — the sweep population (5) is deliberately not
   divisible by 2 or 4, so the barrier cost is visible at every
-  multi-worker point.
+  multi-worker point.  Each entry also splits the idle tail into
+  ``mid_run_barrier_downtime_seconds`` (stalls at interior generation
+  boundaries — structurally zero for steady entries, which run one
+  continuous stream) and ``final_drain_seconds`` (the unavoidable
+  end-of-run drain).
 
 The committed ``BENCH_scaling.json`` records one run of this sweep;
 ``make bench-scale`` re-runs it and diffs the structural fields.  A note
@@ -45,6 +50,7 @@ from repro.xfel.intensity import BeamIntensity
 __all__ = [
     "SCALING_SCHEMA",
     "SCALING_GRID",
+    "STEADY_LAG",
     "ScalingReport",
     "run_scaling",
     "compare_scaling",
@@ -53,26 +59,39 @@ __all__ = [
 _LOG = get_logger("bench.scaling")
 
 #: Schema tag written into every scaling document.
-SCALING_SCHEMA = "a4nn-bench-scaling/1"
+SCALING_SCHEMA = "a4nn-bench-scaling/2"
 
-#: (backend, n_workers) points the sweep measures, in execution order.
+#: Breeding lag the steady-state sweep entries pin.  Fixed (rather than
+#: defaulted to ``n_workers``) so every steady entry runs the *same*
+#: logical clock and the sweep's cross-backend determinism check holds.
+STEADY_LAG = 4
+
+#: (backend, n_workers, evolution) points the sweep measures, in order.
 SCALING_GRID = (
-    ("serial", 1),
-    ("thread", 1),
-    ("thread", 2),
-    ("thread", 4),
-    ("process", 1),
-    ("process", 2),
-    ("process", 4),
+    ("serial", 1, "barrier"),
+    ("thread", 1, "barrier"),
+    ("thread", 2, "barrier"),
+    ("thread", 4, "barrier"),
+    ("process", 1, "barrier"),
+    ("process", 2, "barrier"),
+    ("process", 4, "barrier"),
+    ("serial", 1, "steady"),
+    ("thread", 2, "steady"),
+    ("thread", 4, "steady"),
+    ("process", 4, "steady"),
 )
 
 
-def _scaling_config(seed: int, backend: str, n_workers: int) -> WorkflowConfig:
+def _scaling_config(
+    seed: int, backend: str, n_workers: int, evolution: str = "barrier"
+) -> WorkflowConfig:
     """The seeded real-mode mini search every sweep entry runs.
 
     Population 5 is deliberately coprime to the 2- and 4-worker points
     so the generation barrier leaves visible per-worker downtime.  The
     cache is off so every entry evaluates the same number of models.
+    Steady entries pin ``steady_lag`` to :data:`STEADY_LAG` so they all
+    share one logical clock regardless of worker count.
     """
     return WorkflowConfig(
         nas=NSGANetConfig(
@@ -81,6 +100,8 @@ def _scaling_config(seed: int, backend: str, n_workers: int) -> WorkflowConfig:
             generations=2,
             max_epochs=4,
             nodes_per_phase=2,
+            evolution=evolution,
+            steady_lag=STEADY_LAG if evolution == "steady" else None,
         ),
         engine=EngineConfig(e_pred=4),
         dataset=DatasetConfig(
@@ -95,10 +116,14 @@ def _scaling_config(seed: int, backend: str, n_workers: int) -> WorkflowConfig:
     )
 
 
-def _run_entry(seed: int, backend: str, n_workers: int) -> dict:
+def _run_entry(
+    seed: int, backend: str, n_workers: int, evolution: str = "barrier"
+) -> dict:
     from repro.workflow.orchestrator import A4NNOrchestrator
 
-    orchestrator = A4NNOrchestrator(_scaling_config(seed, backend, n_workers))
+    orchestrator = A4NNOrchestrator(
+        _scaling_config(seed, backend, n_workers, evolution)
+    )
     clock = Stopwatch()
     with clock:
         result = orchestrator.run()
@@ -106,6 +131,7 @@ def _run_entry(seed: int, backend: str, n_workers: int) -> dict:
     entry = {
         "backend": backend,
         "n_workers": n_workers,
+        "evolution": evolution,
         "wall_seconds": clock.total,
         "n_models": len(result.search.archive),
         "best_fitness": result.search.population.best_fitness(),
@@ -118,6 +144,14 @@ def _run_entry(seed: int, backend: str, n_workers: int) -> dict:
         entry["barrier_downtime_seconds"] = [
             r.barrier_downtime() for r in reports
         ]
+        # A barrier run stalls at every generation boundary; a steady run
+        # has exactly one report whose only idle tail is the final drain.
+        # Splitting the two makes the tentpole claim measurable: steady
+        # mid-run barrier downtime is structurally zero.
+        entry["mid_run_barrier_downtime_seconds"] = sum(
+            sum(r.barrier_downtime()) for r in reports[:-1]
+        )
+        entry["final_drain_seconds"] = sum(reports[-1].barrier_downtime())
     else:
         # thread backend at n_workers=1 runs the legacy inline loop with
         # no pool behind it, so there is nothing to report per worker
@@ -134,12 +168,18 @@ class ScalingReport:
     entries: list = field(default_factory=list)
 
     def consistent(self) -> bool:
-        """Whether every entry produced the identical search outcome."""
-        outcomes = {
-            (e["n_models"], e["best_fitness"], e["epochs_trained"])
-            for e in self.entries
-        }
-        return len(outcomes) <= 1
+        """Whether every entry produced the identical search outcome.
+
+        Compared *per evolution mode*: barrier and steady visit
+        different candidate sequences by design, but within one mode
+        every backend × worker-count point must agree bit-exactly.
+        """
+        by_mode: dict[str, set] = {}
+        for e in self.entries:
+            by_mode.setdefault(e.get("evolution", "barrier"), set()).add(
+                (e["n_models"], e["best_fitness"], e["epochs_trained"])
+            )
+        return all(len(outcomes) <= 1 for outcomes in by_mode.values())
 
     def to_dict(self) -> dict:
         return {
@@ -174,8 +214,10 @@ class ScalingReport:
         ]
         for e in self.entries:
             label = f"{e['backend']}@{e['n_workers']}"
+            if e.get("evolution", "barrier") == "steady":
+                label += "/steady"
             line = (
-                f"  {label:<10} wall {e['wall_seconds']:6.2f}s  "
+                f"  {label:<17} wall {e['wall_seconds']:6.2f}s  "
                 f"models {e['n_models']}  best {e['best_fitness']:.2f}%"
             )
             if "busy_seconds" in e:
@@ -186,9 +228,14 @@ class ScalingReport:
                     f"  busy {e['busy_seconds']:6.2f}s  "
                     f"barrier-idle {downtime:5.2f}s"
                 )
+                if "mid_run_barrier_downtime_seconds" in e:
+                    line += (
+                        f"  (mid-run {e['mid_run_barrier_downtime_seconds']:5.2f}s"
+                        f" + drain {e['final_drain_seconds']:5.2f}s)"
+                    )
             lines.append(line)
         lines.append(
-            "  outcome identical across backends: "
+            "  outcome identical across backends (per evolution mode): "
             + ("yes" if self.consistent() else "NO — DETERMINISM BROKEN")
         )
         if self.host_cpus <= 1:
@@ -202,9 +249,14 @@ class ScalingReport:
 def run_scaling(*, seed: int = 21) -> ScalingReport:
     """Execute the full backend × n_workers sweep and return the report."""
     entries = []
-    for backend, n_workers in SCALING_GRID:
-        _LOG.info("scaling sweep: backend=%s n_workers=%d", backend, n_workers)
-        entries.append(_run_entry(seed, backend, n_workers))
+    for backend, n_workers, evolution in SCALING_GRID:
+        _LOG.info(
+            "scaling sweep: backend=%s n_workers=%d evolution=%s",
+            backend,
+            n_workers,
+            evolution,
+        )
+        entries.append(_run_entry(seed, backend, n_workers, evolution))
     return ScalingReport(
         seed=seed, host_cpus=os.cpu_count() or 1, entries=entries
     )
@@ -219,11 +271,19 @@ def compare_scaling(fresh: ScalingReport, committed: ScalingReport) -> str:
     flag.
     """
     lines = ["scaling diff (fresh vs committed):"]
-    fresh_by = {(e["backend"], e["n_workers"]): e for e in fresh.entries}
-    comm_by = {(e["backend"], e["n_workers"]): e for e in committed.entries}
+
+    def by_point(report: ScalingReport) -> dict:
+        return {
+            (e["backend"], e["n_workers"], e.get("evolution", "barrier")): e
+            for e in report.entries
+        }
+
+    fresh_by, comm_by = by_point(fresh), by_point(committed)
     for key in sorted(set(fresh_by) | set(comm_by)):
         a, b = fresh_by.get(key), comm_by.get(key)
         label = f"{key[0]}@{key[1]}"
+        if key[2] != "barrier":
+            label += f"/{key[2]}"
         if a is None or b is None:
             lines.append(f"  [DIFF] {label}: present only in one document")
             continue

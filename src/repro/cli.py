@@ -104,9 +104,20 @@ def _fastpath_overrides(args: argparse.Namespace) -> dict:
     return overrides
 
 
+def _nas_overrides(args: argparse.Namespace) -> dict:
+    """Evolution-loop settings given explicitly on the CLI (nested in nas)."""
+    overrides = {}
+    if args.evolution is not None:
+        overrides["evolution"] = args.evolution
+    if args.steady_lag is not None:
+        overrides["steady_lag"] = args.steady_lag
+    return overrides
+
+
 def _config_from_args(args: argparse.Namespace) -> WorkflowConfig:
     faults, fault_injection = _fault_settings_from_args(args)
     overrides = _fastpath_overrides(args)
+    nas_overrides = _nas_overrides(args)
     if args.config:
         config = WorkflowConfig.from_dict(read_json(args.config))
         if faults is not None or fault_injection is not None:
@@ -120,6 +131,10 @@ def _config_from_args(args: argparse.Namespace) -> WorkflowConfig:
             )
         if overrides:
             config = dataclasses.replace(config, **overrides)
+        if nas_overrides:
+            config = dataclasses.replace(
+                config, nas=dataclasses.replace(config.nas, **nas_overrides)
+            )
         return config
     config = WorkflowConfig(
         dataset=DatasetConfig(intensity=BeamIntensity.from_label(args.intensity)),
@@ -130,6 +145,10 @@ def _config_from_args(args: argparse.Namespace) -> WorkflowConfig:
         fault_injection=fault_injection,
         **overrides,
     )
+    if nas_overrides:
+        config = dataclasses.replace(
+            config, nas=dataclasses.replace(config.nas, **nas_overrides)
+        )
     return config
 
 
@@ -205,6 +224,19 @@ def _add_common_run_flags(parser: argparse.ArgumentParser) -> None:
         "--n-workers",
         type=int,
         help="concurrent evaluations per generation (default 1)",
+    )
+    parser.add_argument(
+        "--evolution",
+        choices=["barrier", "steady"],
+        help="evolution loop: 'barrier' (generational; default) or 'steady' "
+        "(asynchronous steady-state under a deterministic logical clock — "
+        "no generation-boundary downtime)",
+    )
+    parser.add_argument(
+        "--steady-lag",
+        type=int,
+        help="steady-state breeding lag (in-flight window); determinism "
+        "depends only on (seed, lag). Defaults to --n-workers",
     )
 
 

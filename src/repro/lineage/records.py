@@ -74,6 +74,10 @@ class ModelRecord:
     # model id whose evaluation was copied
     cache_hit: bool = False
     cache_source: int | None = None
+    # steady-state logical-clock position: the commit index at which
+    # this model's result entered the population (equal to model_id by
+    # construction); None for barrier-mode and historical records
+    logical_tick: int | None = None
 
     def to_dict(self) -> dict:
         return asdict(self)

@@ -40,6 +40,7 @@ _VERIFIED_FIELDS = (
     "prediction_history",
     "quarantined",
     "cache_hit",
+    "logical_tick",
 )
 
 

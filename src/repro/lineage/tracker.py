@@ -92,6 +92,7 @@ class LineageTracker:
         record.quarantined = bool(individual.quarantined) or record.quarantined
         record.cache_hit = bool(individual.cache_hit)
         record.cache_source = individual.cache_source
+        record.logical_tick = individual.logical_tick
         if individual.fault_events and not record.fault_events:
             # fault events normally arrive through observe_fault_event;
             # pick them up from the individual when the policy wasn't

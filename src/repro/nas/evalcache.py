@@ -35,13 +35,14 @@ from __future__ import annotations
 
 import copy
 import threading
+from collections import deque
 from dataclasses import dataclass, field
 from typing import Callable
 
 from repro.nas.population import Individual
 from repro.utils.logging import get_logger
 
-__all__ = ["CacheEntry", "EvaluationCache", "MemoizingEvaluator"]
+__all__ = ["CacheEntry", "EvaluationCache", "MemoizingEvaluator", "MemoizingStream"]
 
 _LOG = get_logger("nas.evalcache")
 
@@ -326,3 +327,62 @@ class MemoizingEvaluator:
                 second_wave.append(individual)
         self._run(second_wave)
         return individuals
+
+
+class MemoizingStream:
+    """Streaming (steady-state) face of the evaluation cache.
+
+    Satisfies the :class:`~repro.nas.search.EvalStream` seam by wrapping
+    an inner stream (a worker pool).  Hit/miss assignment happens at
+    ``submit`` — in steady mode a deterministic logical-clock event —
+    and priming at ``on_commit``, the point where results re-enter
+    submission order.  Both are driven by the search loop, never by
+    worker timing, so cache behaviour is identical on every backend.
+
+    A duplicate bred while its leader is still inside the in-flight
+    window finds no entry and re-evaluates for real; under genome-keyed
+    RNG the repeat is bit-identical, so only wall time is spent, never
+    determinism.  The inner stream evaluates the chain *below* the
+    memoizer (its own lookup would race with worker timing).
+    """
+
+    def __init__(self, memoizer: MemoizingEvaluator, inner) -> None:
+        self.memoizer = memoizer
+        self.inner = inner
+        self._ready: deque[Individual] = deque()
+
+    def submit(self, individual: Individual) -> None:
+        memoizer = self.memoizer
+        key = memoizer.base.memo_key(individual)
+        if key is not None:
+            entry = memoizer.cache.record_hit(key)
+            if entry is not None:
+                self._ready.append(memoizer._apply_hit(individual, entry))
+                return
+            memoizer.cache.record_miss()
+            # register the trace now so the capture observer collects the
+            # per-epoch events of this in-flight evaluation (thread
+            # backends capture live; the process pool captures during its
+            # parent-side observer replay)
+            with memoizer._trace_lock:
+                memoizer._traces[individual.model_id] = []
+        self.inner.submit(individual)
+
+    def settled(self) -> Individual:
+        if self._ready:
+            return self._ready.popleft()
+        return self.inner.settled()
+
+    def on_commit(self, individual: Individual) -> None:
+        memoizer = self.memoizer
+        with memoizer._trace_lock:
+            trace = memoizer._traces.pop(individual.model_id, [])
+        if not individual.cache_hit:
+            key = memoizer.base.memo_key(individual)
+            if key is not None and memoizer._cacheable(individual):
+                memoizer.cache.put(key, memoizer._entry_from(individual, trace))
+        self.inner.on_commit(individual)
+
+    def finish(self):
+        """Close the inner stream (returns its report, when it keeps one)."""
+        return self.inner.finish()

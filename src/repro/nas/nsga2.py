@@ -16,6 +16,7 @@ __all__ = [
     "crowding_distance",
     "crowded_compare",
     "environmental_selection",
+    "steady_eviction",
     "binary_tournament",
     "pareto_front_mask",
 ]
@@ -85,9 +86,15 @@ def crowding_distance(objectives) -> np.ndarray:
         order = np.argsort(arr[:, k], kind="stable")
         values = arr[order, k]
         span = values[-1] - values[0]
-        distance[order[0]] = np.inf
-        distance[order[-1]] = np.inf
         if span > 0:
+            # Every point *tied* with a boundary value is a boundary
+            # point; marking only order[0]/order[-1] would hand inf to
+            # whichever duplicate the stable sort happened to place
+            # first/last, making selection depend on input order.  A
+            # constant objective (span == 0) stays degenerate and
+            # contributes nothing, exactly as before.
+            distance[order[values == values[0]]] = np.inf
+            distance[order[values == values[-1]]] = np.inf
             distance[order[1:-1]] += (values[2:] - values[:-2]) / span
     return distance
 
@@ -120,6 +127,25 @@ def environmental_selection(objectives, k: int) -> np.ndarray:
     return np.asarray(survivors, dtype=int)
 
 
+def steady_eviction(objectives) -> int:
+    """Index of the single member to drop under one-in/one-out selection.
+
+    The steady-state loop adds one settled offspring to the population
+    and evicts exactly one member.  The victim is chosen with the same
+    rule environmental selection applies at its cut front: worst rank
+    first, least crowded within it — so evicting one from ``n`` members
+    keeps precisely the ``n - 1`` survivors
+    ``environmental_selection(objectives, n - 1)`` would keep.
+    """
+    arr = _as_objectives(objectives)
+    if arr.shape[0] < 2:
+        raise ValueError("steady eviction needs at least two members")
+    last_front = fast_non_dominated_sort(arr)[-1]
+    dist = crowding_distance(arr[last_front])
+    # mirror environmental_selection's most-crowded-first stable ordering
+    return int(last_front[np.argsort(-dist, kind="stable")[-1]])
+
+
 def binary_tournament(
     objectives, rng: np.random.Generator, *, n_winners: int
 ) -> np.ndarray:
@@ -132,11 +158,11 @@ def binary_tournament(
     n = arr.shape[0]
     if n == 0:
         raise ValueError("cannot run a tournament on an empty pool")
+    fronts = fast_non_dominated_sort(arr)
     ranks = np.empty(n, dtype=int)
-    for rank, front in enumerate(fast_non_dominated_sort(arr)):
-        ranks[front] = rank
     distances = np.empty(n)
-    for front in fast_non_dominated_sort(arr):
+    for rank, front in enumerate(fronts):
+        ranks[front] = rank
         distances[front] = crowding_distance(arr[front])
 
     winners = np.empty(n_winners, dtype=int)

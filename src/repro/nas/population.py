@@ -56,6 +56,12 @@ class Individual:
     cache_source:
         Model id of the candidate whose evaluation was reused when
         ``cache_hit`` is set.
+    logical_tick:
+        Position of this candidate on the steady-state logical clock:
+        the commit index at which its result was folded into the
+        population (equal to ``model_id`` by construction, since steady
+        commits apply in submission order).  ``None`` for barrier-mode
+        runs.
     """
 
     genome: Genome
@@ -70,6 +76,7 @@ class Individual:
     fault_events: list = field(default_factory=list)
     cache_hit: bool = False
     cache_source: int | None = None
+    logical_tick: int | None = None
 
     @property
     def evaluated(self) -> bool:
@@ -95,6 +102,7 @@ class Individual:
             "fault_events": [dict(e) for e in self.fault_events],
             "cache_hit": self.cache_hit,
             "cache_source": self.cache_source,
+            "logical_tick": self.logical_tick,
         }
 
 

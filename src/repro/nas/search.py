@@ -15,25 +15,104 @@ generation, 10 generations (the initial population counts as generation
 
 from __future__ import annotations
 
+from collections import deque
 from dataclasses import dataclass, field
-from typing import Callable
+from typing import Callable, Protocol, runtime_checkable
 
 import numpy as np
 
 from repro.nas.evaluation import Evaluator
 from repro.nas.genome import Genome, random_genome
-from repro.nas.nsga2 import binary_tournament, environmental_selection, pareto_front_mask
+from repro.nas.nsga2 import (
+    binary_tournament,
+    environmental_selection,
+    pareto_front_mask,
+    steady_eviction,
+)
 from repro.nas.operators import bitflip_mutation, point_crossover, uniform_crossover
 from repro.nas.population import Individual, Population
 from repro.utils.logging import get_logger
 from repro.utils.rng import RngStream
 from repro.utils.validation import ensure_positive
 
-__all__ = ["NSGANetConfig", "GenerationStats", "SearchResult", "SearchState", "NSGANet"]
+__all__ = [
+    "NSGANetConfig",
+    "GenerationStats",
+    "SearchResult",
+    "SearchState",
+    "NSGANet",
+    "EvalStream",
+    "steady_insert",
+]
 
 _LOG = get_logger("nas.search")
 
 _CROSSOVERS = {"uniform": uniform_crossover, "point": point_crossover}
+
+_EVOLUTIONS = ("barrier", "steady")
+
+
+@runtime_checkable
+class EvalStream(Protocol):
+    """Streaming evaluation seam for steady-state evolution.
+
+    ``submit`` hands a candidate to the backend; ``settled`` blocks for
+    the next completed evaluation *in any order*; ``on_commit`` fires
+    when the search folds a result into the population in logical-clock
+    order (the deterministic point for cache priming); ``finish`` flushes
+    end-of-stream bookkeeping (e.g. a :class:`~repro.scheduler.pool.
+    PoolReport` covering the whole run).
+    """
+
+    def submit(self, individual: Individual) -> None: ...
+
+    def settled(self) -> Individual: ...
+
+    def on_commit(self, individual: Individual) -> None: ...
+
+    def finish(self) -> None: ...
+
+
+class _InlineStream:
+    """Serial fallback stream: evaluates lazily, in submission order."""
+
+    def __init__(self, evaluator: Evaluator) -> None:
+        self._evaluator = evaluator
+        self._queue: deque[Individual] = deque()
+
+    def submit(self, individual: Individual) -> None:
+        self._queue.append(individual)
+
+    def settled(self) -> Individual:
+        if not self._queue:
+            raise RuntimeError("no evaluations in flight")
+        individual = self._queue.popleft()
+        self._evaluator.evaluate(individual)
+        return individual
+
+    def on_commit(self, individual: Individual) -> None:
+        pass
+
+    def finish(self) -> None:
+        pass
+
+
+def steady_insert(
+    members: list[Individual], individual: Individual, population_size: int
+) -> list[Individual]:
+    """One-in/one-out environmental selection step.
+
+    Adds ``individual`` to ``members``; once the population is full,
+    evicts exactly one member (worst rank, least crowded — see
+    :func:`~repro.nas.nsga2.steady_eviction`).  Survivor order is
+    insertion order, which keeps the replayed population byte-stable.
+    """
+    combined = list(members) + [individual]
+    if len(combined) <= population_size:
+        return combined
+    objectives = np.array([m.objectives() for m in combined], dtype=float)
+    victim = steady_eviction(objectives)
+    return [m for i, m in enumerate(combined) if i != victim]
 
 
 @dataclass(frozen=True)
@@ -60,6 +139,18 @@ class NSGANetConfig:
         ``"uniform"`` or ``"point"``.
     initial_density:
         Bernoulli density of initial random genomes.
+    evolution:
+        ``"barrier"`` (generational, the paper's loop) or ``"steady"``
+        (asynchronous steady-state: one-in/one-out selection under a
+        deterministic logical clock).
+    steady_lag:
+        Breeding lag of the steady-state logical clock: offspring ``g``
+        is bred from the population state after commit ``g - lag``, so
+        up to ``lag`` evaluations are in flight at once.  Determinism
+        depends only on ``(seed, steady_lag)`` — two runs with the same
+        lag are bit-identical regardless of backend or worker count.
+        ``None`` lets the orchestrator pin it to ``n_workers``; a bare
+        :class:`NSGANet` falls back to 1 (classic steady state).
     """
 
     population_size: int = 10
@@ -71,6 +162,8 @@ class NSGANetConfig:
     mutation_rate: float | None = None
     crossover: str = "uniform"
     initial_density: float = 0.5
+    evolution: str = "barrier"
+    steady_lag: int | None = None
 
     def __post_init__(self) -> None:
         ensure_positive(self.population_size, "population_size")
@@ -81,6 +174,12 @@ class NSGANetConfig:
             raise ValueError(
                 f"crossover must be one of {sorted(_CROSSOVERS)}, got {self.crossover!r}"
             )
+        if self.evolution not in _EVOLUTIONS:
+            raise ValueError(
+                f"evolution must be one of {_EVOLUTIONS}, got {self.evolution!r}"
+            )
+        if self.steady_lag is not None:
+            ensure_positive(self.steady_lag, "steady_lag")
 
     @property
     def total_evaluations(self) -> int:
@@ -99,6 +198,8 @@ class NSGANetConfig:
             "mutation_rate": self.mutation_rate,
             "crossover": self.crossover,
             "initial_density": self.initial_density,
+            "evolution": self.evolution,
+            "steady_lag": self.steady_lag,
         }
 
 
@@ -227,6 +328,10 @@ class NSGANet:
         individuals`` that runs a whole generation's evaluations (e.g.
         :class:`~repro.scheduler.pool.FifoWorkerPool` for real parallel
         hardware).  Defaults to serial evaluation through ``evaluator``.
+        Barrier mode only.
+    stream:
+        Optional :class:`EvalStream` used by steady-state mode.
+        Defaults to an inline serial stream over ``evaluator``.
     """
 
     def __init__(
@@ -238,6 +343,7 @@ class NSGANet:
         on_individual: Callable[[Individual], None] | None = None,
         on_generation: Callable[[GenerationStats], None] | None = None,
         executor: Callable[[list], list] | None = None,
+        stream: EvalStream | None = None,
     ) -> None:
         self.config = config
         self.evaluator = evaluator
@@ -245,6 +351,7 @@ class NSGANet:
         self.on_individual = on_individual
         self.on_generation = on_generation
         self.executor = executor
+        self.stream = stream
         self._next_model_id = 0
 
     def _new_individual(self, genome: Genome, generation: int) -> Individual:
@@ -319,6 +426,172 @@ class NSGANet:
                 children.append(self._new_individual(mutated, generation))
         return children
 
+    # -- steady-state mode -------------------------------------------------
+
+    def _steady_pool(
+        self, members: list[Individual], archive_members: list[Individual]
+    ) -> list[Individual]:
+        """Breeding pool: current population plus the non-dominated archive."""
+        pool = list(members)
+        present = {m.model_id for m in pool}
+        if archive_members:
+            objectives = np.array(
+                [m.objectives() for m in archive_members], dtype=float
+            )
+            for member, keep in zip(archive_members, pareto_front_mask(objectives)):
+                if keep and member.model_id not in present:
+                    pool.append(member)
+                    present.add(member.model_id)
+        return pool
+
+    def _breed_steady(
+        self, g: int, members: list[Individual], archive_members: list[Individual]
+    ) -> Individual:
+        """Breed offspring ``g`` from a pinned logical-clock state.
+
+        The RNG is keyed by the candidate's global index, never by wall
+        time or completion order, so breeding is reproducible from the
+        clock alone.
+        """
+        rng = self.rng_stream.generator("steady-variation", g)
+        pool = self._steady_pool(members, archive_members)
+        objectives = np.array([m.objectives() for m in pool], dtype=float)
+        parent_idx = binary_tournament(objectives, rng, n_winners=2)
+        a = pool[int(parent_idx[0])].genome
+        b = pool[int(parent_idx[1])].genome
+        child, _ = _CROSSOVERS[self.config.crossover](a, b, rng)
+        mutated = bitflip_mutation(child, rng, rate=self.config.mutation_rate)
+        generation = 1 + (g - self.config.population_size) // self.config.offspring_per_generation
+        individual = self._new_individual(mutated, generation)
+        if individual.model_id != g:
+            raise RuntimeError(
+                f"steady breeding out of order: bred model {individual.model_id}, "
+                f"expected global index {g}"
+            )
+        return individual
+
+    def _run_steady(self, resume: SearchState | None) -> SearchResult:
+        """Asynchronous steady-state loop under a deterministic logical clock.
+
+        Candidates carry global indices ``g = 0..total_evaluations-1``;
+        results may *settle* in any order but *commit* (selection, tick
+        assignment, cache priming, lineage) strictly in submission
+        order.  Offspring ``g`` is bred the moment commit ``g - lag``
+        lands, from exactly that population state — so the whole run is
+        a pure function of ``(seed, steady_lag)`` and replays
+        bit-identically on any backend.
+        """
+        config = self.config
+        population_size = config.population_size
+        per_generation = config.offspring_per_generation
+        total = config.total_evaluations
+        lag = config.steady_lag or 1
+        stream = self.stream if self.stream is not None else _InlineStream(self.evaluator)
+
+        pending: dict[int, Individual] = {}
+        chunk: list[Individual] = []
+
+        if resume is None:
+            init_rng = self.rng_stream.generator("init-population")
+            initial = [
+                self._new_individual(
+                    random_genome(
+                        init_rng,
+                        n_phases=config.n_phases,
+                        nodes_per_phase=config.nodes_per_phase,
+                        density=config.initial_density,
+                    ),
+                    generation=0,
+                )
+                for _ in range(population_size)
+            ]
+            population = Population([])
+            archive = Population([])
+            generation_stats: list[GenerationStats] = []
+            committed = 0
+            for individual in initial:
+                stream.submit(individual)
+            next_submit = population_size
+        else:
+            archive = resume.archive
+            generation_stats = list(resume.generation_stats)
+            committed = len(archive.members)
+            if resume.next_model_id != committed:
+                raise ValueError(
+                    f"steady resume requires contiguous ticks: archive has "
+                    f"{committed} members but next_model_id is {resume.next_model_id}"
+                )
+            self._next_model_id = resume.next_model_id
+            # Replay the one-in/one-out commits to re-derive the population
+            # states the in-flight window was bred from: offspring g needs
+            # the snapshot after commit g - lag, which for the backlog
+            # g = committed..committed+lag-1 lies in the last `lag` commits.
+            history: dict[int, list[Individual]] = {}
+            members: list[Individual] = []
+            for tick, individual in enumerate(archive.members, start=1):
+                members = steady_insert(members, individual, population_size)
+                if tick > committed - lag:
+                    history[tick] = list(members)
+            population = Population(members)
+            next_submit = committed
+            while next_submit < total and max(1, next_submit - lag + 1) <= committed:
+                pinned = max(1, next_submit - lag + 1)
+                child = self._breed_steady(
+                    next_submit, history[pinned], archive.members[:pinned]
+                )
+                stream.submit(child)
+                next_submit += 1
+
+        while committed < total:
+            settled = stream.settled()
+            if not settled.evaluated:
+                raise RuntimeError(
+                    f"model {settled.model_id} was not evaluated by the stream"
+                )
+            pending[settled.model_id] = settled
+            while committed in pending:
+                individual = pending.pop(committed)
+                individual.logical_tick = committed
+                archive.append(individual)
+                population.members = steady_insert(
+                    population.members, individual, population_size
+                )
+                stream.on_commit(individual)
+                if self.on_individual is not None:
+                    self.on_individual(individual)
+                committed += 1
+                chunk.append(individual)
+                if committed == population_size or (
+                    committed > population_size
+                    and (committed - population_size) % per_generation == 0
+                ):
+                    generation = (
+                        0
+                        if committed == population_size
+                        else (committed - population_size) // per_generation
+                    )
+                    generation_stats.append(
+                        self._record_generation(generation, chunk, population)
+                    )
+                    chunk = []
+                # Breed every candidate whose pinned state just became
+                # current; pumping after *each* commit keeps the breeding
+                # state exactly at commit g - lag.
+                while next_submit < total and max(1, next_submit - lag + 1) <= committed:
+                    child = self._breed_steady(
+                        next_submit, population.members, archive.members
+                    )
+                    stream.submit(child)
+                    next_submit += 1
+        stream.finish()
+
+        return SearchResult(
+            archive=archive,
+            population=population,
+            generations=generation_stats,
+            config=config,
+        )
+
     def run(self, *, resume: SearchState | None = None) -> SearchResult:
         """Execute the search (optionally continuing from ``resume``).
 
@@ -327,6 +600,8 @@ class NSGANet:
         covers the whole run (resumed archive included).
         """
         config = self.config
+        if config.evolution == "steady":
+            return self._run_steady(resume)
         if resume is None:
             init_rng = self.rng_stream.generator("init-population")
             initial = [

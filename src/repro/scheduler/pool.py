@@ -28,6 +28,7 @@ unrecoverable, quarantined with penalized objectives.
 
 from __future__ import annotations
 
+import queue
 import threading
 from concurrent.futures import ThreadPoolExecutor
 from dataclasses import dataclass, field
@@ -112,18 +113,30 @@ class PoolReport:
         capacity = self.n_workers * self.wall_seconds
         return self.busy_seconds / capacity if capacity > 0 else 0.0
 
+    @property
+    def idle_workers(self) -> int:
+        """Workers that never ran a job (oversized pool, not barrier loss)."""
+        scheduled = {job.worker for job in self.jobs}
+        return sum(1 for w in range(self.n_workers) if w not in scheduled)
+
     def barrier_downtime(self) -> list:
         """Seconds each worker idled between its last job and the barrier.
 
         This is the paper's generation-boundary downtime: when
         ``population % n_workers != 0`` some workers finish early and
         must wait for the slowest one before the next generation can be
-        bred.  Workers that never ran a job idle the whole generation.
+        bred.  A worker that never ran a job is *not* charged barrier
+        downtime — its loss is a sizing problem, reported separately via
+        :attr:`idle_workers` — so oversized pools don't overstate
+        barrier loss.
         """
-        last_end = [0.0] * self.n_workers
+        last_end: dict[int, float] = {}
         for job in self.jobs:
-            last_end[job.worker] = max(last_end[job.worker], job.end_seconds)
-        return [max(self.wall_seconds - end, 0.0) for end in last_end]
+            last_end[job.worker] = max(last_end.get(job.worker, 0.0), job.end_seconds)
+        return [
+            max(self.wall_seconds - last_end[w], 0.0) if w in last_end else 0.0
+            for w in range(self.n_workers)
+        ]
 
     def to_dict(self) -> dict:
         return {
@@ -134,13 +147,20 @@ class PoolReport:
             "jobs": [job.to_dict() for job in self.jobs],
             "worker_busy_seconds": list(self.worker_busy_seconds),
             "barrier_downtime_seconds": self.barrier_downtime(),
+            "idle_workers": self.idle_workers,
             "utilization": self.utilization,
         }
 
 
 @runtime_checkable
 class WorkerPool(Protocol):
-    """What the orchestrator requires of a generation executor backend."""
+    """What the orchestrator requires of a generation executor backend.
+
+    Pools additionally expose the streaming seam used by steady-state
+    evolution — ``submit`` / ``settled`` / ``finish`` — next to the batch
+    ``evaluate_generation`` entry point; see
+    :class:`~repro.nas.search.EvalStream`.
+    """
 
     n_workers: int
     reports: list
@@ -197,6 +217,7 @@ class FifoWorkerPool:
         self.evaluator = evaluator
         self.n_workers = int(n_workers)
         self.reports: list[PoolReport] = []
+        self._stream: _ThreadStreamState | None = None
 
     def _run_job(
         self,
@@ -273,10 +294,80 @@ class FifoWorkerPool:
             )
         return individuals
 
+    # -- streaming seam (steady-state evolution) ---------------------------
+
+    def submit(self, individual: Individual) -> None:
+        """Queue one evaluation on the stream (FIFO dispatch order)."""
+        if self._stream is None:
+            self._stream = _ThreadStreamState(self.n_workers)
+        state = self._stream
+        state.n_submitted += 1
+
+        def task(ind: Individual = individual) -> None:
+            error: Exception | None = None
+            try:
+                self._run_job(
+                    ind, state.clock, state.timings, state.slots, state.busy, state.lock
+                )
+            except Exception as exc:  # a4nn: noqa(NUM001) -- not swallowed: handed to the consumer through settled()
+                error = exc
+            state.results.put((ind, error))
+
+        state.executor.submit(task)
+
+    def settled(self) -> Individual:
+        """Block for the next completed evaluation, in any order."""
+        state = self._stream
+        if state is None or state.n_settled >= state.n_submitted:
+            raise RuntimeError("no evaluations in flight")
+        individual, error = state.results.get()
+        state.n_settled += 1
+        if error is not None:
+            raise error
+        return individual
+
+    def on_commit(self, individual: Individual) -> None:
+        """Nothing to do: the pool holds no commit-ordered state."""
+
+    def finish(self) -> PoolReport | None:
+        """Close the stream and record one report covering the whole run."""
+        state = self._stream
+        if state is None:
+            return None
+        self._stream = None
+        state.executor.shutdown(wait=True)
+        state.clock.stop()
+        report = PoolReport(
+            n_workers=self.n_workers,
+            wall_seconds=state.clock.total,
+            n_jobs=state.n_submitted,
+            backend="serial" if self.n_workers == 1 else "thread",
+            jobs=tuple(sorted(state.timings, key=lambda t: t.job_id)),
+            worker_busy_seconds=tuple(state.busy),
+        )
+        self.reports.append(report)
+        return report
+
     def close(self) -> None:
-        """Thread workers hold no persistent resources; nothing to release."""
+        """Release stream workers; thread workers hold nothing else."""
+        self.finish()
 
     @property
     def total_wall_seconds(self) -> float:
         """Measured wall time across all generations run so far."""
         return sum(r.wall_seconds for r in self.reports)
+
+
+class _ThreadStreamState:
+    """Mutable bookkeeping of one open :meth:`FifoWorkerPool.submit` stream."""
+
+    def __init__(self, n_workers: int) -> None:
+        self.executor = ThreadPoolExecutor(max_workers=n_workers)
+        self.clock = Stopwatch().start()
+        self.results: queue.Queue = queue.Queue()
+        self.timings: list[JobTiming] = []
+        self.slots: dict[int, int] = {}
+        self.busy = [0.0] * n_workers
+        self.lock = threading.Lock()
+        self.n_submitted = 0
+        self.n_settled = 0

@@ -274,6 +274,27 @@ class _Job:
         self.trace = ()            # final attempt's epoch trace (for on_result)
 
 
+class _ProcStreamState:
+    """Persistent scheduling state of one open streaming run.
+
+    The streaming seam drives the same ``_dispatch`` /
+    ``_wait_and_settle`` primitives as the batch path, but keeps their
+    state alive across ``submit``/``settled`` calls so the whole
+    steady-state run is one scheduling episode with one
+    :class:`~repro.scheduler.pool.PoolReport`.
+    """
+
+    def __init__(self, n_workers: int) -> None:
+        self.clock = Stopwatch().start()
+        self.queue: deque = deque()
+        self.errors: dict[int, Exception] = {}
+        self.timings: dict[int, JobTiming] = {}
+        self.busy = [0.0] * n_workers
+        self.settled_jobs: deque = deque()
+        self.order = 0
+        self.n_settled = 0
+
+
 class _Worker:
     """Parent-side handle to one spawned worker process."""
 
@@ -368,6 +389,7 @@ class ProcessWorkerPool:
         self._ctx = mp.get_context("spawn")
         self._workers: list[_Worker | None] = [None] * self.n_workers
         self._closed = False
+        self._stream: _ProcStreamState | None = None
 
     # -- worker lifecycle -------------------------------------------------------
 
@@ -415,6 +437,8 @@ class ProcessWorkerPool:
         """Stop every worker and release the shared-memory arena (idempotent)."""
         if self._closed:
             return
+        if self._stream is not None:
+            self.finish()
         self._closed = True
         for slot, worker in enumerate(self._workers):
             if worker is None:
@@ -485,6 +509,8 @@ class ProcessWorkerPool:
         timings[job.order] = JobTiming(
             job.individual.model_id, worker_index, job.first_start, end
         )
+        if self._stream is not None and timings is self._stream.timings:
+            self._stream.settled_jobs.append(job)
         if self.on_result is not None:
             self.on_result(
                 job.individual, [(e, f, p) for e, f, p, _ in job.trace]
@@ -662,6 +688,10 @@ class ProcessWorkerPool:
         """
         if self._closed:
             raise RuntimeError("ProcessWorkerPool is closed")
+        if self._stream is not None:
+            raise RuntimeError(
+                "a stream is open on this pool; finish() it before batch evaluation"
+            )
         if not individuals:
             return individuals
         self._ensure_workers()
@@ -693,6 +723,74 @@ class ProcessWorkerPool:
                 f"{len(errs)} of {len(individuals)} evaluations failed", errs
             )
         return individuals
+
+    # -- streaming seam (steady-state evolution) --------------------------------
+
+    def submit(self, individual: Individual) -> None:
+        """Queue one evaluation on the stream (FIFO dispatch order).
+
+        Opens the stream lazily on first use; dispatches immediately so
+        a free worker picks the job up without waiting for the consumer
+        to call :meth:`settled`.
+        """
+        if self._closed:
+            raise RuntimeError("ProcessWorkerPool is closed")
+        if self._stream is None:
+            self._ensure_workers()
+            self._stream = _ProcStreamState(self.n_workers)
+        state = self._stream
+        state.queue.append(_Job(individual, state.order))
+        state.order += 1
+        self._dispatch(state.queue, state.clock)
+
+    def settled(self) -> Individual:
+        """Block for the next completed evaluation, in any order.
+
+        Without a :class:`~repro.scheduler.faults.FaultPolicy`, the
+        error of a failed job raises here (in settle order); with a
+        policy, faults retry/quarantine exactly as on the batch path.
+        """
+        state = self._stream
+        while state is not None and not state.settled_jobs:
+            if state.n_settled >= state.order:
+                state = None
+                break
+            self._dispatch(state.queue, state.clock)
+            state.n_settled += self._wait_and_settle(
+                state.queue, state.clock, state.busy, state.errors, state.timings
+            )
+        if state is None:
+            raise RuntimeError("no evaluations in flight")
+        job = state.settled_jobs.popleft()
+        if job.order in state.errors:
+            raise state.errors.pop(job.order)
+        return job.individual
+
+    def on_commit(self, individual: Individual) -> None:
+        """Nothing to do: the pool holds no commit-ordered state."""
+
+    def finish(self) -> PoolReport | None:
+        """Drain the stream and record one report covering the whole run."""
+        state = self._stream
+        if state is None:
+            return None
+        while state.n_settled < state.order:
+            self._dispatch(state.queue, state.clock)
+            state.n_settled += self._wait_and_settle(
+                state.queue, state.clock, state.busy, state.errors, state.timings
+            )
+        self._stream = None
+        state.clock.stop()
+        report = PoolReport(
+            n_workers=self.n_workers,
+            wall_seconds=state.clock.total,
+            n_jobs=state.order,
+            backend="process",
+            jobs=tuple(state.timings[i] for i in sorted(state.timings)),
+            worker_busy_seconds=tuple(state.busy),
+        )
+        self.reports.append(report)
+        return report
 
     @property
     def total_wall_seconds(self) -> float:

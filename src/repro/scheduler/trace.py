@@ -135,6 +135,7 @@ def pool_timeline(report: PoolReport, *, width: int = 80) -> str:
         f"worker{worker} {''.join(cells)}" for worker, cells in sorted(lanes.items())
     ]
     downtime = report.barrier_downtime()
+    scheduled = {job.worker for job in report.jobs}
     lines.append(
         f"backend={report.backend} jobs={report.n_jobs} "
         f"wall={report.wall_seconds:.2f}s "
@@ -142,8 +143,16 @@ def pool_timeline(report: PoolReport, *, width: int = 80) -> str:
     )
     lines.append(
         "barrier downtime: "
-        + "  ".join(f"w{i}={d:.2f}s" for i, d in enumerate(downtime))
+        + "  ".join(
+            f"w{i}={d:.2f}s" if i in scheduled else f"w{i}=idle"
+            for i, d in enumerate(downtime)
+        )
     )
+    if report.idle_workers:
+        lines.append(
+            f"idle workers: {report.idle_workers} never scheduled "
+            "(pool larger than the work; not barrier loss)"
+        )
     return "\n".join(lines)
 
 
@@ -167,6 +176,7 @@ def pool_chrome_trace(report: PoolReport) -> str:
         }
         for j in report.jobs
     ]
+    scheduled = {j.worker for j in report.jobs}
     events.extend(
         {
             "name": f"barrier downtime worker {worker}",
@@ -180,6 +190,22 @@ def pool_chrome_trace(report: PoolReport) -> str:
         }
         for worker, downtime in enumerate(report.barrier_downtime())
         if downtime > 0
+    )
+    # a never-scheduled worker spans the whole run as its own event so
+    # the lane isn't mislabelled as barrier loss
+    events.extend(
+        {
+            "name": f"worker {worker} never scheduled",
+            "cat": "idle",
+            "ph": "X",
+            "ts": 0.0,
+            "dur": report.wall_seconds * 1e6,
+            "pid": 0,
+            "tid": worker,
+            "args": {"idle": True},
+        }
+        for worker in range(report.n_workers)
+        if worker not in scheduled
     )
     metadata = [
         {

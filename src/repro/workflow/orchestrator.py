@@ -10,14 +10,14 @@ accounting on each requested GPU-pool size.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass, field, replace
 from pathlib import Path
 
 from repro.core.engine import PredictionEngine
 from repro.lineage.commons import DataCommons
 from repro.lineage.records import RunRecord
 from repro.lineage.tracker import LineageTracker
-from repro.nas.evalcache import EvaluationCache, MemoizingEvaluator
+from repro.nas.evalcache import EvaluationCache, MemoizingEvaluator, MemoizingStream
 from repro.nas.evaluation import TrainingEvaluator
 from repro.nas.search import NSGANet, SearchResult
 from repro.nas.surrogate import SurrogateEvaluator
@@ -252,6 +252,41 @@ class A4NNOrchestrator:
             return self.memoizer.evaluate_generation
         return None
 
+    def build_stream(self, evaluator):
+        """Streaming evaluation backend for steady-state evolution.
+
+        The returned object satisfies the :class:`~repro.nas.search.
+        EvalStream` seam.  With the cache active the pool runs the chain
+        *below* the memoizer and a :class:`~repro.nas.evalcache.
+        MemoizingStream` resolves hits at submit time and primes at
+        commit time — both logical-clock events, so cache behaviour is
+        identical on every backend.  The pool is kept on ``self.pool``
+        so its report survives :meth:`close_pool`.
+        """
+        if self.config.backend == "process":
+            # no on_result hook here: in steady mode the MemoizingStream
+            # primes the cache at commit, in logical-clock order
+            self.pool = self._build_process_pool()
+        else:
+            inner = self.memoizer.evaluator if self.memoizer is not None else evaluator
+            self.pool = FifoWorkerPool(inner, n_workers=self.config.n_workers)
+        if self.memoizer is not None:
+            return MemoizingStream(self.memoizer, self.pool)
+        return self.pool
+
+    def effective_nas(self):
+        """The NAS settings the run actually uses.
+
+        Steady mode with ``steady_lag=None`` pins the lag to the worker
+        count — the largest window the pool can keep busy.  Replays
+        resolve the same lag from the stored config (it records the
+        original ``n_workers``), so the resolution is reproducible.
+        """
+        nas = self.config.nas
+        if nas.evolution == "steady" and nas.steady_lag is None:
+            nas = replace(nas, steady_lag=self.config.n_workers)
+        return nas
+
     def close_pool(self) -> None:
         """Release the executor's worker pool (idempotent; no-op without one).
 
@@ -260,10 +295,11 @@ class A4NNOrchestrator:
         raises — :meth:`run` calls it from a ``finally`` block.
         """
         if self.pool is not None:
-            # reports survive the pool so callers (the scaling bench, the
+            # close first (it flushes an interrupted stream's report),
+            # then keep the reports so callers (the scaling bench, the
             # pool-timeline renderers) can read them after the run
-            self.pool_reports = list(self.pool.reports)
             self.pool.close()
+            self.pool_reports = list(self.pool.reports)
             self.pool = None
 
     # -- execution ----------------------------------------------------------------
@@ -283,13 +319,15 @@ class A4NNOrchestrator:
             },
         )
         evaluator = self.build_evaluator(tracker, engine)
-        executor = self.build_executor(evaluator)
+        nas = self.effective_nas()
+        steady = nas.evolution == "steady"
         search = NSGANet(
-            config.nas,
+            nas,
             evaluator,
             rng_stream=RngStream(config.seed).child("search"),
             on_individual=tracker.observe_individual,
-            executor=executor,
+            executor=None if steady else self.build_executor(evaluator),
+            stream=self.build_stream(evaluator) if steady else None,
         )
         _LOG.info(
             "starting %s run: mode=%s intensity=%s seed=%d",

@@ -16,13 +16,15 @@ given the records), and hands the search a
 
 from __future__ import annotations
 
+import numpy as np
+
 from repro.core.plugin import TrainingResult
 from repro.lineage.commons import DataCommons
 from repro.lineage.records import ModelRecord
 from repro.nas.genome import Genome
-from repro.nas.nsga2 import environmental_selection
+from repro.nas.nsga2 import environmental_selection, pareto_front_mask
 from repro.nas.population import Individual, Population
-from repro.nas.search import GenerationStats, SearchState
+from repro.nas.search import GenerationStats, SearchState, steady_insert
 from repro.utils.logging import get_logger
 
 __all__ = ["individual_from_record", "rebuild_search_state", "resume_workflow"]
@@ -73,6 +75,86 @@ def individual_from_record(record: ModelRecord) -> Individual:
         epoch_seconds=epoch_seconds,
         cache_hit=bool(record.cache_hit),
         cache_source=record.cache_source,
+        logical_tick=record.logical_tick,
+    )
+
+
+def _batch_stats(
+    generation: int, evaluated: list[Individual], pop: Population
+) -> GenerationStats:
+    fitnesses = [float(m.fitness) for m in evaluated]
+    completed = [m for m in evaluated if m.result]
+    epochs = sum(m.result.epochs_trained for m in completed)
+    budget = sum(m.result._max_epochs for m in completed)
+    return GenerationStats(
+        generation=generation,
+        n_evaluated=len(evaluated),
+        best_fitness=max(fitnesses),
+        mean_fitness=float(np.mean(fitnesses)),
+        epochs_trained=epochs,
+        epochs_saved=budget - epochs,
+        pareto_size=int(pareto_front_mask(pop.objective_array()).sum()),
+        n_quarantined=sum(1 for m in evaluated if m.quarantined),
+        n_cache_hits=sum(1 for m in evaluated if m.cache_hit),
+    )
+
+
+def _rebuild_steady(
+    records: list[ModelRecord], population_size: int, offspring_per_generation: int
+) -> SearchState:
+    """Steady-mode rebuild: replay one-in/one-out commits in tick order.
+
+    Steady ticks equal model ids by construction, so the resumable
+    prefix is the maximal contiguous run of complete records starting at
+    model 0, cut back to a whole stats chunk so pseudo-generation stats
+    stay exact.  Models past the cut are re-evaluated identically on
+    resume (the logical clock re-breeds them from the same states).
+    """
+    ordered = sorted(records, key=lambda r: r.model_id)
+    prefix: list[ModelRecord] = []
+    for expected, record in enumerate(ordered):
+        if record.model_id != expected or record.fitness is None or record.flops is None:
+            break
+        if record.logical_tick is not None and record.logical_tick != expected:
+            raise ValueError(
+                f"model {record.model_id} carries logical_tick "
+                f"{record.logical_tick}, expected {expected}"
+            )
+        prefix.append(record)
+    if len(prefix) < population_size:
+        raise ValueError("initial population incomplete; nothing to resume from")
+    chunks = 1 + (len(prefix) - population_size) // offspring_per_generation
+    usable = population_size + (chunks - 1) * offspring_per_generation
+    prefix = prefix[:usable]
+
+    members: list[Individual] = []
+    archive_members: list[Individual] = []
+    stats: list[GenerationStats] = []
+    chunk: list[Individual] = []
+    for tick, record in enumerate(prefix):
+        individual = individual_from_record(record)
+        individual.logical_tick = tick
+        archive_members.append(individual)
+        members = steady_insert(members, individual, population_size)
+        chunk.append(individual)
+        committed = tick + 1
+        if committed == population_size or (
+            committed > population_size
+            and (committed - population_size) % offspring_per_generation == 0
+        ):
+            generation = (
+                0
+                if committed == population_size
+                else (committed - population_size) // offspring_per_generation
+            )
+            stats.append(_batch_stats(generation, chunk, Population(members)))
+            chunk = []
+    return SearchState(
+        population=Population(members),
+        archive=Population(archive_members),
+        next_generation=len(stats),
+        next_model_id=usable,
+        generation_stats=stats,
     )
 
 
@@ -81,12 +163,17 @@ def rebuild_search_state(
     *,
     population_size: int,
     offspring_per_generation: int,
+    evolution: str = "barrier",
 ) -> SearchState:
     """Rebuild the search state from the complete generations in ``records``.
 
     Incomplete trailing generations (interrupted mid-evaluation) are
     dropped; their models will be re-evaluated identically on resume.
+    In steady mode the state is rebuilt by replaying the one-in/one-out
+    commits in logical-tick order instead of per-generation batches.
     """
+    if evolution == "steady":
+        return _rebuild_steady(records, population_size, offspring_per_generation)
     by_generation: dict[int, list[ModelRecord]] = {}
     for record in records:
         by_generation.setdefault(record.generation, []).append(record)
@@ -108,34 +195,13 @@ def rebuild_search_state(
         )
         generation += 1
 
-    from repro.nas.nsga2 import pareto_front_mask
-
-    def batch_stats(generation: int, evaluated: list[Individual], pop: Population):
-        import numpy as np
-
-        fitnesses = [float(m.fitness) for m in evaluated]
-        completed = [m for m in evaluated if m.result]
-        epochs = sum(m.result.epochs_trained for m in completed)
-        budget = sum(m.result._max_epochs for m in completed)
-        return GenerationStats(
-            generation=generation,
-            n_evaluated=len(evaluated),
-            best_fitness=max(fitnesses),
-            mean_fitness=float(np.mean(fitnesses)),
-            epochs_trained=epochs,
-            epochs_saved=budget - epochs,
-            pareto_size=int(pareto_front_mask(pop.objective_array()).sum()),
-            n_quarantined=sum(1 for m in evaluated if m.quarantined),
-            n_cache_hits=sum(1 for m in evaluated if m.cache_hit),
-        )
-
     archive_members: list[Individual] = []
     stats: list[GenerationStats] = []
     population = Population(
         [individual_from_record(r) for r in complete[0]]
     )
     archive_members.extend(population.members)
-    stats.append(batch_stats(0, population.members, population))
+    stats.append(_batch_stats(0, population.members, population))
     # replay environmental selection over each completed offspring batch
     for generation, batch in enumerate(complete[1:], start=1):
         offspring = [individual_from_record(r) for r in batch]
@@ -145,7 +211,7 @@ def rebuild_search_state(
             combined.objective_array(), population_size
         )
         population = combined.subset(survivors)
-        stats.append(batch_stats(generation, offspring, population))
+        stats.append(_batch_stats(generation, offspring, population))
 
     next_model_id = max(m.model_id for m in archive_members) + 1
     return SearchState(
@@ -180,6 +246,7 @@ def resume_workflow(commons: DataCommons, run_id: str):
         records,
         population_size=config.nas.population_size,
         offspring_per_generation=config.nas.offspring_per_generation,
+        evolution=config.nas.evolution,
     )
     _LOG.info(
         "resuming run %s from generation %d (%d models already evaluated)",
@@ -187,6 +254,13 @@ def resume_workflow(commons: DataCommons, run_id: str):
         state.next_generation,
         len(state.archive),
     )
+
+    def restored(record: ModelRecord) -> bool:
+        # steady mode resumes from a contiguous tick prefix (ticks are
+        # model ids); barrier mode from complete generations
+        if config.nas.evolution == "steady":
+            return record.model_id < state.next_model_id
+        return record.generation < state.next_generation
 
     orchestrator = A4NNOrchestrator(config, commons=commons)
     engine = orchestrator.build_engine()
@@ -202,21 +276,17 @@ def resume_workflow(commons: DataCommons, run_id: str):
     # seed the tracker with the already-published trails so the
     # republished run is complete
     for record in records:
-        if record.generation < state.next_generation:
+        if restored(record):
             tracker.records[record.model_id] = record
     evaluator = orchestrator.build_evaluator(tracker, engine)
     if orchestrator.memoizer is not None:
         # prime the cache from the restored trails so evaluations the
         # interrupted run already shared stay shared on resume (faulted
         # or quarantined records are never primed — same rule as live)
-        restored = {
-            r.model_id: r
-            for r in records
-            if r.generation < state.next_generation
-        }
+        restored_by_id = {r.model_id: r for r in records if restored(r)}
         primed = 0
         for individual in state.archive:
-            record = restored.get(individual.model_id)
+            record = restored_by_id.get(individual.model_id)
             if record is None:
                 continue
             trace = [
@@ -226,12 +296,15 @@ def resume_workflow(commons: DataCommons, run_id: str):
             if orchestrator.memoizer.prime(individual, epoch_trace=trace):
                 primed += 1
         _LOG.info("primed evaluation cache with %d restored evaluations", primed)
+    nas = orchestrator.effective_nas()
+    steady = nas.evolution == "steady"
     search = NSGANet(
-        config.nas,
+        nas,
         evaluator,
         rng_stream=RngStream(config.seed).child("search"),
         on_individual=tracker.observe_individual,
-        executor=orchestrator.build_executor(evaluator),
+        executor=None if steady else orchestrator.build_executor(evaluator),
+        stream=orchestrator.build_stream(evaluator) if steady else None,
     )
     try:
         result = search.run(resume=state)

@@ -15,7 +15,12 @@ from repro.lineage import DataCommons
 from repro.lineage.replay import verify_run
 from repro.nas import NSGANetConfig, random_genome
 from repro.nas.decoder import DecoderConfig, decode_genome
-from repro.nas.evalcache import CacheEntry, EvaluationCache, MemoizingEvaluator
+from repro.nas.evalcache import (
+    CacheEntry,
+    EvaluationCache,
+    MemoizingEvaluator,
+    MemoizingStream,
+)
 from repro.nas.genome import Genome, PhaseGenome
 from repro.nas.population import Individual
 from repro.nn.dtype import resolve_dtype
@@ -287,6 +292,133 @@ class TestMemoizingEvaluator:
         bad.quarantined = True
         assert not memo.prime(bad)
         assert len(memo.cache) == 0
+
+
+class FakeInnerStream:
+    """Streaming-seam stand-in: evaluates eagerly at submit, settles FIFO."""
+
+    def __init__(self, chain):
+        self.chain = chain
+        self.pending = []
+        self.committed = []
+        self.finish_calls = 0
+
+    def submit(self, individual):
+        self.pending.append(self.chain.evaluate(individual))
+
+    def settled(self):
+        return self.pending.pop(0)
+
+    def on_commit(self, individual):
+        self.committed.append(individual.model_id)
+
+    def finish(self):
+        self.finish_calls += 1
+        return "inner-report"
+
+
+def make_stream(keyed=True, quarantine_ids=()):
+    memo, chain = make_memoizer(keyed=keyed, quarantine_ids=quarantine_ids)
+    inner = FakeInnerStream(chain)
+    return MemoizingStream(memo, inner), memo, chain, inner
+
+
+class TestMemoizingStream:
+    def test_hit_decided_at_submit_skips_inner(self):
+        stream, memo, chain, inner = make_stream()
+        a, b = iso_phases()
+        leader = make_individual(0, a)
+        stream.submit(leader)
+        stream.on_commit(stream.settled())
+        stream.submit(make_individual(1, b))  # isomorphic, past the window
+        assert chain.calls == [0]  # hit never reached the pool
+        hit = stream.settled()
+        assert hit.cache_hit and hit.cache_source == 0
+        assert hit.fitness == leader.fitness
+        assert memo.cache.stats() == {"entries": 1, "hits": 1, "misses": 1}
+
+    def test_ready_hits_settle_before_inner_results(self):
+        stream, _, _, inner = make_stream()
+        a, b = iso_phases()
+        stream.submit(make_individual(0, a))
+        stream.on_commit(stream.settled())
+        stream.submit(make_individual(1, PhaseGenome(3, (1, 0, 1, 0))))  # miss
+        stream.submit(make_individual(2, b))  # hit -> queued in _ready
+        assert stream.settled().model_id == 2  # hit jumps the queue
+        assert stream.settled().model_id == 1
+        assert not inner.pending
+
+    def test_duplicate_inside_lag_window_reevaluates(self):
+        # both submitted before either commits: the follower cannot see
+        # the leader's entry yet and must run for real
+        stream, memo, chain, _ = make_stream()
+        a, b = iso_phases()
+        stream.submit(make_individual(0, a))
+        stream.submit(make_individual(1, b))
+        assert chain.calls == [0, 1]
+        stream.on_commit(stream.settled())
+        stream.on_commit(stream.settled())
+        assert len(memo.cache) == 1  # first writer wins at commit
+        stream.submit(make_individual(2, a))  # now past the window: a hit
+        assert chain.calls == [0, 1]
+        assert stream.settled().cache_source == 0
+
+    def test_priming_waits_for_commit(self):
+        stream, memo, _, inner = make_stream()
+        stream.submit(make_individual(0))
+        settled = stream.settled()
+        assert len(memo.cache) == 0  # settle alone must not publish
+        stream.on_commit(settled)
+        assert len(memo.cache) == 1
+        assert inner.committed == [0]
+
+    def test_hit_commit_does_not_overwrite_entry(self):
+        stream, memo, _, _ = make_stream()
+        a, b = iso_phases()
+        stream.submit(make_individual(0, a))
+        stream.on_commit(stream.settled())
+        stream.submit(make_individual(1, b))
+        stream.on_commit(stream.settled())
+        assert len(memo.cache) == 1
+        assert memo.cache.stats()["hits"] == 1
+
+    def test_quarantined_outcome_not_primed(self):
+        stream, memo, chain, inner = make_stream(quarantine_ids={0})
+        stream.submit(make_individual(0))
+        stream.on_commit(stream.settled())
+        assert len(memo.cache) == 0
+        assert inner.committed == [0]
+        stream.submit(make_individual(1))  # no entry -> real evaluation
+        assert chain.calls == [0, 1]
+
+    def test_unkeyed_individuals_bypass_cache(self):
+        stream, memo, chain, _ = make_stream(keyed=False)
+        stream.submit(make_individual(0))
+        stream.on_commit(stream.settled())
+        stream.submit(make_individual(1))
+        stream.on_commit(stream.settled())
+        assert chain.calls == [0, 1]
+        assert len(memo.cache) == 0
+
+    def test_hit_replays_observers_with_cache_context(self):
+        stream, memo, _, _ = make_stream()
+        seen = []
+        memo.base.observers.insert(
+            0, lambda ind, e, f, p, ctx: seen.append((ind.model_id, e, dict(ctx)))
+        )
+        a, b = iso_phases()
+        stream.submit(make_individual(0, a))
+        stream.on_commit(stream.settled())
+        stream.submit(make_individual(1, b))
+        stream.settled()
+        replayed = [s for s in seen if s[0] == 1]
+        assert [e for _, e, _ in replayed] == [1, 2]
+        assert all(ctx["cache_hit"] and ctx["source_model_id"] == 0 for _, _, ctx in replayed)
+
+    def test_finish_delegates_to_inner(self):
+        stream, _, _, inner = make_stream()
+        assert stream.finish() == "inner-report"
+        assert inner.finish_calls == 1
 
 
 def cached_config(seed=9, mode="surrogate", generations=3):

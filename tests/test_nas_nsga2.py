@@ -14,6 +14,7 @@ from repro.nas.nsga2 import (
     environmental_selection,
     fast_non_dominated_sort,
     pareto_front_mask,
+    steady_eviction,
 )
 
 objective_arrays = arrays(
@@ -99,6 +100,28 @@ class TestCrowdingDistance:
         distance = crowding_distance(objectives)
         assert np.isfinite(distance[1])
 
+    def test_duplicate_extremes_all_infinite(self):
+        # regression: with duplicated boundary vectors, only the
+        # stable-sort-first/last duplicate used to get inf, so identical
+        # points received asymmetric distances depending on input order
+        objectives = np.array(
+            [[0.0, 3.0], [0.0, 3.0], [1.0, 2.0], [3.0, 0.0], [3.0, 0.0]]
+        )
+        distance = crowding_distance(objectives)
+        assert np.isinf(distance[0]) and np.isinf(distance[1])
+        assert np.isinf(distance[3]) and np.isinf(distance[4])
+        assert np.isfinite(distance[2])
+
+    def test_duplicate_extremes_order_invariant(self, rng):
+        objectives = np.array(
+            [[0.0, 3.0], [1.0, 2.0], [0.0, 3.0], [2.0, 1.0], [3.0, 0.0], [3.0, 0.0]]
+        )
+        base = crowding_distance(objectives)
+        for _ in range(10):
+            perm = rng.permutation(len(objectives))
+            permuted = crowding_distance(objectives[perm])
+            np.testing.assert_array_equal(permuted, base[perm])
+
     def test_denser_points_lower_distance(self):
         objectives = np.array(
             [[0.0, 0.0], [1.0, 1.0], [1.05, 1.05], [1.1, 1.1], [5.0, 5.0]]
@@ -168,6 +191,61 @@ class TestBinaryTournament:
     def test_empty_pool_rejected(self, rng):
         with pytest.raises(ValueError):
             binary_tournament(np.zeros((0, 2)), rng, n_winners=1)
+
+    def test_sorts_pool_exactly_once(self, rng, monkeypatch):
+        # regression: the tournament used to run fast_non_dominated_sort
+        # twice per call (once for ranks, once for distances)
+        import repro.nas.nsga2 as nsga2_mod
+
+        calls = {"n": 0}
+        real_sort = nsga2_mod.fast_non_dominated_sort
+
+        def counting_sort(objectives):
+            calls["n"] += 1
+            return real_sort(objectives)
+
+        monkeypatch.setattr(nsga2_mod, "fast_non_dominated_sort", counting_sort)
+        objectives = rng.normal(size=(12, 2))
+        seed_rng = np.random.default_rng(7)
+        winners = binary_tournament(objectives, seed_rng, n_winners=8)
+        assert calls["n"] == 1
+        # and results are unchanged versus the two-sort reference
+        monkeypatch.undo()
+        arr = np.asarray(objectives, dtype=float)
+        ranks = np.empty(len(arr), dtype=int)
+        for rank, front in enumerate(fast_non_dominated_sort(arr)):
+            ranks[front] = rank
+        distances = np.empty(len(arr))
+        for front in fast_non_dominated_sort(arr):
+            distances[front] = crowding_distance(arr[front])
+        ref_rng = np.random.default_rng(7)
+        expected = np.empty(8, dtype=int)
+        for t in range(8):
+            i, j = ref_rng.integers(0, len(arr), size=2)
+            expected[t] = (
+                i
+                if crowded_compare(ranks[i], distances[i], ranks[j], distances[j])
+                else j
+            )
+        np.testing.assert_array_equal(winners, expected)
+
+
+class TestSteadyEviction:
+    def test_matches_environmental_selection(self, rng):
+        for _ in range(20):
+            objectives = rng.normal(size=(int(rng.integers(2, 15)), 2))
+            victim = steady_eviction(objectives)
+            survivors = environmental_selection(objectives, len(objectives) - 1)
+            assert victim not in set(survivors.tolist())
+            assert set(survivors.tolist()) | {victim} == set(range(len(objectives)))
+
+    def test_evicts_dominated_member(self):
+        objectives = np.array([[0.0, 1.0], [1.0, 0.0], [5.0, 5.0]])
+        assert steady_eviction(objectives) == 2
+
+    def test_needs_two_members(self):
+        with pytest.raises(ValueError):
+            steady_eviction(np.array([[1.0, 2.0]]))
 
 
 class TestParetoMask:

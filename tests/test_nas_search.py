@@ -260,6 +260,218 @@ class TestSearch:
         assert len(seen_generations) == 2
 
 
+class ShuffleStream:
+    """Adversarial stream: evaluates eagerly, settles in random order.
+
+    Steady mode must commit in logical-clock order no matter how the
+    backend reorders completions; this stream is the worst case.
+    """
+
+    def __init__(self, evaluator, seed):
+        self._evaluator = evaluator
+        self._rng = np.random.default_rng(seed)
+        self._in_flight = []
+        self.commits = []
+
+    def submit(self, individual):
+        self._evaluator.evaluate(individual)
+        self._in_flight.append(individual)
+
+    def settled(self):
+        if not self._in_flight:
+            raise RuntimeError("no evaluations in flight")
+        pick = int(self._rng.integers(len(self._in_flight)))
+        return self._in_flight.pop(pick)
+
+    def on_commit(self, individual):
+        self.commits.append(individual.model_id)
+
+    def finish(self):
+        pass
+
+
+class TestSteadySearch:
+    def _search(self, seed=0, stream=None, **config_kwargs):
+        config_kwargs.setdefault("evolution", "steady")
+        if config_kwargs["evolution"] == "steady":
+            config_kwargs.setdefault("steady_lag", 3)
+        config = NSGANetConfig(
+            population_size=4,
+            offspring_per_generation=4,
+            generations=3,
+            max_epochs=10,
+            **config_kwargs,
+        )
+        evaluator = SurrogateEvaluator(
+            BeamIntensity.MEDIUM,
+            PredictionEngine(EngineConfig(e_pred=10)),
+            max_epochs=10,
+            rng_stream=RngStream(seed),
+            cost_model=EpochCostModel(jitter=0.0),
+        )
+        return NSGANet(
+            config,
+            evaluator,
+            rng_stream=RngStream(seed),
+            stream=stream(evaluator) if stream else None,
+        )
+
+    @staticmethod
+    def _key(result):
+        return [
+            (m.model_id, m.logical_tick, m.genome.key(), m.fitness, m.flops)
+            for m in result.archive
+        ]
+
+    def test_archive_and_logical_ticks(self):
+        result = self._search().run()
+        assert len(result.archive) == 4 + 2 * 4
+        assert [m.logical_tick for m in result.archive] == list(range(12))
+        assert [m.model_id for m in result.archive] == list(range(12))
+        assert len(result.population) == 4
+
+    def test_deterministic_given_seed(self):
+        assert self._key(self._search(seed=3).run()) == self._key(
+            self._search(seed=3).run()
+        )
+
+    def test_settle_order_does_not_matter(self):
+        baseline = self._key(self._search().run())
+        for shuffle_seed in range(4):
+            search = self._search(
+                stream=lambda ev, s=shuffle_seed: ShuffleStream(ev, s)
+            )
+            assert self._key(search.run()) == baseline
+
+    def test_commits_fire_in_tick_order(self):
+        search = self._search(stream=lambda ev: ShuffleStream(ev, 9))
+        search.run()
+        assert search.stream.commits == list(range(12))
+
+    def test_lag_changes_trajectory(self):
+        one = self._key(self._search(steady_lag=1).run())
+        four = self._key(self._search(steady_lag=4).run())
+        assert [k[2] for k in one] != [k[2] for k in four]
+
+    def test_pseudo_generation_stats(self):
+        result = self._search().run()
+        assert [g.generation for g in result.generations] == [0, 1, 2]
+        assert all(g.n_evaluated == 4 for g in result.generations)
+
+    def test_offspring_generation_numbers(self):
+        result = self._search().run()
+        assert [m.generation for m in result.archive] == [0] * 4 + [1] * 4 + [2] * 4
+
+    def test_thread_stream_matches_inline(self):
+        from repro.scheduler.pool import FifoWorkerPool
+
+        baseline = self._key(self._search().run())
+        for n_workers in (1, 2, 4):
+            search = self._search(
+                stream=lambda ev, n=n_workers: FifoWorkerPool(ev, n_workers=n)
+            )
+            assert self._key(search.run()) == baseline
+            report = search.stream.reports[-1]
+            assert report.n_jobs == 12
+            assert len(search.stream.reports) == 1
+
+    def test_resume_matches_uninterrupted(self):
+        from repro.nas.search import SearchState
+        from repro.nas.population import Population
+
+        full = self._search().run()
+        # resume from a chunk-aligned prefix (2 pseudo-generations = 8 ticks)
+        prefix = self._search()  # fresh evaluator, same seed
+        state = SearchState(
+            population=Population([]),
+            archive=Population(list(full.archive.members[:8])),
+            next_generation=2,
+            next_model_id=8,
+            generation_stats=list(full.generations[:2]),
+        )
+        resumed = prefix.run(resume=state)
+        assert self._key(resumed) == self._key(full)
+        assert [g.generation for g in resumed.generations] == [0, 1, 2]
+
+    def test_resume_rejects_non_contiguous_archive(self):
+        from repro.nas.search import SearchState
+        from repro.nas.population import Population
+
+        full = self._search().run()
+        state = SearchState(
+            population=Population([]),
+            archive=Population(list(full.archive.members[:8])),
+            next_generation=2,
+            next_model_id=9,  # gap: archive has 8 members
+            generation_stats=[],
+        )
+        with pytest.raises(ValueError, match="contiguous ticks"):
+            self._search().run(resume=state)
+
+    def test_barrier_resume_at_final_generation_is_noop(self):
+        # satellite: resume with next_generation == config.generations
+        from repro.nas.search import SearchState
+
+        full = self._search(evolution="barrier").run()
+        calls = []
+
+        class CountingEvaluator:
+            max_epochs = 10
+
+            def evaluate(self, individual):
+                calls.append(individual.model_id)
+                raise AssertionError("no-op resume must not evaluate")
+
+        config = NSGANetConfig(
+            population_size=4,
+            offspring_per_generation=4,
+            generations=3,
+            max_epochs=10,
+        )
+        state = SearchState(
+            population=full.population,
+            archive=full.archive,
+            next_generation=3,
+            next_model_id=12,
+            generation_stats=list(full.generations),
+        )
+        result = NSGANet(config, CountingEvaluator(), rng_stream=RngStream(0)).run(
+            resume=state
+        )
+        assert calls == []
+        assert len(result.archive) == 12
+        assert [g.generation for g in result.generations] == [0, 1, 2]
+
+
+class TestSteadyInsert:
+    def test_grows_until_full(self, rng):
+        from repro.nas.search import steady_insert
+
+        members = []
+        for i in range(3):
+            ind = Individual(random_genome(rng), i, 0, fitness=50.0 + i, flops=100)
+            members = steady_insert(members, ind, population_size=3)
+        assert [m.model_id for m in members] == [0, 1, 2]
+
+    def test_evicts_exactly_one_preserving_order(self, rng):
+        from repro.nas.nsga2 import steady_eviction
+        from repro.nas.search import steady_insert
+
+        members = [
+            Individual(random_genome(rng), i, 0, fitness=50.0 + i, flops=100 * (i + 1))
+            for i in range(4)
+        ]
+        incoming = Individual(random_genome(rng), 9, 1, fitness=70.0, flops=150)
+        combined = members + [incoming]
+        objectives = np.array([m.objectives() for m in combined])
+        victim = steady_eviction(objectives)
+        survivors = steady_insert(list(members), incoming, population_size=4)
+        assert len(survivors) == 4
+        assert [m.model_id for m in survivors] == [
+            m.model_id for i, m in enumerate(combined) if i != victim
+        ]
+
+
 class TestTrainingEvaluatorIntegration:
     def test_real_mode_small(self, tiny_dataset):
         engine = PredictionEngine(EngineConfig(e_pred=4, n_predictions=2, tolerance=2.0))

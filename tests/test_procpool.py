@@ -560,6 +560,114 @@ class TestPoolTraceRendering:
         assert len(names) == 2
 
 
+class TestStreamingSeam:
+    """The submit/settled/finish seam steady-state evolution runs on."""
+
+    def test_thread_stream_settles_all_and_reports_once(self, rng):
+        pool = FifoWorkerPool(ScriptedEvaluator(delay_scale=0.005), n_workers=2)
+        individuals = make_individuals(rng, 5)
+        for ind in individuals:
+            pool.submit(ind)
+        settled = [pool.settled() for _ in range(5)]
+        assert sorted(ind.model_id for ind in settled) == list(range(5))
+        assert all(ind.fitness == 50.0 + ind.model_id for ind in settled)
+        report = pool.finish()
+        assert report.n_jobs == 5
+        assert report.backend == "thread"
+        assert pool.reports == [report]
+        assert pool.finish() is None  # idempotent once drained
+        pool.close()
+
+    def test_thread_stream_serial_backend_label(self, rng):
+        pool = FifoWorkerPool(ScriptedEvaluator(), n_workers=1)
+        pool.submit(make_individuals(rng, 1)[0])
+        pool.settled()
+        assert pool.finish().backend == "serial"
+
+    def test_settled_without_submissions_raises(self):
+        pool = FifoWorkerPool(ScriptedEvaluator(), n_workers=2)
+        with pytest.raises(RuntimeError, match="no evaluations in flight"):
+            pool.settled()
+
+    def test_stream_error_propagates_at_settle(self, rng):
+        pool = FifoWorkerPool(ScriptedEvaluator(fail_ids=(0,)), n_workers=1)
+        pool.submit(make_individuals(rng, 1)[0])
+        with pytest.raises(RuntimeError, match="boom 0"):
+            pool.settled()
+        pool.close()
+
+    def test_close_flushes_open_stream_report(self, rng):
+        pool = FifoWorkerPool(ScriptedEvaluator(), n_workers=2)
+        pool.submit(make_individuals(rng, 1)[0])
+        pool.settled()
+        pool.close()  # stream never finished explicitly
+        assert len(pool.reports) == 1 and pool.reports[0].n_jobs == 1
+
+    def test_process_stream_settles_all_and_reports_once(self, rng):
+        pool = make_pool(delay_factory, n_workers=2)
+        try:
+            individuals = make_individuals(rng, 5)
+            for ind in individuals:
+                pool.submit(ind)
+            settled = [pool.settled() for _ in range(5)]
+            assert sorted(ind.model_id for ind in settled) == list(range(5))
+            assert all(ind.fitness == 50.0 + ind.model_id for ind in settled)
+            report = pool.finish()
+            assert report.n_jobs == 5
+            assert report.backend == "process"
+            assert pool.reports == [report]
+            with pytest.raises(RuntimeError, match="no evaluations in flight"):
+                pool.settled()
+        finally:
+            pool.close()
+
+    def test_process_batch_entry_rejected_while_stream_open(self, rng):
+        pool = make_pool(delay_factory, n_workers=2)
+        try:
+            pool.submit(make_individuals(rng, 1)[0])
+            with pytest.raises(RuntimeError, match="stream is open"):
+                pool.evaluate_generation(make_individuals(rng, 2, first_id=5))
+            pool.settled()
+            pool.finish()
+        finally:
+            pool.close()
+
+
+class TestIdleWorkerAccounting:
+    def _oversized_report(self):
+        # 3-worker pool, but only worker 0 ever ran a job
+        return PoolReport(
+            n_workers=3,
+            wall_seconds=10.0,
+            n_jobs=2,
+            backend="thread",
+            jobs=(JobTiming(0, 0, 0.0, 4.0), JobTiming(1, 0, 4.0, 8.0)),
+            worker_busy_seconds=(8.0, 0.0, 0.0),
+        )
+
+    def test_never_scheduled_workers_not_charged_barrier_downtime(self):
+        report = self._oversized_report()
+        assert report.barrier_downtime() == [2.0, 0.0, 0.0]
+        assert report.idle_workers == 2
+        payload = report.to_dict()
+        assert payload["idle_workers"] == 2
+        assert payload["barrier_downtime_seconds"] == [2.0, 0.0, 0.0]
+
+    def test_timeline_marks_idle_workers(self):
+        text = pool_timeline(self._oversized_report(), width=40)
+        assert "w0=2.00s" in text
+        assert "w1=idle" in text and "w2=idle" in text
+        assert "idle workers: 2 never scheduled" in text
+
+    def test_chrome_trace_labels_idle_lanes(self):
+        payload = json.loads(pool_chrome_trace(self._oversized_report()))
+        idle = [e for e in payload["traceEvents"] if e.get("cat") == "idle"]
+        assert sorted(e["tid"] for e in idle) == [1, 2]
+        assert all(e["dur"] == pytest.approx(10.0 * 1e6) for e in idle)
+        barriers = [e for e in payload["traceEvents"] if e.get("cat") == "barrier"]
+        assert [b["tid"] for b in barriers] == [0]
+
+
 class TestScalingReport:
     def _entry(self, backend, n_workers, best=91.0):
         return {
@@ -595,6 +703,44 @@ class TestScalingReport:
         restored = ScalingReport.load(path)
         assert restored.entries == report.entries
         assert "single-core host" in restored.summary()
+
+    def test_consistency_is_per_evolution_mode(self):
+        from repro.bench.scaling import ScalingReport
+
+        # steady and barrier trajectories legitimately differ; the
+        # determinism check must only compare within each mode
+        report = ScalingReport(
+            seed=21,
+            host_cpus=1,
+            entries=[
+                self._entry("serial", 1),
+                self._entry("thread", 2),
+                dict(self._entry("serial", 1, best=77.0), evolution="steady"),
+                dict(self._entry("thread", 4, best=77.0), evolution="steady"),
+            ],
+        )
+        assert report.consistent()
+        report.entries.append(
+            dict(self._entry("process", 4, best=33.0), evolution="steady")
+        )
+        assert not report.consistent()
+        assert "DETERMINISM BROKEN" in report.summary()
+
+    def test_summary_labels_steady_entries(self):
+        from repro.bench.scaling import ScalingReport
+
+        entry = dict(
+            self._entry("thread", 4),
+            evolution="steady",
+            busy_seconds=3.5,
+            idle_seconds=0.5,
+            barrier_downtime_seconds=[[0.0, 0.0, 0.0, 0.25]],
+            mid_run_barrier_downtime_seconds=0.0,
+            final_drain_seconds=0.25,
+        )
+        text = ScalingReport(seed=21, host_cpus=8, entries=[entry]).summary()
+        assert "thread@4/steady" in text
+        assert "mid-run" in text and "drain" in text
 
     def test_compare_is_structural_only(self):
         from repro.bench.scaling import ScalingReport, compare_scaling
