@@ -7,7 +7,7 @@
 PYTHON ?= python
 export PYTHONPATH := src
 
-.PHONY: check lint test bench bench-paper bench-scale bench-check faults readme-rules all
+.PHONY: check lint test bench bench-kernels bench-paper bench-scale bench-check faults readme-rules all
 
 all: check test
 
@@ -27,6 +27,11 @@ test:
 # end-to-end mini search, diffed against the committed document
 bench:
 	$(PYTHON) -m repro bench --compare BENCH_evalpath.json --min-speedup 1.2
+
+# kernel-tier smoke: alloc-vs-arena microbenches only (seconds, not
+# minutes — skips the end-to-end searches); the CI job runs this
+bench-kernels:
+	$(PYTHON) -m repro bench --kernels-only --repeats 1
 
 # paper-figure benchmark suite (Fig. 8 convergence regimes etc.)
 bench-paper:

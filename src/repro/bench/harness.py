@@ -3,19 +3,23 @@
 Two tiers, both fully seeded:
 
 * **Kernel microbenches** — forward+backward of the hot layers (conv,
-  dense, pool) and one full trainer epoch, per compute dtype.  These
-  isolate where the float32 fast path pays off.
+  dense, pool) and one full trainer epoch, per compute dtype, each run
+  twice: on the historical allocate-per-call path and on the
+  buffer-arena fast path (:mod:`repro.nn.arena`).  Every entry carries
+  the approximate FLOPs per call and the achieved GFLOP/s, so the
+  document doubles as a roofline-style before/after record.
 * **End-to-end evaluation path** — the same seeded real-mode mini
   search run twice: once with the *baseline* settings (float64,
-  model-keyed RNG, no cache — arithmetically identical to the
-  pre-fast-path code) and once with the *fast path* (float32,
-  genome-keyed RNG, evaluation cache).  The headline number is the
-  wall-time ratio.
+  model-keyed RNG, no cache, no arena — arithmetically identical to
+  the pre-fast-path code) and once with the *fast path* (float32,
+  genome-keyed RNG, evaluation cache, arena kernels).  The headline
+  number is the wall-time ratio.
 
 All timing goes through :class:`~repro.utils.timing.Stopwatch` (the
 project's only sanctioned wall-clock seam).  Results serialize to the
 ``BENCH_evalpath.json`` document committed at the repo root, so
-``make bench`` can diff a fresh run against the recorded one.
+``make bench`` can diff a fresh run against the recorded one and
+``make bench-kernels`` can smoke the kernel tier alone.
 """
 
 from __future__ import annotations
@@ -50,7 +54,9 @@ __all__ = [
 _LOG = get_logger("bench")
 
 #: Schema tag written into every bench document.
-SCHEMA = "a4nn-bench/1"
+#: v2 added per-kernel alloc-vs-arena timings, FLOP rates, and the
+#: ``arena`` flags on the end-to-end runs.
+SCHEMA = "a4nn-bench/2"
 
 
 def _timeit(fn, *, repeats: int, warmup: int = 1) -> dict:
@@ -68,40 +74,61 @@ def _timeit(fn, *, repeats: int, warmup: int = 1) -> dict:
     }
 
 
-def _conv_bench(dtype, rng: np.random.Generator, repeats: int) -> dict:
+def _bind(layer_or_network, arena_dtype, use_arena: bool):
+    if use_arena:
+        from repro.nn.arena import BufferArena
+
+        layer_or_network.bind_arena(BufferArena(arena_dtype))
+    return layer_or_network
+
+
+def _conv_bench(dtype, rng: np.random.Generator, repeats: int, use_arena: bool) -> dict:
     layer = Conv2D(8, 16, kernel_size=3, rng=rng, dtype=dtype)
+    _bind(layer, dtype, use_arena)
     x = rng.standard_normal((16, 8, 16, 16)).astype(dtype)
 
     def step() -> None:
         out = layer.forward(x, training=True)
         layer.backward(out)
 
-    return _timeit(step, repeats=repeats)
+    timing = _timeit(step, repeats=repeats)
+    # fwd+bwd costs ~3x the forward GEMM (one product, two adjoints)
+    timing["flops_per_call"] = 3 * x.shape[0] * layer.flops(x.shape[1:])
+    return timing
 
 
-def _dense_bench(dtype, rng: np.random.Generator, repeats: int) -> dict:
+def _dense_bench(dtype, rng: np.random.Generator, repeats: int, use_arena: bool) -> dict:
     layer = Dense(256, 128, rng=rng, dtype=dtype)
+    _bind(layer, dtype, use_arena)
     x = rng.standard_normal((64, 256)).astype(dtype)
 
     def step() -> None:
         out = layer.forward(x, training=True)
         layer.backward(out)
 
-    return _timeit(step, repeats=repeats)
+    timing = _timeit(step, repeats=repeats)
+    timing["flops_per_call"] = 3 * x.shape[0] * layer.flops(x.shape[1:])
+    return timing
 
 
-def _pool_bench(dtype, rng: np.random.Generator, repeats: int) -> dict:
+def _pool_bench(dtype, rng: np.random.Generator, repeats: int, use_arena: bool) -> dict:
     layer = MaxPool2D(2)
+    _bind(layer, dtype, use_arena)
     x = rng.standard_normal((16, 16, 16, 16)).astype(dtype)
 
     def step() -> None:
         out = layer.forward(x, training=True)
         layer.backward(out)
 
-    return _timeit(step, repeats=repeats)
+    timing = _timeit(step, repeats=repeats)
+    # comparisons forward + one scatter backward: ~2x the forward count
+    timing["flops_per_call"] = 2 * x.shape[0] * layer.flops(x.shape[1:])
+    return timing
 
 
-def _trainer_epoch_bench(dtype, rng: np.random.Generator, repeats: int) -> dict:
+def _trainer_epoch_bench(
+    dtype, rng: np.random.Generator, repeats: int, use_arena: bool
+) -> dict:
     from repro.nas.decoder import DecoderConfig, decode_genome
     from repro.nas.genome import random_genome
 
@@ -111,6 +138,7 @@ def _trainer_epoch_bench(dtype, rng: np.random.Generator, repeats: int) -> dict:
         DecoderConfig(input_shape=(1, 16, 16), n_classes=2, dtype=dtype),
         rng=rng,
     )
+    _bind(network, dtype, use_arena)
     n = 48
     x = rng.standard_normal((n, 1, 16, 16)).astype(dtype)
     y = (rng.random(n) < 0.5).astype(np.int64)
@@ -124,7 +152,9 @@ def _trainer_epoch_bench(dtype, rng: np.random.Generator, repeats: int) -> dict:
         batch_size=16,
         rng=rng,
     )
-    return _timeit(trainer.train, repeats=repeats, warmup=1)
+    timing = _timeit(trainer.train, repeats=repeats, warmup=1)
+    timing["flops_per_call"] = 3 * n * network.flops()
+    return timing
 
 
 _KERNELS = {
@@ -136,18 +166,36 @@ _KERNELS = {
 
 
 def bench_kernels(*, seed: int = 0, repeats: int = 5) -> dict:
-    """Per-dtype timings of the hot kernels, plus float64/float32 ratios.
+    """Per-dtype alloc-vs-arena kernel timings, plus dtype ratios.
 
-    A ratio above 1 means float32 is that many times faster.
+    For each kernel and dtype the entry records the allocate-per-call
+    timing (``alloc``), the buffer-arena timing (``arena``), the best
+    time across both paths, the approximate FLOPs per call with the
+    achieved GFLOP/s, and the arena-over-alloc speedup.  The
+    ``float64_over_float32`` ratios compare best times; above 1 means
+    float32 is that many times faster.
     """
     results: dict = {}
     for label in SUPPORTED_DTYPES:
         dtype = resolve_dtype(label)
         stream = RngStream(seed).child("bench-kernels")
-        results[label] = {
-            name: fn(dtype, stream.generator(name, label), repeats)
-            for name, fn in _KERNELS.items()
-        }
+        per_kernel: dict = {}
+        for name, fn in _KERNELS.items():
+            alloc = fn(dtype, stream.generator(name, label, "alloc"), repeats, False)
+            arena = fn(dtype, stream.generator(name, label, "arena"), repeats, True)
+            flops_per_call = alloc.pop("flops_per_call")
+            arena.pop("flops_per_call")
+            best = min(alloc["best_seconds"], arena["best_seconds"])
+            per_kernel[name] = {
+                "alloc": alloc,
+                "arena": arena,
+                "best_seconds": best,
+                "flops_per_call": flops_per_call,
+                "gflops": flops_per_call / max(best, 1e-12) / 1e9,
+                "arena_speedup": alloc["best_seconds"]
+                / max(arena["best_seconds"], 1e-12),
+            }
+        results[label] = per_kernel
     results["float64_over_float32"] = {
         name: results["float64"][name]["best_seconds"]
         / max(results["float32"][name]["best_seconds"], 1e-12)
@@ -190,6 +238,7 @@ def _run_evalpath(config: WorkflowConfig) -> dict:
         "dtype": config.dtype,
         "rng_keying": config.rng_keying,
         "eval_cache": config.eval_cache,
+        "arena": config.arena,
         "wall_seconds": clock.total,
         "n_models": len(result.search.archive),
         "cache_hits": sum(g.n_cache_hits for g in result.search.generations),
@@ -208,9 +257,11 @@ def bench_evalpath(*, seed: int = 21) -> dict:
     import dataclasses
 
     config = _bench_workflow_config(seed)
+    # arena=False explicitly: replace() would otherwise carry the fast
+    # path's resolved arena=True into the float64 baseline
     baseline = _run_evalpath(
         dataclasses.replace(
-            config, dtype="float64", rng_keying="model", eval_cache=False
+            config, dtype="float64", rng_keying="model", eval_cache=False, arena=False
         )
     )
     _LOG.info("baseline evalpath: %.2fs", baseline["wall_seconds"])
@@ -256,6 +307,15 @@ class BenchReport:
 
     def summary(self) -> str:
         lines = ["a4nn bench — evaluation fast path"]
+        for label in ("float32", "float64"):
+            for name, entry in sorted(self.kernels.get(label, {}).items()):
+                if not isinstance(entry, dict) or "arena_speedup" not in entry:
+                    continue
+                lines.append(
+                    f"  kernel {name:<18} {label}: best {entry['best_seconds']*1e3:7.3f}ms"
+                    f"  {entry['gflops']:6.2f} GFLOP/s"
+                    f"  arena {entry['arena_speedup']:.2f}x"
+                )
         ratios = self.kernels.get("float64_over_float32", {})
         for name, ratio in sorted(ratios.items()):
             lines.append(f"  kernel {name:<18} float32 is {ratio:5.2f}x faster")
@@ -275,11 +335,19 @@ class BenchReport:
 
 
 def run_bench(
-    *, seed: int = 21, repeats: int = 5, skip_kernels: bool = False
+    *,
+    seed: int = 21,
+    repeats: int = 5,
+    skip_kernels: bool = False,
+    kernels_only: bool = False,
 ) -> BenchReport:
-    """Execute the full harness and return the report."""
+    """Execute the harness and return the report.
+
+    ``kernels_only`` skips the (slow) end-to-end searches — the CI smoke
+    job and ``make bench-kernels`` use it.
+    """
     kernels = {} if skip_kernels else bench_kernels(seed=seed, repeats=repeats)
-    evalpath = bench_evalpath(seed=seed)
+    evalpath = {} if kernels_only else bench_evalpath(seed=seed)
     return BenchReport(kernels=kernels, evalpath=evalpath)
 
 
@@ -302,4 +370,17 @@ def compare_reports(fresh: BenchReport, committed: BenchReport) -> str:
         f"  [----] speedup: fresh {fresh.speedup:.2f}x vs committed "
         f"{committed.speedup:.2f}x (wall time is machine-dependent)"
     )
+    for label in ("float32", "float64"):
+        f_k, c_k = fresh.kernels.get(label, {}), committed.kernels.get(label, {})
+        for name in sorted(set(f_k) & set(c_k)):
+            f_e, c_e = f_k[name], c_k[name]
+            if not (isinstance(f_e, dict) and isinstance(c_e, dict)):
+                continue
+            a, b = f_e.get("best_seconds"), c_e.get("best_seconds")
+            if a is None or b is None:
+                continue
+            lines.append(
+                f"  [----] kernel {label}.{name}: fresh {a*1e3:.3f}ms vs "
+                f"committed {b*1e3:.3f}ms"
+            )
     return "\n".join(lines)

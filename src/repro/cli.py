@@ -97,6 +97,8 @@ def _fastpath_overrides(args: argparse.Namespace) -> dict:
         overrides["rng_keying"] = args.rng_keying
     if args.eval_cache is not None:
         overrides["eval_cache"] = args.eval_cache
+    if args.arena is not None:
+        overrides["arena"] = args.arena
     if args.backend is not None:
         overrides["backend"] = args.backend
     if args.n_workers is not None:
@@ -211,6 +213,14 @@ def _add_common_run_flags(parser: argparse.ArgumentParser) -> None:
         default=None,
         help="memoize evaluations of duplicate architectures "
         "(on by default for new runs; requires --rng-keying genome)",
+    )
+    parser.add_argument(
+        "--arena",
+        action=argparse.BooleanOptionalAction,
+        default=None,
+        help="train real-mode networks on the buffer-arena kernel fast path "
+        "(default: on for float32, off for float64 — the byte-exact "
+        "replay dtype)",
     )
     parser.add_argument(
         "--backend",
@@ -415,7 +425,10 @@ def _cmd_bench(args: argparse.Namespace) -> int:
     if args.check:
         return _cmd_bench_check(args)
     report = run_bench(
-        seed=args.seed, repeats=args.repeats, skip_kernels=args.skip_kernels
+        seed=args.seed,
+        repeats=args.repeats,
+        skip_kernels=args.skip_kernels,
+        kernels_only=args.kernels_only,
     )
     print(report.summary())
     if args.output:
@@ -424,7 +437,11 @@ def _cmd_bench(args: argparse.Namespace) -> int:
     if args.compare:
         committed = BenchReport.load(args.compare)
         print(compare_reports(report, committed))
-    if args.min_speedup is not None and report.speedup < args.min_speedup:
+    if (
+        args.min_speedup is not None
+        and report.evalpath
+        and report.speedup < args.min_speedup
+    ):
         print(
             f"FAIL: end-to-end speedup {report.speedup:.2f}x is below the "
             f"required {args.min_speedup:.2f}x",
@@ -538,6 +555,12 @@ def build_parser() -> argparse.ArgumentParser:
     )
     bench_parser.add_argument(
         "--skip-kernels", action="store_true", help="run only the end-to-end benchmark"
+    )
+    bench_parser.add_argument(
+        "--kernels-only",
+        action="store_true",
+        help="run only the kernel tier (skips the slow end-to-end searches; "
+        "the CI smoke job and 'make bench-kernels' use this)",
     )
     bench_parser.add_argument(
         "--scaling",

@@ -78,6 +78,10 @@ class ModelRecord:
     # this model's result entered the population (equal to model_id by
     # construction); None for barrier-mode and historical records
     logical_tick: int | None = None
+    # whether training ran on the buffer-arena kernel fast path, and the
+    # arena's peak scratch footprint for the evaluation (0 = disabled)
+    arena_enabled: bool = False
+    arena_peak_bytes: int = 0
 
     def to_dict(self) -> dict:
         return asdict(self)

@@ -93,6 +93,8 @@ class LineageTracker:
         record.cache_hit = bool(individual.cache_hit)
         record.cache_source = individual.cache_source
         record.logical_tick = individual.logical_tick
+        record.arena_enabled = bool(individual.arena_enabled)
+        record.arena_peak_bytes = int(individual.arena_peak_bytes)
         if individual.fault_events and not record.fault_events:
             # fault events normally arrive through observe_fault_event;
             # pick them up from the individual when the policy wasn't

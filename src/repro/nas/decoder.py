@@ -131,6 +131,17 @@ class PhaseBlock(Layer):
         if remaining:
             raise KeyError(f"phase state has unused entries: {sorted(remaining)}")
 
+    def bind_arena(self, arena, owner: str = "") -> None:
+        """Propagate the arena to every sublayer with a dotted owner path."""
+        super().bind_arena(arena, owner)
+        for prefix, layer in self._sublayers():
+            layer.bind_arena(arena, f"{self._arena_owner}.{prefix}")
+
+    def unbind_arena(self) -> None:
+        super().unbind_arena()
+        for _, layer in self._sublayers():
+            layer.unbind_arena()
+
     # -- computation -------------------------------------------------------------
 
     def _run_node(self, idx: int, x: np.ndarray, training: bool) -> np.ndarray:
@@ -144,6 +155,8 @@ class PhaseBlock(Layer):
         return grad
 
     def forward(self, x: np.ndarray, training: bool = False) -> np.ndarray:
+        if self._arena is not None:
+            return self._forward_arena(x, training)
         adapted = self.adapter.forward(x, training=training)
         outputs: list[np.ndarray] = []
         n_input_consumers = 0
@@ -166,13 +179,50 @@ class PhaseBlock(Layer):
         self._training_mode = training
         return result
 
+    def _forward_arena(self, x: np.ndarray, training: bool) -> np.ndarray:
+        """The DAG traversal with every elementwise sum in pinned scratch.
+
+        Node outputs live in each node's own arena buffers (distinct
+        owner paths), so they stay valid for the whole phase pass; the
+        sums replicate the legacy left-to-right order bit-for-bit.
+        """
+        adapted = self.adapter.forward(x, training=training)
+        outputs: list[np.ndarray] = []
+        for j in range(self.genome.n_nodes):
+            preds = self._preds[j]
+            if not preds:
+                node_in = adapted
+            elif len(preds) == 1:
+                node_in = outputs[preds[0]]
+            else:
+                node_in = self._buf(f"nodein{j}", adapted.shape, adapted.dtype)
+                np.add(outputs[preds[0]], outputs[preds[1]], out=node_in)
+                for p in preds[2:]:
+                    node_in += outputs[p]
+            outputs.append(self._run_node(j, node_in, training=training))
+
+        terms = [outputs[j] for j in self._sinks]
+        if self.genome.skip:
+            terms.append(adapted)
+        if len(terms) == 1:
+            result = terms[0]
+        else:
+            result = self._buf("result", terms[0].shape, terms[0].dtype)
+            np.add(terms[0], terms[1], out=result)
+            for term in terms[2:]:
+                result += term
+        self._training_mode = training
+        return result
+
     def backward(self, grad_out: np.ndarray) -> np.ndarray:
         if not getattr(self, "_training_mode", False):
             raise RuntimeError("backward called before a training-mode forward")
+        if self._arena is not None:
+            return self._backward_arena(grad_out)
         n = self.genome.n_nodes
         node_grads: list = [None] * n
         for j in self._sinks:
-            node_grads[j] = grad_out.copy()
+            node_grads[j] = grad_out.copy()  # a4nn: noqa(PERF003) -- byte-exact legacy path (float64 replay); the arena path pins these
         adapted_grad = grad_out.copy() if self.genome.skip else None
 
         for j in reversed(range(n)):
@@ -185,12 +235,53 @@ class PhaseBlock(Layer):
             if preds:
                 for p in preds:
                     if node_grads[p] is None:
-                        node_grads[p] = grad_in.copy()
+                        node_grads[p] = grad_in.copy()  # a4nn: noqa(PERF003) -- byte-exact legacy path (float64 replay)
                     else:
                         node_grads[p] += grad_in
             else:
                 if adapted_grad is None:
-                    adapted_grad = grad_in.copy()
+                    adapted_grad = grad_in.copy()  # a4nn: noqa(PERF003) -- byte-exact legacy path (float64 replay)
+                else:
+                    adapted_grad += grad_in
+        return self.adapter.backward(adapted_grad)
+
+    def _backward_arena(self, grad_out: np.ndarray) -> np.ndarray:
+        """Reverse DAG traversal with per-node gradient accumulators pinned.
+
+        Each node's running gradient is copied into its own ``ng{j}``
+        buffer the moment it first arrives (mirroring the legacy
+        ``.copy()``), so later in-place ``+=`` accumulation can never
+        alias an upstream layer's scratch.
+        """
+        n = self.genome.n_nodes
+        dt = grad_out.dtype
+        node_grads: list = [None] * n
+        for j in self._sinks:
+            buf = self._buf(f"ng{j}", grad_out.shape, dt)
+            np.copyto(buf, grad_out)
+            node_grads[j] = buf
+        adapted_grad = None
+        if self.genome.skip:
+            adapted_grad = self._buf("adapted_grad", grad_out.shape, dt)
+            np.copyto(adapted_grad, grad_out)
+
+        for j in reversed(range(n)):
+            if node_grads[j] is None:
+                continue
+            grad_in = self._backprop_node(j, node_grads[j])
+            preds = self._preds[j]
+            if preds:
+                for p in preds:
+                    if node_grads[p] is None:
+                        buf = self._buf(f"ng{p}", grad_in.shape, dt)
+                        np.copyto(buf, grad_in)
+                        node_grads[p] = buf
+                    else:
+                        node_grads[p] += grad_in
+            else:
+                if adapted_grad is None:
+                    adapted_grad = self._buf("adapted_grad", grad_in.shape, dt)
+                    np.copyto(adapted_grad, grad_in)
                 else:
                     adapted_grad += grad_in
         return self.adapter.backward(adapted_grad)

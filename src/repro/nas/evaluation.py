@@ -151,6 +151,12 @@ class TrainingEvaluator:
         Stable identifier of the dataset for memo keys (the workflow
         passes ``DatasetConfig.cache_key()``); defaults to a content
         hash of the arrays.
+    arena:
+        Bind every decoded network to a fresh
+        :class:`~repro.nn.arena.BufferArena` so training runs the
+        allocation-free kernel fast path.  Off by default: the arena
+        GEMMs are equivalent at gradcheck tolerance but not bitwise, so
+        byte-exact float64 replay of historical runs needs it disabled.
     """
 
     def __init__(
@@ -169,6 +175,7 @@ class TrainingEvaluator:
         rng_keying: str = "model",
         dtype=None,
         dataset_key: str | None = None,
+        arena: bool = False,
     ) -> None:
         self.dataset = dataset
         self.engine = engine
@@ -184,6 +191,7 @@ class TrainingEvaluator:
         self.on_fault = on_fault
         self.rng_keying = validate_rng_keying(rng_keying)
         self.dataset_key = dataset_key or _dataset_fingerprint(dataset)
+        self.arena = bool(arena)
 
     def _stream_ident(self, individual: Individual):
         """What keys this individual's RNG streams (see :data:`RNG_KEYINGS`)."""
@@ -211,6 +219,7 @@ class TrainingEvaluator:
             _engine_fingerprint(self.engine),
             self.sanitize,
             retry_salt(individual),
+            self.arena,
         )
 
     def evaluate(self, individual: Individual) -> Individual:
@@ -229,6 +238,10 @@ class TrainingEvaluator:
             name=f"model-{individual.model_id}",
             canonical=self.rng_keying == "genome",
         )
+        if self.arena:
+            from repro.nn.arena import BufferArena
+
+            network.bind_arena(BufferArena(self.decoder_config.dtype))
         sanitizer = None
         if self.sanitize:
             sanitizer = Sanitizer().watch(network)
@@ -268,4 +281,8 @@ class TrainingEvaluator:
         individual.flops = network_flops(network)
         individual.result = result
         individual.epoch_seconds = [stats.wall_seconds for stats in trainer.history]
+        individual.arena_enabled = self.arena
+        individual.arena_peak_bytes = (
+            network.arena.nbytes if network.arena is not None else 0
+        )
         return individual

@@ -62,6 +62,12 @@ class Individual:
         population (equal to ``model_id`` by construction, since steady
         commits apply in submission order).  ``None`` for barrier-mode
         runs.
+    arena_enabled:
+        Whether training ran on the allocation-free buffer-arena fast
+        path (see :mod:`repro.nn.arena`).
+    arena_peak_bytes:
+        Peak scratch footprint of the network's arena for this
+        evaluation (0 when the arena was disabled).
     """
 
     genome: Genome
@@ -77,6 +83,8 @@ class Individual:
     cache_hit: bool = False
     cache_source: int | None = None
     logical_tick: int | None = None
+    arena_enabled: bool = False
+    arena_peak_bytes: int = 0
 
     @property
     def evaluated(self) -> bool:
@@ -103,6 +111,8 @@ class Individual:
             "cache_hit": self.cache_hit,
             "cache_source": self.cache_source,
             "logical_tick": self.logical_tick,
+            "arena_enabled": self.arena_enabled,
+            "arena_peak_bytes": self.arena_peak_bytes,
         }
 
 

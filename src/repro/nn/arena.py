@@ -1,0 +1,89 @@
+"""Per-network buffer arena: preallocated scratch reused across batches.
+
+The training hot loop historically allocated every intermediate array
+fresh — im2col column matrices, layer outputs, gradient images,
+optimizer temporaries — dozens of megabyte-scale ``np.zeros``/
+``ascontiguousarray`` calls per batch.  :class:`BufferArena` replaces
+that with keyed, lazily-allocated, shape-stable storage: a layer asks
+for ``(owner, name, shape, dtype)`` and gets the *same* ndarray back on
+every batch, so after the first epoch the training loop reaches a
+steady state with zero new large allocations.
+
+Design rules (see DESIGN "The buffer arena"):
+
+* **Keying** — buffers are keyed by ``(owner, name, shape, dtype)``.
+  Including the shape means a ragged last batch gets its own buffer
+  instead of thrashing a single slot between two sizes; steady state is
+  reached after one epoch, and :attr:`nbytes` reports the true peak.
+* **Ownership** — every layer instance binds with a unique owner string
+  (the network wires ``"<layer-idx>"``, composite layers extend it with
+  sublayer paths), so two layers can never alias each other's scratch.
+* **Lifetime** — a buffer's contents are only guaranteed between the
+  owning layer's forward and the matching backward of the *same* batch;
+  the next forward may overwrite everything.
+* **Opt-out** — an unbound layer (``layer.arena is None``) takes the
+  historical allocate-per-call code path, byte-for-byte.  Float64
+  replay of pre-arena runs relies on this.
+
+The arena is deliberately not picklable state: it is rebuilt per
+evaluation (the process backend's :class:`~repro.scheduler.procpool.
+EvalSpec` carries only the ``arena`` *flag*, never buffer contents).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.nn.dtype import resolve_dtype
+
+__all__ = ["BufferArena"]
+
+
+class BufferArena:
+    """Keyed pool of reusable ndarrays for one network's training loop.
+
+    Parameters
+    ----------
+    dtype:
+        Default element type for buffers requested without an explicit
+        dtype — the network's compute dtype.  Integer/bool buffers
+        (argmax indices, masks) always pass their dtype explicitly.
+    """
+
+    def __init__(self, dtype=None) -> None:
+        self.dtype = resolve_dtype(dtype)
+        self._buffers: dict[tuple, np.ndarray] = {}
+
+    def buffer(self, owner: str, name: str, shape: tuple, dtype=None) -> np.ndarray:
+        """The pinned buffer for ``(owner, name, shape, dtype)``.
+
+        Allocated with ``np.empty`` on first request (callers that need
+        zeros zero it explicitly — most GEMM/scatter consumers overwrite
+        every element anyway), then returned as-is forever after.
+        """
+        dtype = np.dtype(self.dtype if dtype is None else dtype)
+        key = (owner, name, tuple(shape), dtype.str)
+        buf = self._buffers.get(key)
+        if buf is None:
+            buf = np.empty(shape, dtype=dtype)
+            self._buffers[key] = buf
+        return buf
+
+    @property
+    def nbytes(self) -> int:
+        """Total bytes pinned — the per-evaluation peak-scratch figure."""
+        return sum(buf.nbytes for buf in self._buffers.values())
+
+    @property
+    def n_buffers(self) -> int:
+        return len(self._buffers)
+
+    def clear(self) -> None:
+        """Drop every buffer (the next request reallocates)."""
+        self._buffers.clear()
+
+    def __repr__(self) -> str:
+        return (
+            f"BufferArena(dtype={np.dtype(self.dtype).name}, "
+            f"buffers={self.n_buffers}, nbytes={self.nbytes})"
+        )

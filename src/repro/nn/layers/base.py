@@ -60,6 +60,36 @@ class Layer:
 
     def __init__(self) -> None:
         self.params: dict[str, Parameter] = {}
+        # optional BufferArena binding (repro.nn.arena): when set, the
+        # layer's forward/backward take the allocation-free fast path;
+        # when None, the historical allocate-per-call code runs
+        # byte-for-byte (float64 replay relies on this)
+        self._arena = None
+        self._arena_owner: str = ""
+
+    # -- scratch storage -----------------------------------------------------
+
+    @property
+    def arena(self):
+        """The bound :class:`~repro.nn.arena.BufferArena`, or ``None``."""
+        return self._arena
+
+    def bind_arena(self, arena, owner: str = "") -> None:
+        """Attach ``arena`` under a unique ``owner`` key.
+
+        Composite layers override this to propagate the binding to their
+        sublayers with extended owner paths.
+        """
+        self._arena = arena
+        self._arena_owner = owner or type(self).__name__
+
+    def unbind_arena(self) -> None:
+        """Detach the arena; the layer reverts to allocate-per-call."""
+        self._arena = None
+
+    def _buf(self, name: str, shape: tuple, dtype=None) -> np.ndarray:
+        """This layer's pinned scratch buffer (fast path only)."""
+        return self._arena.buffer(self._arena_owner, name, shape, dtype)
 
     # -- computation ---------------------------------------------------------
 

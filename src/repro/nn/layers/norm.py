@@ -55,6 +55,8 @@ class _BatchNorm(Layer):
             raise ValueError(
                 f"expected {self.num_features} channels, got input shape {x.shape}"
             )
+        if self._arena is not None:
+            return self._forward_arena(x, training)
         if training:
             mean = x.mean(axis=self._axes)
             var = x.var(axis=self._axes)
@@ -72,11 +74,41 @@ class _BatchNorm(Layer):
         self._cache = (x_hat, inv_std) if training else None
         return out
 
+    def _forward_arena(self, x: np.ndarray, training: bool) -> np.ndarray:
+        """Feature-map-sized temporaries pinned; per-channel vectors stay tiny.
+
+        Bit-identical to the legacy expression: ``np.var`` decomposes
+        into the same subtract/square/mean ufunc sequence the scratch
+        version runs, and the remaining rewrites only commute operands
+        or fuse into ``out=`` forms.
+        """
+        if training:
+            mean = x.mean(axis=self._axes)
+            t = self._buf("var_tmp", x.shape, x.dtype)
+            np.subtract(x, self._shape_params(mean, x.ndim), out=t)
+            np.multiply(t, t, out=t)
+            var = t.mean(axis=self._axes)
+            self.running_mean = self.momentum * self.running_mean + (1 - self.momentum) * mean
+            self.running_var = self.momentum * self.running_var + (1 - self.momentum) * var
+        else:
+            mean, var = self.running_mean, self.running_var
+        inv_std = 1.0 / np.sqrt(var + self.eps)
+        x_hat = self._buf("x_hat", x.shape, x.dtype)
+        np.subtract(x, self._shape_params(mean, x.ndim), out=x_hat)
+        x_hat *= self._shape_params(inv_std, x.ndim)
+        out = self._buf("out", x.shape, x.dtype)
+        np.multiply(x_hat, self._shape_params(self.params["gamma"].value, x.ndim), out=out)
+        out += self._shape_params(self.params["beta"].value, x.ndim)
+        self._cache = (x_hat, inv_std) if training else None
+        return out
+
     def backward(self, grad_out: np.ndarray) -> np.ndarray:
         if self._cache is None:
             raise RuntimeError("backward called before a training-mode forward")
         x_hat, inv_std = self._cache
         m = grad_out.size // self.num_features  # elements per channel
+        if self._arena is not None:
+            return self._backward_arena(grad_out, x_hat, inv_std, m)
 
         self.params["gamma"].grad += (grad_out * x_hat).sum(axis=self._axes)
         self.params["beta"].grad += grad_out.sum(axis=self._axes)
@@ -87,6 +119,31 @@ class _BatchNorm(Layer):
         sum_g = self._shape_params(g.sum(axis=self._axes), grad_out.ndim)
         sum_gx = self._shape_params((g * x_hat).sum(axis=self._axes), grad_out.ndim)
         return (inv / m) * (m * g - sum_g - x_hat * sum_gx)
+
+    def _backward_arena(
+        self, grad_out: np.ndarray, x_hat: np.ndarray, inv_std: np.ndarray, m: int
+    ) -> np.ndarray:
+        """The legacy gradient expression on pinned scratch, bit-identical."""
+        ndim = grad_out.ndim
+        t = self._buf("bwd_tmp", grad_out.shape, grad_out.dtype)
+        np.multiply(grad_out, x_hat, out=t)
+        self.params["gamma"].grad += t.sum(axis=self._axes)
+        self.params["beta"].grad += grad_out.sum(axis=self._axes)
+
+        gamma = self._shape_params(self.params["gamma"].value, ndim)
+        inv = self._shape_params(inv_std, ndim)
+        g = self._buf("g", grad_out.shape, grad_out.dtype)
+        np.multiply(grad_out, gamma, out=g)
+        sum_g = self._shape_params(g.sum(axis=self._axes), ndim)
+        np.multiply(g, x_hat, out=t)
+        sum_gx = self._shape_params(t.sum(axis=self._axes), ndim)
+        grad_in = self._buf("grad_in", grad_out.shape, grad_out.dtype)
+        np.multiply(x_hat, sum_gx, out=grad_in)  # x_hat * sum_gx
+        np.multiply(g, m, out=g)  # m * g
+        g -= sum_g
+        g -= grad_in  # (m*g - sum_g) - x_hat*sum_gx
+        np.multiply(g, inv / m, out=grad_in)
+        return grad_in
 
     def flops(self, input_shape: tuple) -> int:
         # normalize + scale + shift: ~4 ops per element

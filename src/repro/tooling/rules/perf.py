@@ -25,6 +25,18 @@ the pre-fast-path losses module defeated float32 training:
   worker re-imports the module and gets its *own* generator, silently
   desynchronizing workers from the serial path — derive generators from
   :class:`repro.utils.rng.RngStream` per evaluation instead).
+
+* ``PERF003`` — inside the training hot loop (``nn/layers/``,
+  ``nn/trainer.py``, ``nn/optimizers.py``, ``nas/decoder.py``),
+  allocating numpy constructors (``np.zeros``/``np.empty``/
+  ``np.concatenate``/...) and ``.copy()``/``.astype()`` calls inside
+  ``for``/``while`` loop bodies.  A loop-carried allocation runs once
+  per batch or per node for every epoch of every candidate network —
+  the buffer arena (:mod:`repro.nn.arena`) exists precisely so this
+  scratch is requested once and reused.  The legacy allocate-per-call
+  paths that float64 replay depends on are kept byte-exact and carry
+  justified ``a4nn: noqa(PERF003)`` suppressions instead of being
+  rewritten.
 """
 
 from __future__ import annotations
@@ -36,7 +48,7 @@ from repro.tooling.context import ModuleContext
 from repro.tooling.diagnostics import Diagnostic
 from repro.tooling.rules import BaseRule, dotted_name, register, walk_functions
 
-__all__ = ["Float64ForcingRule", "PicklingHostileRule"]
+__all__ = ["Float64ForcingRule", "PicklingHostileRule", "LoopAllocationRule"]
 
 _WIDE_ATTRS = {"np.float64", "numpy.float64", "np.double", "numpy.double"}
 _WIDE_LITERALS = {"float64", "double"}
@@ -201,3 +213,108 @@ class PicklingHostileRule(BaseRule):
                 )
         yield from self._module_level_rng(module)
         yield from self._returned_closures(module)
+
+
+#: Numpy constructors whose result is a fresh heap array every call.
+_ALLOCATORS = {
+    "zeros",
+    "empty",
+    "ones",
+    "full",
+    "zeros_like",
+    "empty_like",
+    "ones_like",
+    "full_like",
+    "arange",
+    "ascontiguousarray",
+    "concatenate",
+    "stack",
+    "tile",
+    "repeat",
+}
+
+#: Array methods that allocate a fresh copy of their receiver.
+_COPYING_METHODS = {"copy", "astype"}
+
+#: The modules whose loops run once per batch/node/epoch per candidate.
+_HOT_LOOP_LOCATIONS = (
+    "nn/layers/",
+    "nn/trainer.py",
+    "nn/optimizers.py",
+    "nas/decoder.py",
+)
+
+
+def _allocating_call(node: ast.Call) -> str | None:
+    """Describe ``node`` when it allocates a fresh array, else ``None``."""
+    func = node.func
+    if not isinstance(func, ast.Attribute):
+        return None
+    # method calls match on the attribute alone so subscripted/chained
+    # receivers (grads[i].copy()) are caught too
+    if func.attr in _COPYING_METHODS:
+        return f".{func.attr}(...)"
+    chain = dotted_name(func)
+    if chain is not None:
+        head, _, tail = chain.rpartition(".")
+        if head in ("np", "numpy") and tail in _ALLOCATORS:
+            return f"{chain}(...)"
+    return None
+
+
+@register
+class LoopAllocationRule(BaseRule):
+    rule_id = "PERF003"
+    category = "performance"
+    doc = (
+        "no allocating numpy constructors (`np.zeros`, `np.empty`, `np.concatenate`, "
+        "...) or `.copy()`/`.astype()` calls inside `for`/`while` loop bodies of the "
+        "training hot loop (`nn/layers/`, `nn/trainer.py`, `nn/optimizers.py`, "
+        "`nas/decoder.py`) — request pinned scratch from the buffer arena once and "
+        "reuse it; byte-exact legacy paths justify with `a4nn: noqa(PERF003)`"
+    )
+    description = (
+        "loop-carried array allocation in training hot-loop code; use a "
+        "pinned arena buffer instead"
+    )
+
+    def applies_to(self, module: ModuleContext) -> bool:
+        return module.in_location(*_HOT_LOOP_LOCATIONS)
+
+    def _walk_pruned(self, node: ast.AST) -> Iterable[ast.AST]:
+        """Walk ``node`` without descending into nested loops or defs.
+
+        A call inside a nested loop is reported when the *inner* loop is
+        visited; descending here would report it once per enclosing
+        loop.  Nested function bodies only repeat if something calls
+        them in a loop, which is that call site's finding.
+        """
+        if isinstance(
+            node, (ast.For, ast.While, ast.FunctionDef, ast.AsyncFunctionDef)
+        ):
+            return
+        yield node
+        for child in ast.iter_child_nodes(node):
+            yield from self._walk_pruned(child)
+
+    def check(self, module: ModuleContext) -> Iterable[Diagnostic]:
+        for loop in ast.walk(module.tree):
+            if not isinstance(loop, (ast.For, ast.While)):
+                continue
+            # only the loop *body* repeats; the iterable expression and
+            # the while condition run per iteration too, but allocations
+            # there are idiomatic (e.g. iterating over a fresh arange)
+            for stmt in loop.body + loop.orelse:
+                for node in self._walk_pruned(stmt):
+                    if not isinstance(node, ast.Call):
+                        continue
+                    what = _allocating_call(node)
+                    if what is not None:
+                        yield self.diag(
+                            module,
+                            node,
+                            f"{what} allocates a fresh array on every loop "
+                            "iteration of the training hot path; request a "
+                            "pinned buffer from the bound BufferArena "
+                            "(Layer._buf) once and reuse it",
+                        )

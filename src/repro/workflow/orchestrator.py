@@ -149,6 +149,7 @@ class A4NNOrchestrator:
                 rng_keying=self.config.rng_keying,
                 dtype=self.config.dtype,
                 dataset_key=self.config.dataset.cache_key(),
+                arena=self.config.arena,
             )
         else:
             base = SurrogateEvaluator(
@@ -205,6 +206,7 @@ class A4NNOrchestrator:
             rng_keying=config.rng_keying,
             dtype=config.dtype,
             injection=config.fault_injection,
+            arena=config.arena,
         )
         arena = None
         if config.mode == "real":

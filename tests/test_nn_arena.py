@@ -1,0 +1,421 @@
+"""The buffer-arena kernel fast path (repro.nn.arena).
+
+Three families of guarantees:
+
+* **Byte-exact layers** — dense, pooling, activations, batch norm, and
+  both optimizers produce bit-identical results with and without a
+  bound arena (their arena rewrites decompose the very same expression
+  trees with ``out=``).
+* **Tolerance-equivalent conv / networks** — the arena conv runs its
+  GEMMs on a different (channel-major) layout, so accumulation order
+  differs; gradients are compared after normalizing by the *global*
+  gradient scale (a conv bias feeding a BatchNorm has a mathematically
+  zero gradient, so per-parameter relative error is meaningless there).
+* **Steady state** — after the first epoch the arena stops growing, and
+  repeated epochs allocate no new large arrays.
+"""
+
+import tracemalloc
+
+import numpy as np
+import pytest
+
+from repro.nas.decoder import DecoderConfig, decode_genome
+from repro.nas.genome import random_genome
+from repro.nn.arena import BufferArena
+from repro.nn.dtype import resolve_dtype
+from repro.nn.layers import (
+    AvgPool2D,
+    BatchNorm1D,
+    BatchNorm2D,
+    Conv2D,
+    Dense,
+    LeakyReLU,
+    MaxPool2D,
+    ReLU,
+)
+from repro.nn.layers.conv import col2im, im2col
+from repro.nn.optimizers import SGD, Adam
+from repro.nn.trainer import Trainer
+from tests.test_nn_gradcheck import DTYPE_GRADCHECK, assert_gradients_match
+
+
+def _pair(factory, dtype):
+    """Identical twin layers, the second arena-bound."""
+    legacy = factory(np.random.default_rng(11), dtype)
+    arena = factory(np.random.default_rng(11), dtype)
+    arena.bind_arena(BufferArena(dtype), owner="t")
+    return legacy, arena
+
+
+def _roundtrip(layer, x, g):
+    out = layer.forward(x, training=True)
+    grad_in = layer.backward(g)
+    return out, grad_in
+
+
+# -- conv: gradcheck with the arena bound ---------------------------------------
+
+
+class TestConvArenaGradcheck:
+    @pytest.mark.parametrize("label", ["float32", "float64"])
+    @pytest.mark.parametrize(
+        "kernel_size,stride,padding",
+        [(3, 1, "same"), (3, 1, 0), (3, 2, 1), (2, 1, "same"), (1, 1, 0), (1, 2, 0)],
+    )
+    def test_conv_arena(self, label, kernel_size, stride, padding):
+        dtype = resolve_dtype(label)
+        rng = np.random.default_rng(5)
+        layer = Conv2D(
+            3,
+            4,
+            kernel_size=kernel_size,
+            stride=stride,
+            padding=padding,
+            rng=rng,
+            dtype=dtype,
+        )
+        layer.bind_arena(BufferArena(dtype), owner="conv")
+        x = rng.normal(size=(2, 3, 6, 6)).astype(dtype)
+        assert_gradients_match(layer, x, rng, **DTYPE_GRADCHECK[label])
+
+
+# -- byte-exact layer equivalence -----------------------------------------------
+
+
+class TestByteExactLayers:
+    @pytest.mark.parametrize("label", ["float32", "float64"])
+    def test_dense(self, label):
+        dtype = resolve_dtype(label)
+        legacy, arena = _pair(
+            lambda r, d: Dense(12, 7, rng=r, dtype=d), dtype
+        )
+        rng = np.random.default_rng(2)
+        x = rng.normal(size=(5, 12)).astype(dtype)
+        g = rng.normal(size=(5, 7)).astype(dtype)
+        (oa, ga), (ob, gb) = _roundtrip(legacy, x, g), _roundtrip(arena, x, g.copy())
+        np.testing.assert_array_equal(oa, ob)
+        np.testing.assert_array_equal(ga, gb)
+        for name in legacy.params:
+            np.testing.assert_array_equal(
+                legacy.params[name].grad, arena.params[name].grad
+            )
+
+    @pytest.mark.parametrize("pool_cls", [MaxPool2D, AvgPool2D])
+    def test_pooling(self, pool_cls):
+        legacy, arena = _pair(lambda r, d: pool_cls(2), np.float32)
+        rng = np.random.default_rng(3)
+        x = rng.normal(size=(4, 3, 8, 8)).astype(np.float32)
+        oa = legacy.forward(x, training=True)
+        ob = arena.forward(x, training=True)
+        g = rng.normal(size=oa.shape).astype(np.float32)
+        np.testing.assert_array_equal(oa, ob)
+        np.testing.assert_array_equal(legacy.backward(g), arena.backward(g.copy()))
+
+    @pytest.mark.parametrize("act_cls", [ReLU, LeakyReLU])
+    def test_activations(self, act_cls):
+        legacy, arena = _pair(lambda r, d: act_cls(), np.float32)
+        rng = np.random.default_rng(4)
+        # include exact zeros and negative zeros: the arena ReLU must
+        # reproduce x * mask byte-for-byte even at sign-of-zero level
+        x = rng.normal(size=(6, 10)).astype(np.float32)
+        x.ravel()[:3] = [0.0, -0.0, 1e-38]
+        g = rng.normal(size=x.shape).astype(np.float32)
+        (oa, ga), (ob, gb) = _roundtrip(legacy, x, g), _roundtrip(arena, x, g.copy())
+        np.testing.assert_array_equal(oa, ob)
+        np.testing.assert_array_equal(ga, gb)
+
+    @pytest.mark.parametrize(
+        "bn_cls,shape", [(BatchNorm2D, (4, 5, 3, 3)), (BatchNorm1D, (6, 5))]
+    )
+    def test_batchnorm_training_eval_and_running_stats(self, bn_cls, shape):
+        legacy, arena = _pair(lambda r, d: bn_cls(5, dtype=d), np.float32)
+        rng = np.random.default_rng(6)
+        for _ in range(3):
+            x = rng.normal(size=shape).astype(np.float32)
+            g = rng.normal(size=shape).astype(np.float32)
+            (oa, ga), (ob, gb) = (
+                _roundtrip(legacy, x, g),
+                _roundtrip(arena, x, g.copy()),
+            )
+            np.testing.assert_array_equal(oa, ob)
+            np.testing.assert_array_equal(ga, gb)
+        np.testing.assert_array_equal(legacy.running_mean, arena.running_mean)
+        np.testing.assert_array_equal(legacy.running_var, arena.running_var)
+        x = rng.normal(size=shape).astype(np.float32)
+        np.testing.assert_array_equal(
+            legacy.forward(x, training=False), arena.forward(x, training=False)
+        )
+
+
+# -- byte-exact in-place optimizers ---------------------------------------------
+
+
+@pytest.mark.parametrize("label", ["float32", "float64"])
+@pytest.mark.parametrize(
+    "opt_factory",
+    [
+        lambda net: SGD(net, 0.05),
+        lambda net: SGD(net, 0.05, momentum=0.9, weight_decay=1e-4),
+        lambda net: Adam(net, 1e-3),
+        lambda net: Adam(net, 1e-3, weight_decay=1e-4),
+    ],
+)
+def test_optimizer_steps_bitwise_equal(label, opt_factory):
+    dtype = resolve_dtype(label)
+
+    def build():
+        rng = np.random.default_rng(9)
+        genome = random_genome(rng, n_phases=1, nodes_per_phase=2, density=1.0)
+        return decode_genome(
+            genome,
+            DecoderConfig(input_shape=(1, 8, 8), n_classes=2, channels=(8,), dtype=dtype),
+            rng=rng,
+        )
+
+    net_a, net_b = build(), build()
+    opt_a, opt_b = opt_factory(net_a), opt_factory(net_b)
+    rng = np.random.default_rng(10)
+    for _ in range(5):
+        for (_, pa), (_, pb) in zip(net_a.parameters(), net_b.parameters()):
+            g = rng.normal(size=pa.shape).astype(dtype)
+            pa.grad[...] = g
+            pb.grad[...] = g
+        opt_a.step()
+        opt_b.step()
+    for (name, pa), (_, pb) in zip(net_a.parameters(), net_b.parameters()):
+        np.testing.assert_array_equal(pa.value, pb.value, err_msg=name)
+
+
+# -- conv + whole-network tolerance equivalence ---------------------------------
+
+
+def _build_network(dtype, arena: bool):
+    rng = np.random.default_rng(13)
+    genome = random_genome(rng, n_phases=2, nodes_per_phase=2, density=0.7)
+    network = decode_genome(
+        genome,
+        DecoderConfig(input_shape=(1, 12, 12), n_classes=3, channels=(8, 16), dtype=dtype),
+        rng=rng,
+    )
+    if arena:
+        network.bind_arena(BufferArena(dtype))
+    return network
+
+
+def test_network_forward_backward_equivalent_at_tolerance():
+    net_a = _build_network(np.float64, arena=False)
+    net_b = _build_network(np.float64, arena=True)
+    rng = np.random.default_rng(14)
+    x = rng.normal(size=(4, 1, 12, 12))
+    out_a = net_a.forward(x, training=True)
+    out_b = net_b.forward(x, training=True)
+    np.testing.assert_allclose(out_a, out_b, rtol=0, atol=1e-12)
+    g = rng.normal(size=out_a.shape)
+    gx_a = net_a.backward(g)
+    gx_b = net_b.backward(g.copy())
+    np.testing.assert_allclose(gx_a, gx_b, rtol=0, atol=1e-10)
+    # normalize by the global gradient scale: a conv bias feeding a
+    # BatchNorm has an exactly-zero true gradient (BN removes constant
+    # channel shifts), so per-parameter relative error is pure noise
+    grads_a = [p.grad for _, p in net_a.parameters()]
+    scale = max(float(np.abs(g).max()) for g in grads_a) or 1.0
+    for (name, pa), (_, pb) in zip(net_a.parameters(), net_b.parameters()):
+        worst = float(np.abs(pa.grad - pb.grad).max()) / scale
+        assert worst < 1e-10, f"{name}: normalized grad diff {worst}"
+
+
+def test_trainer_histories_track_between_arena_and_legacy():
+    def run(arena: bool):
+        net = _build_network(np.float64, arena=arena)
+        rng = np.random.default_rng(15)
+        n = 20
+        x = rng.normal(size=(n, 1, 12, 12))
+        y = (rng.random(n) * 3).astype(np.int64)
+        trainer = Trainer(
+            net,
+            x,
+            y,
+            x[:8],
+            y[:8],
+            optimizer=Adam(net, 1e-3),
+            batch_size=8,
+            rng=np.random.default_rng(16),
+        )
+        stats = [trainer.train() for _ in range(3)]
+        return [s.train_loss for s in stats], trainer.validate()
+
+    losses_a, acc_a = run(False)
+    losses_b, acc_b = run(True)
+    np.testing.assert_allclose(losses_a, losses_b, rtol=1e-9)
+    assert acc_a == acc_b
+
+
+# -- steady state ----------------------------------------------------------------
+
+
+def test_arena_reaches_steady_state_and_tracks_peak_bytes():
+    net = _build_network(np.float32, arena=True)
+    rng = np.random.default_rng(17)
+    n = 20  # ragged last batch: 20 = 2*8 + 4 exercises per-shape keying
+    x = rng.normal(size=(n, 1, 12, 12)).astype(np.float32)
+    y = (rng.random(n) * 3).astype(np.int64)
+    trainer = Trainer(
+        net,
+        x,
+        y,
+        x[:8],
+        y[:8],
+        optimizer=SGD(net, 0.01),
+        batch_size=8,
+        rng=np.random.default_rng(18),
+    )
+    trainer.train()
+    trainer.validate()
+    arena = net.arena
+    assert arena.nbytes > 0 and arena.n_buffers > 0
+    settled = (arena.n_buffers, arena.nbytes)
+    tracemalloc.start()
+    for _ in range(3):
+        trainer.train()
+        trainer.validate()
+    _, peak = tracemalloc.get_traced_memory()
+    tracemalloc.stop()
+    assert (arena.n_buffers, arena.nbytes) == settled
+    # three epochs of training + validation must not allocate new
+    # megabyte-scale scratch — the pinned buffers absorb all of it
+    assert peak < 512 * 1024, f"steady-state epochs allocated {peak} bytes"
+
+
+# -- col2im out= -----------------------------------------------------------------
+
+
+def test_col2im_out_matches_allocating_call():
+    rng = np.random.default_rng(19)
+    x = rng.normal(size=(2, 3, 7, 7))
+    cols = im2col(x, 3, 3, 2)
+    gcols = rng.normal(size=cols.shape)
+    expected = col2im(gcols, x.shape, 3, 3, 2)
+    out = np.full(x.shape, np.nan)
+    result = col2im(gcols, x.shape, 3, 3, 2, out=out)
+    assert result is out
+    np.testing.assert_array_equal(result, expected)
+    with pytest.raises(ValueError, match="expected"):
+        col2im(gcols, x.shape, 3, 3, 2, out=np.empty((1, 1)))
+
+
+# -- unbound layers keep allocating (opt-out) ------------------------------------
+
+
+def test_unbind_restores_legacy_path():
+    dtype = np.float64
+    layer = Conv2D(2, 3, kernel_size=3, rng=np.random.default_rng(20), dtype=dtype)
+    x = np.random.default_rng(21).normal(size=(2, 2, 5, 5))
+    baseline = layer.forward(x, training=False)
+    layer.bind_arena(BufferArena(dtype), owner="c")
+    layer.forward(x, training=False)
+    layer.unbind_arena()
+    assert layer.arena is None
+    np.testing.assert_array_equal(layer.forward(x, training=False), baseline)
+
+
+# -- MaxPool vectorized backward vs a loop reference ------------------------------
+
+
+@pytest.mark.parametrize("pool,stride", [(2, 2), (3, 3), (3, 2), (2, 1)])
+def test_maxpool_backward_matches_loop_reference(pool, stride):
+    rng = np.random.default_rng(23)
+    layer = MaxPool2D(pool, stride=stride)
+    x = rng.normal(size=(2, 3, 9, 9)).astype(np.float64)
+    out = layer.forward(x, training=True)
+    g = rng.normal(size=out.shape)
+    grad = layer.backward(g)
+    # reference: explicit per-window scatter-add to the argmax cell
+    expected = np.zeros_like(x)
+    n, c, oh, ow = out.shape
+    for ni in range(n):
+        for ci in range(c):
+            for yi in range(oh):
+                for xi in range(ow):
+                    win = x[
+                        ni,
+                        ci,
+                        yi * stride : yi * stride + pool,
+                        xi * stride : xi * stride + pool,
+                    ]
+                    dy, dx = np.unravel_index(np.argmax(win), win.shape)
+                    expected[ni, ci, yi * stride + dy, xi * stride + dx] += g[
+                        ni, ci, yi, xi
+                    ]
+    np.testing.assert_array_equal(grad, expected)
+
+
+# -- workflow wiring: config resolution, memo key, lineage fields ----------------
+
+
+def test_workflow_config_arena_resolution_and_roundtrip():
+    from repro.workflow.interfaces import WorkflowConfig
+
+    assert WorkflowConfig().arena is True  # float32 default
+    assert WorkflowConfig(dtype="float64", rng_keying="model", eval_cache=False).arena is False
+    assert WorkflowConfig(arena=False).arena is False
+    assert (
+        WorkflowConfig(
+            dtype="float64", rng_keying="model", eval_cache=False, arena=True
+        ).arena
+        is True
+    )
+    config = WorkflowConfig(arena=True)
+    assert WorkflowConfig.from_dict(config.to_dict()).arena is True
+    # historical run documents predate the fast path: missing key -> off
+    payload = config.to_dict()
+    del payload["arena"]
+    assert WorkflowConfig.from_dict(payload).arena is False
+
+
+def test_memo_key_separates_arena_from_legacy_evaluations():
+    from repro.nas.evaluation import TrainingEvaluator
+    from repro.nas.population import Individual
+
+    rng = np.random.default_rng(24)
+    genome = random_genome(rng, n_phases=1, nodes_per_phase=2, density=1.0)
+    individual = Individual(genome=genome, model_id="m0", generation=0)
+
+    def evaluator(arena):
+        return TrainingEvaluator(
+            dataset=None,
+            engine=None,
+            max_epochs=1,
+            decoder_config=DecoderConfig(input_shape=(1, 8, 8), n_classes=2, channels=(8,)),
+            rng_keying="genome",
+            dataset_key="test-dataset",
+            arena=arena,
+        )
+
+    key_on = evaluator(True).memo_key(individual)
+    key_off = evaluator(False).memo_key(individual)
+    assert key_on is not None and key_off is not None
+    assert key_on != key_off
+    assert key_on[:-1] == key_off[:-1]
+
+
+def test_individual_arena_fields_reach_model_record():
+    from repro.lineage.records import ModelRecord
+    from repro.lineage.tracker import LineageTracker
+    from repro.nas.population import Individual
+
+    rng = np.random.default_rng(25)
+    genome = random_genome(rng, n_phases=1, nodes_per_phase=2, density=1.0)
+    individual = Individual(genome=genome, model_id="m1", generation=0)
+    individual.arena_enabled = True
+    individual.arena_peak_bytes = 12345
+    assert individual.to_dict()["arena_enabled"] is True
+    assert individual.to_dict()["arena_peak_bytes"] == 12345
+    record = ModelRecord(model_id="m1", generation=0, genome=genome.to_dict())
+    assert record.arena_enabled is False and record.arena_peak_bytes == 0
+
+    tracker = LineageTracker()
+    tracker.observe_individual(individual)
+    stored = tracker.records["m1"]
+    assert stored.arena_enabled is True
+    assert stored.arena_peak_bytes == 12345

@@ -376,6 +376,61 @@ def test_perf002_ignores_clean_worker_code_and_other_modules():
     assert rule_hits(diags, "PERF002") == []
 
 
+# -- PERF003: loop-carried allocations in training hot-loop modules -------------
+
+
+def test_perf003_flags_loop_allocations_in_hot_modules():
+    diags = lint({"repro/nn/layers/example.py": """
+        import numpy as np
+        def backward(grads, k):
+            out = None
+            for i in range(k):
+                g = np.zeros((4, 4))
+                h = grads[i].copy()
+                while i:
+                    t = np.concatenate([g, h])
+                    i -= 1
+                out = g
+            return out
+    """})
+    assert len(rule_hits(diags, "PERF003")) == 3
+
+
+def test_perf003_ignores_allocations_outside_loops_and_cold_modules():
+    diags = lint({
+        "repro/nn/layers/example.py": """
+            import numpy as np
+            def forward(x):
+                # per-call (not per-iteration) allocation is PERF003-clean;
+                # the arena migration is tracked per layer, not per call
+                cols = np.zeros(x.shape)
+                for i in range(3):
+                    cols += i
+                return cols.copy()
+        """,
+        "repro/nas/population.py": """
+            import numpy as np
+            def snapshot(values):
+                out = []
+                for v in values:
+                    out.append(v.copy())
+                return out
+        """,
+    })
+    assert rule_hits(diags, "PERF003") == []
+
+
+def test_perf003_reports_nested_loop_calls_once():
+    diags = lint({"repro/nn/trainer.py": """
+        import numpy as np
+        def epoch(batches):
+            for b in batches:
+                for x in b:
+                    buf = np.empty(x.shape)
+    """})
+    assert len(rule_hits(diags, "PERF003")) == 1
+
+
 # -- NUM004: unbounded retry loops ---------------------------------------------
 
 
@@ -560,7 +615,7 @@ def test_cli_check_list_rules(capsys):
     out = capsys.readouterr().out
     for rule_id in ["DET001", "DET002", "API001", "API002", "API003",
                     "NUM001", "NUM002", "NUM003", "NUM004", "LIN001",
-                    "SUP001", "PERF001"]:
+                    "SUP001", "PERF001", "PERF003"]:
         assert rule_id in out
 
 
