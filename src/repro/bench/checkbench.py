@@ -23,7 +23,7 @@ from dataclasses import dataclass
 from pathlib import Path
 
 from repro.tooling import all_rules
-from repro.tooling.linter import run_check
+from repro.tooling.linter import resolve_jobs, run_check
 from repro.utils.logging import get_logger
 from repro.utils.timing import Stopwatch
 
@@ -32,18 +32,19 @@ __all__ = ["CheckBenchReport", "run_checkbench", "compare_checkbench"]
 _LOG = get_logger("bench.check")
 
 #: Schema tag written into every check-bench document.
-CHECK_SCHEMA = "a4nn-checkbench/1"
+CHECK_SCHEMA = "a4nn-checkbench/2"
 
 
 @dataclass
 class CheckBenchReport:
-    """Cold-vs-warm analysis timings for one tree."""
+    """Cold-vs-warm (and parallel-cold) analysis timings for one tree."""
 
     n_files: int
     n_rules: int
     cold: dict  #: {"best_seconds", "mean_seconds", "repeats"}
     warm: dict
     warm_cache_hits: int
+    jobs: dict | None = None  #: cold timings with ``--jobs N`` (+"n_jobs")
 
     @property
     def cold_seconds(self) -> float:
@@ -57,8 +58,19 @@ class CheckBenchReport:
     def speedup(self) -> float:
         return self.cold_seconds / max(self.warm_seconds, 1e-12)
 
+    @property
+    def jobs_seconds(self) -> float | None:
+        return float(self.jobs["best_seconds"]) if self.jobs else None
+
+    @property
+    def jobs_speedup(self) -> float | None:
+        """Serial-cold / parallel-cold ratio (>1 means ``--jobs`` helped)."""
+        if not self.jobs:
+            return None
+        return self.cold_seconds / max(self.jobs_seconds, 1e-12)
+
     def to_dict(self) -> dict:
-        return {
+        payload = {
             "schema": CHECK_SCHEMA,
             "n_files": self.n_files,
             "n_rules": self.n_rules,
@@ -67,6 +79,10 @@ class CheckBenchReport:
             "warm_cache_hits": self.warm_cache_hits,
             "speedup": round(self.speedup, 2),
         }
+        if self.jobs:
+            payload["jobs"] = self.jobs
+            payload["jobs_speedup"] = round(self.jobs_speedup, 2)
+        return payload
 
     def save(self, path: str | Path) -> Path:
         path = Path(path)
@@ -87,6 +103,7 @@ class CheckBenchReport:
             cold=payload["cold"],
             warm=payload["warm"],
             warm_cache_hits=payload["warm_cache_hits"],
+            jobs=payload.get("jobs"),
         )
 
     def summary(self) -> str:
@@ -100,17 +117,25 @@ class CheckBenchReport:
             f"{self.warm_cache_hits} cache hits)",
             f"  warm speedup       : {self.speedup:8.2f}x",
         ]
+        if self.jobs:
+            lines.append(
+                f"  cold --jobs {self.jobs['n_jobs']:<6} : "
+                f"{self.jobs_seconds * 1e3:8.1f} ms best "
+                f"({self.jobs['mean_seconds'] * 1e3:.1f} ms mean, "
+                f"{self.jobs_speedup:.2f}x vs serial cold)"
+            )
         return "\n".join(lines)
 
 
 def run_checkbench(
-    paths: list | None = None, *, repeats: int = 3
+    paths: list | None = None, *, repeats: int = 3, jobs: int | None = 0
 ) -> CheckBenchReport:
-    """Time cold and warm ``a4nn check`` runs over ``paths``.
+    """Time cold, warm, and parallel-cold ``a4nn check`` runs over ``paths``.
 
     Defaults to the installed ``repro`` package — the same tree
     ``make check`` gates — so the committed numbers describe the real
-    workload.
+    workload.  ``jobs`` times the cold pass again through ``--jobs``
+    (default ``0`` = one worker per CPU; ``None`` skips the pass).
     """
     if paths is None:
         import repro
@@ -118,6 +143,8 @@ def run_checkbench(
         paths = [Path(repro.__file__).parent]
     clock_cold = Stopwatch()
     clock_warm = Stopwatch()
+    clock_jobs = Stopwatch()
+    n_jobs = resolve_jobs(jobs)
     n_files = 0
     warm_hits = 0
     tmp = Path(tempfile.mkdtemp(prefix="a4nn-checkbench-"))
@@ -129,6 +156,12 @@ def run_checkbench(
                 result = run_check(paths, cache_dir=cache_dir)
             n_files = result.n_files
             _LOG.debug("cold repeat %d: %d files", i, result.n_files)
+        if n_jobs is not None:
+            for i in range(repeats):
+                shutil.rmtree(cache_dir, ignore_errors=True)
+                with clock_jobs:
+                    result = run_check(paths, cache_dir=cache_dir, jobs=n_jobs)
+                _LOG.debug("jobs repeat %d: %d files", i, result.n_files)
         # cache_dir is now fully populated from the last cold run
         for i in range(repeats):
             with clock_warm:
@@ -151,6 +184,14 @@ def run_checkbench(
             "repeats": repeats,
         },
         warm_cache_hits=warm_hits,
+        jobs=None
+        if n_jobs is None
+        else {
+            "n_jobs": n_jobs,
+            "best_seconds": min(clock_jobs.laps),
+            "mean_seconds": clock_jobs.mean_lap,
+            "repeats": repeats,
+        },
     )
 
 
@@ -168,6 +209,13 @@ def compare_checkbench(fresh: CheckBenchReport, committed: CheckBenchReport) -> 
         f"{committed.warm_seconds * 1e3:.1f} ms)",
         f"  speedup: {fresh.speedup:.2f}x (committed {committed.speedup:.2f}x)",
     ]
+    if fresh.jobs and committed.jobs:
+        lines.append(
+            f"  cold --jobs: {fresh.jobs_seconds * 1e3:8.1f} ms at "
+            f"{fresh.jobs['n_jobs']} worker(s) (committed "
+            f"{committed.jobs_seconds * 1e3:.1f} ms at "
+            f"{committed.jobs['n_jobs']})"
+        )
     if fresh.warm_seconds >= fresh.cold_seconds:
         lines.append("  DIFF: warm-cache run is not faster than cold")
     return "\n".join(lines)

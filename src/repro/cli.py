@@ -99,6 +99,8 @@ def _fastpath_overrides(args: argparse.Namespace) -> dict:
         overrides["eval_cache"] = args.eval_cache
     if args.arena is not None:
         overrides["arena"] = args.arena
+    if args.sanitize_writes:
+        overrides["sanitize_writes"] = True
     if args.backend is not None:
         overrides["backend"] = args.backend
     if args.n_workers is not None:
@@ -166,6 +168,14 @@ def _add_common_run_flags(parser: argparse.ArgumentParser) -> None:
         "--sanitize",
         action="store_true",
         help="attach the runtime numerical sanitizer to trained networks (real mode)",
+    )
+    parser.add_argument(
+        "--sanitize-writes",
+        action="store_true",
+        help="attach the runtime write guard to trained networks (real mode): "
+        "borrowed inter-layer tensors become read-only around layer calls, "
+        "so aliasing writes raise a guarded-write fault instead of silently "
+        "corrupting a neighbouring buffer",
     )
     parser.add_argument(
         "--max-retries",
@@ -381,7 +391,12 @@ def _cmd_check(args: argparse.Namespace) -> int:
 
     def check() -> "object":
         return run_check(
-            paths, select=select, ignore=ignore, cache_dir=cache_dir, baseline=baseline
+            paths,
+            select=select,
+            ignore=ignore,
+            cache_dir=cache_dir,
+            baseline=baseline,
+            jobs=args.jobs,
         )
 
     try:
@@ -634,6 +649,14 @@ def build_parser() -> argparse.ArgumentParser:
         "--fix",
         action="store_true",
         help="apply the mechanical autofixes attached to findings, then re-check",
+    )
+    check_parser.add_argument(
+        "--jobs",
+        type=int,
+        default=None,
+        metavar="N",
+        help="parallelize the cold per-file parse/lint stage over N "
+        "processes (0 = one per CPU; cross-file rules stay single-pass)",
     )
     check_parser.set_defaults(handler=_cmd_check)
 

@@ -28,7 +28,7 @@ from repro.nn.dtype import dtype_label
 from repro.nn.flops import network_flops
 from repro.nn.optimizers import Adam
 from repro.nn.trainer import Trainer
-from repro.tooling.sanitizer import NumericalFault, Sanitizer
+from repro.tooling.sanitizer import NumericalFault, Sanitizer, WriteGuard
 from repro.utils.rng import RngStream
 from repro.xfel.dataset import DiffractionDataset
 
@@ -134,6 +134,13 @@ class TrainingEvaluator:
         Attach a :class:`~repro.tooling.sanitizer.Sanitizer` to every
         candidate's network and trainer; numerical faults abort the
         model's training with :class:`NumericalFault`.
+    sanitize_writes:
+        Attach a :class:`~repro.tooling.sanitizer.WriteGuard` to every
+        candidate's network: borrowed inter-layer tensors become
+        read-only around layer calls, so an aliasing write raises a
+        ``guarded-write`` :class:`NumericalFault` instead of silently
+        corrupting a neighbouring buffer.  Flag-flips only — an
+        untripped guarded run is byte-identical to an unguarded one.
     on_fault:
         Callback ``on_fault(individual, fault)`` invoked before a
         :class:`NumericalFault` propagates (the orchestrator records it
@@ -171,6 +178,7 @@ class TrainingEvaluator:
         rng_stream: RngStream | None = None,
         observers: list[EpochObserver] | None = None,
         sanitize: bool = False,
+        sanitize_writes: bool = False,
         on_fault: Callable[[Individual, NumericalFault], None] | None = None,
         rng_keying: str = "model",
         dtype=None,
@@ -188,6 +196,7 @@ class TrainingEvaluator:
         self.rng_stream = rng_stream or RngStream(0)
         self.observers = list(observers or [])
         self.sanitize = bool(sanitize)
+        self.sanitize_writes = bool(sanitize_writes)
         self.on_fault = on_fault
         self.rng_keying = validate_rng_keying(rng_keying)
         self.dataset_key = dataset_key or _dataset_fingerprint(dataset)
@@ -220,6 +229,7 @@ class TrainingEvaluator:
             self.sanitize,
             retry_salt(individual),
             self.arena,
+            self.sanitize_writes,
         )
 
     def evaluate(self, individual: Individual) -> Individual:
@@ -245,6 +255,9 @@ class TrainingEvaluator:
         sanitizer = None
         if self.sanitize:
             sanitizer = Sanitizer().watch(network)
+        write_guard = None
+        if self.sanitize_writes:
+            write_guard = WriteGuard().watch(network)
         trainer = Trainer(
             network,
             self.dataset.x_train,
@@ -255,6 +268,7 @@ class TrainingEvaluator:
             batch_size=self.batch_size,
             rng=shuffle_rng,
             sanitizer=sanitizer,
+            write_guard=write_guard,
         )
 
         def on_epoch(epoch: int, fitness: float, prediction: float | None) -> None:

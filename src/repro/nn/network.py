@@ -44,6 +44,9 @@ class Network:
         # opt-in numerical watchdog (repro.tooling.sanitizer.Sanitizer);
         # duck-typed so nn/ stays decoupled from the tooling package
         self.sanitizer = None
+        # opt-in write guard (repro.tooling.sanitizer.WriteGuard): flips
+        # borrowed inter-layer tensors read-only around layer calls
+        self.write_guard = None
         # opt-in scratch storage (repro.nn.arena.BufferArena); None keeps
         # every layer on the historical allocate-per-call path
         self.arena = None
@@ -74,26 +77,34 @@ class Network:
 
     def forward(self, x: np.ndarray, training: bool = False) -> np.ndarray:
         """Run the full stack."""
-        if self.sanitizer is None:
+        if self.sanitizer is None and self.write_guard is None:
             for layer in self.layers:
                 x = layer.forward(x, training=training)
             return x
         for index, layer in enumerate(self.layers):
             x_in = x
-            x = layer.forward(x, training=training)
-            self.sanitizer.after_layer_forward(index, layer, x_in, x)
+            if self.write_guard is not None:
+                x = self.write_guard.guard_forward(index, layer, x, training=training)
+            else:
+                x = layer.forward(x, training=training)
+            if self.sanitizer is not None:
+                self.sanitizer.after_layer_forward(index, layer, x_in, x)
         return x
 
     def backward(self, grad: np.ndarray) -> np.ndarray:
         """Back-propagate from the loss gradient; returns dL/d(input)."""
-        if self.sanitizer is None:
+        if self.sanitizer is None and self.write_guard is None:
             for layer in reversed(self.layers):
                 grad = layer.backward(grad)
             return grad
         for index in range(len(self.layers) - 1, -1, -1):
             layer = self.layers[index]
-            grad = layer.backward(grad)
-            self.sanitizer.after_layer_backward(index, layer, grad)
+            if self.write_guard is not None:
+                grad = self.write_guard.guard_backward(index, layer, grad)
+            else:
+                grad = layer.backward(grad)
+            if self.sanitizer is not None:
+                self.sanitizer.after_layer_backward(index, layer, grad)
         return grad
 
     def predict(self, x: np.ndarray, *, batch_size: int = 256) -> np.ndarray:

@@ -24,6 +24,7 @@ def clip_grad_norm(network: Network, max_norm: float) -> float:
     Returns the pre-clipping norm.  Standard protection against the
     exploding gradients random NAS architectures occasionally produce.
     """
+    # a4nn: mutates(network) -- gradient clipping rescales grads in place by contract
     if max_norm <= 0:
         raise ValueError(f"max_norm must be positive, got {max_norm}")
     total = 0.0

@@ -60,6 +60,11 @@ class Trainer:
         Optional :class:`~repro.tooling.sanitizer.Sanitizer` (duck-
         typed); when set, every step's loss and parameter gradients are
         asserted finite, raising ``NumericalFault`` on violation.
+    write_guard:
+        Optional :class:`~repro.tooling.sanitizer.WriteGuard` (duck-
+        typed); attached to the network it flips borrowed inter-layer
+        tensors read-only around layer calls.  The trainer only keeps
+        its ``epoch`` stamp current so trips carry their position.
     """
 
     network: Network
@@ -75,6 +80,7 @@ class Trainer:
     schedule: object | None = None
     max_grad_norm: float | None = None
     sanitizer: object | None = None
+    write_guard: object | None = None
 
     def __post_init__(self) -> None:
         ensure_positive(self.batch_size, "batch_size")
@@ -118,13 +124,15 @@ class Trainer:
         np.take(self.x_train, batch, axis=0, out=xb)
         yb = arena.buffer("trainer", "yb", (len(batch),), self.y_train.dtype)
         np.take(self.y_train, batch, axis=0, out=yb)
-        return xb, yb
+        return xb, yb  # a4nn: noqa(ALIAS002) -- batch buffers are consumed within the epoch step before the next gather reuses them
 
     def train(self) -> EpochStats:
         """Run one full training epoch (shuffle, batch, update)."""
         clock = Stopwatch().start()
         if self.sanitizer is not None:
             self.sanitizer.epoch = self.epoch + 1
+        if self.write_guard is not None:
+            self.write_guard.epoch = self.epoch + 1
         order = self.rng.permutation(len(self.x_train))
         losses: list[float] = []
         correct = 0

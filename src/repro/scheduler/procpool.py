@@ -92,6 +92,7 @@ class EvalSpec:
     dataset: SharedDatasetSpec | None = None
     dataset_key: str | None = None
     sanitize: bool = False
+    sanitize_writes: bool = False
     rng_keying: str = "genome"
     dtype: str | None = None
     batch_size: int = 16
@@ -182,6 +183,7 @@ class _WorkerRuntime:
                 rng_stream=stream.child("eval"),
                 observers=observers,
                 sanitize=spec.sanitize,
+                sanitize_writes=spec.sanitize_writes,
                 on_fault=self._on_fault,
                 rng_keying=spec.rng_keying,
                 dtype=spec.dtype,

@@ -26,9 +26,11 @@ from __future__ import annotations
 
 import hashlib
 import pickle
+import sys
 from dataclasses import dataclass
 from pathlib import Path
 
+from repro import __version__ as _TOOLING_VERSION
 from repro.tooling.diagnostics import Diagnostic
 
 __all__ = ["AnalysisCache", "CachedModule", "DEFAULT_CACHE_DIR", "CACHE_FORMAT"]
@@ -65,14 +67,29 @@ class AnalysisCache:
         self.misses = 0
 
     @staticmethod
-    def ruleset_fingerprint(rules) -> str:
-        """Stable digest of the participating file-scoped rule ids."""
+    def ruleset_fingerprint(rules, *, python_version: tuple | None = None) -> str:
+        """Stable digest of the engine + participating file-scoped rule ids.
+
+        Besides the rule ids, the payload folds in the running Python
+        version and the tooling release: pickled ASTs are not portable
+        across interpreter versions (node layouts change), and a rule
+        implementation can change behaviour without changing its id —
+        either mismatch must force a cold re-parse, not a poisoned hit.
+        ``python_version`` (an ``(major, minor, micro)`` triple) defaults
+        to the running interpreter; tests override it to simulate an
+        upgrade.
+        """
+        if python_version is None:
+            python_version = sys.version_info[:3]
+        py = ".".join(str(part) for part in python_version)
         ids = sorted(
             f"{r.rule_id}:{type(r).__name__}"
             for r in rules
             if getattr(r, "scope", "file") == "file"
         )
-        payload = f"v{CACHE_FORMAT}|" + "|".join(ids)
+        payload = (
+            f"v{CACHE_FORMAT}|py{py}|tooling{_TOOLING_VERSION}|" + "|".join(ids)
+        )
         return hashlib.blake2b(payload.encode("utf-8"), digest_size=8).hexdigest()
 
     def _entry_path(self, display_path: str, content_hash: str) -> Path:

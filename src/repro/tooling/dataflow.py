@@ -166,15 +166,57 @@ class ValueOrigin:
     """Classification of what an expression evaluates to.
 
     ``kind`` is one of ``lambda``, ``closure``, ``genexp``, ``call``,
-    ``constant``, ``mapping``, or ``unknown``; ``detail`` carries the
-    resolved call chain (for ``call``) or the local function name (for
-    ``closure``); ``node`` is the AST node where the value originates
-    (used to anchor diagnostics at the *source* end of the edge).
+    ``constant``, ``mapping``, ``sequence``, ``view``, or ``unknown``;
+    ``detail`` carries the resolved call chain (for ``call`` and
+    ``view``) or the local function name (for ``closure``); ``node`` is
+    the AST node where the value originates (used to anchor diagnostics
+    at the *source* end of the edge).  A ``view`` is a ``__getitem__``
+    projection of a traced base (``spec[0]``, ``arr[i:j]``) — the base's
+    classification rides along in ``detail`` so seam rules can decide
+    whether slicing launders the origin.
     """
 
     kind: str
     detail: str = ""
     node: ast.AST | None = None
+
+
+def _unpack_literal(target: ast.AST, value: ast.AST, assigns: dict[str, ast.AST]) -> None:
+    """Bind names in a tuple/list target against a tuple/list literal RHS.
+
+    Handles exact positional unpacking (``a, b = x, y``) and a single
+    ``*rest`` anywhere in the target (``a, *mid, b = w, x, y, z``): the
+    prefix/suffix names bind positionally, and the starred name binds to
+    a synthesized list of the middle values so later tracing still sees
+    a literal.  Shape-mismatched unpacks bind nothing (the code would
+    raise at runtime anyway).
+    """
+    elts = list(target.elts)
+    values = list(value.elts)
+    stars = [i for i, t in enumerate(elts) if isinstance(t, ast.Starred)]
+    if not stars:
+        if len(elts) != len(values):
+            return
+        for t, v in zip(elts, values):
+            if isinstance(t, ast.Name):
+                assigns[t.id] = v
+        return
+    if len(stars) != 1 or len(values) < len(elts) - 1:
+        return
+    star = stars[0]
+    n_after = len(elts) - star - 1
+    for t, v in zip(elts[:star], values[:star]):
+        if isinstance(t, ast.Name):
+            assigns[t.id] = v
+    for t, v in zip(elts[star + 1 :], values[len(values) - n_after :]):
+        if isinstance(t, ast.Name):
+            assigns[t.id] = v
+    star_name = elts[star].value
+    if isinstance(star_name, ast.Name):
+        middle = values[star : len(values) - n_after]
+        assigns[star_name.id] = ast.copy_location(
+            ast.List(elts=middle, ctx=ast.Load()), value
+        )
 
 
 def _local_assignments(func: ast.AST) -> dict[str, ast.AST]:
@@ -185,15 +227,10 @@ def _local_assignments(func: ast.AST) -> dict[str, ast.AST]:
             for target in node.targets:
                 if isinstance(target, ast.Name):
                     assigns[target.id] = node.value
-                elif (
-                    isinstance(target, (ast.Tuple, ast.List))
-                    and isinstance(node.value, (ast.Tuple, ast.List))
-                    and len(target.elts) == len(node.value.elts)
+                elif isinstance(target, (ast.Tuple, ast.List)) and isinstance(
+                    node.value, (ast.Tuple, ast.List)
                 ):
-                    # positional unpacking: a, b = x, y
-                    for t, v in zip(target.elts, node.value.elts):
-                        if isinstance(t, ast.Name):
-                            assigns[t.id] = v
+                    _unpack_literal(target, node.value, assigns)
         elif isinstance(node, ast.AnnAssign) and node.value is not None:
             if isinstance(node.target, ast.Name):
                 assigns[node.target.id] = node.value
@@ -227,6 +264,12 @@ def trace_value(
         return ValueOrigin("constant", node=expr)
     if isinstance(expr, ast.Dict):
         return ValueOrigin("mapping", node=expr)
+    if isinstance(expr, (ast.Tuple, ast.List, ast.Set)):
+        return ValueOrigin("sequence", node=expr)
+    if isinstance(expr, ast.Subscript):
+        base = trace_value(symbols, scope, expr.value, _depth=_depth + 1)
+        detail = base.detail or (base.kind if base.kind != "unknown" else "")
+        return ValueOrigin("view", detail=detail, node=expr)
     if isinstance(expr, ast.Call):
         chain = _dotted(expr.func)
         if chain == "dict":

@@ -17,7 +17,10 @@ legitimately change without the file itself changing.
 
 from __future__ import annotations
 
+import os
+from concurrent.futures import ProcessPoolExecutor
 from dataclasses import dataclass, field
+from multiprocessing import get_all_start_methods, get_context
 from pathlib import Path
 from typing import Iterable, Mapping
 
@@ -32,6 +35,7 @@ __all__ = [
     "CheckResult",
     "Linter",
     "collect_files",
+    "resolve_jobs",
     "run_check",
     "PARSE_ERROR_ID",
     "SKIPPED_FILE_ID",
@@ -62,6 +66,48 @@ class CheckResult:
     def exit_code(self) -> int:
         """0 when clean; 1 when any error-severity diagnostic fired."""
         return 1 if self.n_errors else 0
+
+
+#: Per-process linter rebuilt by the ``--jobs`` pool initializer.
+_WORKER_LINTER: "Linter | None" = None
+
+
+def _init_parallel_worker(file_rule_ids: tuple[str, ...]) -> None:
+    """Build each worker's file-rule-only linter once (spawn context)."""
+    global _WORKER_LINTER
+    _WORKER_LINTER = Linter(select=list(file_rule_ids))
+
+
+def _lint_one_file(item: tuple[str, str]):
+    """Parse + file-rule-lint one source in a pool worker.
+
+    Returns ``(display, tree, comments, file_diags, parse_failure)`` —
+    everything the parent needs to rehydrate the module (the same
+    artifacts a cache entry stores), so project-scoped rules and
+    suppression filtering stay a single pass in the parent process.
+    """
+    display, source = item
+    try:
+        module = ModuleContext.parse(source, display)
+    except SyntaxError as exc:
+        return (display, None, None, [], _parse_failure(display, source, exc))
+    found: list[Diagnostic] = []
+    for rule in _WORKER_LINTER.file_rules:
+        if rule.applies_to(module):
+            found.extend(rule.check(module))
+    return (display, module.tree, module.comments(), found, None)
+
+
+def resolve_jobs(jobs: int | None) -> int | None:
+    """Normalize a ``--jobs`` request: ``0`` means one per CPU."""
+    if jobs is None:
+        return None
+    jobs = int(jobs)
+    if jobs < 0:
+        raise ValueError(f"--jobs must be >= 0, got {jobs}")
+    if jobs == 0:
+        return os.cpu_count() or 1
+    return jobs
 
 
 def _excluded(rel_parts: tuple[str, ...]) -> bool:
@@ -125,15 +171,31 @@ class Linter:
     # -- entry points -----------------------------------------------------------
 
     def lint_paths(
-        self, paths: Iterable[str | Path], *, cache: AnalysisCache | None = None
+        self,
+        paths: Iterable[str | Path],
+        *,
+        cache: AnalysisCache | None = None,
+        jobs: int | None = None,
     ) -> CheckResult:
-        """Lint files/directories from disk, optionally through the cache."""
+        """Lint files/directories from disk, optionally through the cache.
+
+        ``jobs`` > 1 fans the per-file parse + file-rule stage out over a
+        process pool (cache misses only — hits rehydrate in-process, and
+        project-scoped rules plus suppression filtering always run as a
+        single pass in the parent, so results are identical to serial).
+        """
         project = ProjectContext()
         pseudo: list[Diagnostic] = []
         cached_diags: dict[str, list[Diagnostic]] = {}
         hashes: dict[str, str] = {}
+        sources: dict[str, str] = {}
+        order: list[str] = []
+        entries: dict[str, object] = {}
+        pending: list[tuple[str, str]] = []
         files = collect_files(paths)
         n_cache_hits = 0
+        jobs = resolve_jobs(jobs)
+        parallel = jobs is not None and jobs > 1
         for path in files:
             display = str(path)
             try:
@@ -144,18 +206,53 @@ class Linter:
                 continue
             digest = content_hash(raw)
             hashes[display] = digest
+            sources[display] = source
+            order.append(display)
             entry = cache.lookup(display, digest) if cache is not None else None
             if entry is not None:
-                module = ModuleContext.from_cache(
-                    source, display, entry.tree, entry.comments
-                )
+                entries[display] = entry
                 cached_diags[display] = list(entry.file_diagnostics)
                 n_cache_hits += 1
+            elif parallel:
+                pending.append((display, source))
+        worker_results: dict[str, tuple] = {}
+        if parallel and pending:
+            file_rule_ids = tuple(sorted({r.rule_id for r in self.file_rules}))
+            # fork keeps worker start-up (interpreter + numpy import) off
+            # the critical path; platforms without it pay the spawn cost
+            method = "fork" if "fork" in get_all_start_methods() else "spawn"
+            ctx = get_context(method)
+            chunksize = max(1, len(pending) // (jobs * 4))
+            with ProcessPoolExecutor(
+                max_workers=min(jobs, len(pending)),
+                mp_context=ctx,
+                initializer=_init_parallel_worker,
+                initargs=(file_rule_ids,),
+            ) as pool:
+                for display, tree, comments, diags, failure in pool.map(
+                    _lint_one_file, pending, chunksize=chunksize
+                ):
+                    worker_results[display] = (tree, comments, diags, failure)
+        for display in order:
+            entry = entries.get(display)
+            if entry is not None:
+                module = ModuleContext.from_cache(
+                    sources[display], display, entry.tree, entry.comments
+                )
+            elif display in worker_results:
+                tree, comments, diags, failure = worker_results[display]
+                if failure is not None:
+                    pseudo.append(failure)
+                    continue
+                module = ModuleContext.from_cache(sources[display], display, tree, comments)
+                cached_diags[display] = diags
+                if cache is not None:
+                    cache.store(display, hashes[display], tree, comments, diags)
             else:
                 try:
-                    module = ModuleContext.parse(source, display)
+                    module = ModuleContext.parse(sources[display], display)
                 except SyntaxError as exc:
-                    pseudo.append(_parse_failure(display, source, exc))
+                    pseudo.append(_parse_failure(display, sources[display], exc))
                     continue
             project.add(module)
         result = self._lint_project(project, cache=cache, cached_diags=cached_diags, hashes=hashes)
@@ -280,12 +377,14 @@ def run_check(
     ignore: Iterable[str] | None = None,
     cache_dir: str | Path | None = None,
     baseline: str | Path | None = None,
+    jobs: int | None = None,
 ) -> CheckResult:
     """One-call convenience used by the CLI and the self-check test.
 
     ``cache_dir`` enables the incremental cache rooted there (``None``
     disables caching); ``baseline`` subtracts grandfathered findings
-    recorded in the named baseline file from the failure set.
+    recorded in the named baseline file from the failure set; ``jobs``
+    parallelizes the cold per-file stage (``0`` = one per CPU).
     """
     linter = Linter(select=select, ignore=ignore)
     cache = None
@@ -293,7 +392,7 @@ def run_check(
         cache = AnalysisCache(
             cache_dir, fingerprint=AnalysisCache.ruleset_fingerprint(linter.rules)
         )
-    result = linter.lint_paths(paths, cache=cache)
+    result = linter.lint_paths(paths, cache=cache, jobs=jobs)
     if baseline is not None:
         fresh, grandfathered = apply_baseline(
             result.diagnostics, load_baseline(baseline)

@@ -122,6 +122,7 @@ def get_rule(rule_id: str) -> Rule:
 def load_builtin_rules() -> None:
     """Import the built-in rule modules (idempotent)."""
     from repro.tooling.rules import (  # noqa: F401
+        alias_effects,
         concurrency,
         contracts,
         det_flow,
@@ -131,6 +132,7 @@ def load_builtin_rules() -> None:
         perf,
         safety,
         suppressions,
+        tensor_shape,
     )
 
 

@@ -1,0 +1,190 @@
+"""Aliasing and mutation-effect rules over the in-place kernel stack.
+
+Built on the may-alias roots and mutation events the
+:mod:`repro.tooling.tensorflow` interpreter collects (see DESIGN §13):
+
+* ``ALIAS001`` — an ``out=`` target that may alias a read operand of a
+  non-elementwise kernel (matmul, einsum, reductions, ``take``).
+  Elementwise ufuncs are exempt (overlap is well-defined there);
+  everything else reads operands in an order that makes overlap
+  corrupt the result silently.  Aliasing is decided by root-set
+  intersection, so a finding means the two values *can* share storage.
+* ``ALIAS002`` — arena scratch (``Layer._buf`` / ``arena.buffer``)
+  escaping the layer that owns it: returned from a non-``forward``/
+  ``backward`` method, stored on a public attribute, stored into a
+  container hanging off ``self``, or captured by a nested function.
+  The arena reuses those buffers next batch, so any escaped reference
+  is silently clobbered.  Private (``_``-prefixed) attribute stores are
+  the sanctioned cache idiom and exempt; ``forward``/``backward``
+  returns are the layer contract (the caller consumes the value before
+  the next batch); the ``_buf`` accessor itself is the seam.
+* ``EFF001`` — an in-place write to a caller-visible parameter without
+  a declared contract.  The interpreter folds every mutation event into
+  a ``mutates: ...`` effect summary; writes whose roots all come from
+  function parameters are flagged unless the parameter is named
+  ``out*`` (the numpy output convention) or the function carries an
+  explicit ``# a4nn: mutates(name, ...) -- reason`` annotation.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import Iterable
+
+from repro.tooling.context import ModuleContext
+from repro.tooling.diagnostics import Diagnostic, RelatedLocation
+from repro.tooling.rules import BaseRule, register
+from repro.tooling.tensorflow import declared_mutations, module_facts
+
+__all__ = ["OutAliasRule", "ArenaEscapeRule", "MutationEffectRule"]
+
+_SCOPE = ("nn/", "nas/decoder.py")
+
+#: Layer-contract methods allowed to return arena scratch: the network
+#: consumes the returned tensor before the same layer runs again.
+_CONTRACT_METHOD_MARKERS = ("forward", "backward")
+
+
+def _related_def(module: ModuleContext, facts) -> RelatedLocation:
+    return RelatedLocation(
+        path=module.display_path,
+        line=facts.node.lineno,
+        col=facts.node.col_offset,
+        note=f"in {facts.qualname}",
+    )
+
+
+@register
+class OutAliasRule(BaseRule):
+    rule_id = "ALIAS001"
+    category = "aliasing"
+    scope = "project"
+    description = (
+        "out= target may alias a read operand of a non-elementwise kernel "
+        "(matmul/einsum/reduction), silently corrupting the result"
+    )
+    doc = (
+        "no `out=` target may alias a read operand of a non-elementwise "
+        "kernel (matmul, einsum, reductions, `take`): the may-alias lattice "
+        "over arena buffer keys and array views proves disjointness; "
+        "elementwise ufuncs are exempt because overlap is well-defined there"
+    )
+
+    def applies_to(self, module: ModuleContext) -> bool:
+        return module.in_location(*_SCOPE)
+
+    def check(self, module: ModuleContext) -> Iterable[Diagnostic]:
+        for facts in module_facts(module).functions:
+            for node, message in facts.alias_findings:
+                yield dataclasses.replace(
+                    self.diag(module, node, f"{message} (in {facts.qualname})"),
+                    related=_related_def(module, facts),
+                )
+
+
+@register
+class ArenaEscapeRule(BaseRule):
+    rule_id = "ALIAS002"
+    category = "aliasing"
+    scope = "project"
+    description = (
+        "arena scratch buffer escapes its owning layer (returned, stored on "
+        "a public attribute, or captured) and will be clobbered on reuse"
+    )
+    doc = (
+        "arena scratch (`Layer._buf`) must not escape its layer: flags "
+        "buffers returned outside the `forward`/`backward` contract, stored "
+        "on public attributes or into containers on `self`, or captured by "
+        "nested functions — the arena reuses that storage next batch"
+    )
+
+    def applies_to(self, module: ModuleContext) -> bool:
+        return module.in_location(*_SCOPE)
+
+    def check(self, module: ModuleContext) -> Iterable[Diagnostic]:
+        seen: set[tuple[int, str, str]] = set()
+        for facts in module_facts(module).functions:
+            bare = facts.qualname.rsplit(".", 1)[-1]
+            for node, kind, root, detail in facts.escapes:
+                if kind == "returned":
+                    if bare == "_buf" or any(
+                        marker in bare for marker in _CONTRACT_METHOD_MARKERS
+                    ):
+                        continue
+                    how = f"returned from {facts.qualname}"
+                elif kind == "stored-on-self":
+                    if detail.startswith("_"):
+                        continue
+                    how = f"stored on public attribute .{detail}"
+                elif kind == "stored-in-container":
+                    how = "stored into a container reachable from self"
+                else:  # captured
+                    how = f"captured by a nested function via {detail!r}"
+                key = (node.lineno, kind, root)
+                if key in seen:
+                    continue
+                seen.add(key)
+                yield dataclasses.replace(
+                    self.diag(
+                        module,
+                        node,
+                        f"arena scratch {root} escapes its layer: {how}; the "
+                        "arena reuses this storage on the next batch, so the "
+                        "escaped reference is silently clobbered",
+                    ),
+                    related=_related_def(module, facts),
+                )
+
+
+@register
+class MutationEffectRule(BaseRule):
+    rule_id = "EFF001"
+    category = "aliasing"
+    scope = "project"
+    description = (
+        "in-place write to a caller-visible input without an out= parameter "
+        "or a declared `# a4nn: mutates(...)` contract"
+    )
+    doc = (
+        "no in-place writes to caller-visible inputs without a contract: the "
+        "interpreter infers per-function effect summaries (`mutates: params, "
+        "grads, scratch`) and flags parameter mutations unless the parameter "
+        "is named `out*` or the function declares "
+        "`# a4nn: mutates(name) -- reason`"
+    )
+
+    def applies_to(self, module: ModuleContext) -> bool:
+        return module.in_location(*_SCOPE)
+
+    def check(self, module: ModuleContext) -> Iterable[Diagnostic]:
+        for facts in module_facts(module).functions:
+            declared = declared_mutations(module, facts.node)
+            summary = ", ".join(facts.effect_summary()) or "nothing"
+            seen: set[tuple[int, frozenset[str]]] = set()
+            for node, roots, how in facts.mutations:
+                if not roots or not all(r.startswith("param:") for r in roots):
+                    continue
+                names = sorted(r.split(":", 1)[1] for r in roots)
+                if all(
+                    name == "out" or name.startswith("out_") or name in declared
+                    for name in names
+                ):
+                    continue
+                key = (node.lineno, roots)
+                if key in seen:
+                    continue
+                seen.add(key)
+                shown = ", ".join(names)
+                yield dataclasses.replace(
+                    self.diag(
+                        module,
+                        node,
+                        f"in-place write ({how}) to caller-visible input "
+                        f"'{shown}' without an out=-style contract "
+                        f"(inferred effects of {facts.qualname}: mutates "
+                        f"{summary}); declare it with "
+                        f"`# a4nn: mutates({shown}) -- reason` or write to "
+                        "a local copy",
+                    ),
+                    related=_related_def(module, facts),
+                )

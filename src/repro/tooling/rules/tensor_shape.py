@@ -1,0 +1,102 @@
+"""Shape/dtype abstract-interpretation rules over the nn tensor stack.
+
+Both rules run the :mod:`repro.tooling.tensorflow` interpreter over the
+kernel modules (``nn/`` plus ``nas/decoder.py`` genome decoding) and
+report only *provable* violations:
+
+* ``SHAPE001`` — a statically-provable shape mismatch: ``out=`` buffers
+  whose dims provably differ from the result, reshapes that change the
+  element count, matmul inner-dim or einsum label conflicts, and
+  broadcasts of provably-incompatible constant dims.  Dim arithmetic is
+  symbolic (``oh*ow`` proves equal to ``oh*ow`` across statements), and
+  a mismatch is reported only when the difference is provably nonzero
+  under the positive-dims assumption, so every finding is real.
+* ``SHAPE002`` — dtype widening/narrowing that escapes the
+  ``nn/dtype.py`` policy seam: mixing concrete float widths in one
+  ufunc/matmul/einsum, or an ``out=``/``copyto`` destination whose
+  concrete float width differs from the result's.  The policy module
+  itself is the one place allowed to convert.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import Iterable
+
+from repro.tooling.context import ModuleContext
+from repro.tooling.diagnostics import Diagnostic, RelatedLocation
+from repro.tooling.rules import BaseRule, register
+from repro.tooling.tensorflow import module_facts
+
+__all__ = ["ShapeMismatchRule", "DtypePolicyEscapeRule", "TENSOR_SCOPE"]
+
+#: Modules the abstract interpreter covers (the in-place kernel stack).
+TENSOR_SCOPE = ("nn/", "nas/decoder.py")
+
+_POLICY_FILE = "nn/dtype.py"
+
+
+def _related_def(module: ModuleContext, facts) -> RelatedLocation:
+    return RelatedLocation(
+        path=module.display_path,
+        line=facts.node.lineno,
+        col=facts.node.col_offset,
+        note=f"in {facts.qualname}",
+    )
+
+
+@register
+class ShapeMismatchRule(BaseRule):
+    rule_id = "SHAPE001"
+    category = "tensor-shapes"
+    scope = "project"
+    description = (
+        "statically-provable tensor shape mismatch in layer wiring, out= "
+        "buffers, reshape, matmul or einsum"
+    )
+    doc = (
+        "no statically-provable shape mismatches in the nn kernel stack: the "
+        "abstract interpreter propagates symbolic `(N, C, H, W)` dims through "
+        "`nn/` and `nas/decoder.py` and flags `out=` buffers, reshapes, "
+        "matmul/einsum operands and broadcasts whose dims provably differ"
+    )
+
+    def applies_to(self, module: ModuleContext) -> bool:
+        return module.in_location(*TENSOR_SCOPE)
+
+    def check(self, module: ModuleContext) -> Iterable[Diagnostic]:
+        for facts in module_facts(module).functions:
+            for node, message in facts.shape_findings:
+                yield dataclasses.replace(
+                    self.diag(module, node, f"{message} (in {facts.qualname})"),
+                    related=_related_def(module, facts),
+                )
+
+
+@register
+class DtypePolicyEscapeRule(BaseRule):
+    rule_id = "SHAPE002"
+    category = "tensor-shapes"
+    scope = "project"
+    description = (
+        "dtype widening/narrowing that escapes the nn/dtype.py policy seam "
+        "(mixed float widths or mismatched out= destination)"
+    )
+    doc = (
+        "no dtype conversions outside the `nn/dtype.py` policy seam: flags "
+        "arithmetic mixing concrete float widths and `out=`/`copyto` "
+        "destinations whose float width provably differs from the result"
+    )
+
+    def applies_to(self, module: ModuleContext) -> bool:
+        return module.in_location(*TENSOR_SCOPE) and not module.in_location(
+            _POLICY_FILE
+        )
+
+    def check(self, module: ModuleContext) -> Iterable[Diagnostic]:
+        for facts in module_facts(module).functions:
+            for node, message in facts.dtype_findings:
+                yield dataclasses.replace(
+                    self.diag(module, node, f"{message} (in {facts.qualname})"),
+                    related=_related_def(module, facts),
+                )

@@ -21,7 +21,7 @@ import numpy as np
 
 from repro.utils.logging import get_logger
 
-__all__ = ["NumericalFault", "Sanitizer"]
+__all__ = ["NumericalFault", "Sanitizer", "WriteGuard"]
 
 _LOG = get_logger("tooling.sanitizer")
 
@@ -205,3 +205,80 @@ class Sanitizer:
                     epoch=self.epoch,
                     detail={"parameter": name, **_nonfinite_detail(param.grad)},
                 )
+
+
+_GUARD_TRIP_MARKERS = ("read-only", "read only", "not writeable", "writeable")
+
+
+class WriteGuard:
+    """Runtime aliasing validator: borrowed tensors become read-only.
+
+    The static ALIAS rules prove arena scratch and ``out=`` targets stay
+    disjoint from live read operands — but only for the calls the
+    abstract interpreter understands.  This guard backstops the rest at
+    runtime: around every layer call the borrowed inter-layer tensor is
+    flipped read-only (``arr.flags.writeable = False``), so a layer that
+    writes its *input* (the bug class ALIAS001/EFF001 police statically)
+    raises immediately instead of silently corrupting a neighbour's
+    buffer.  The flip touches only flags — never values — so a guarded
+    run that does not trip is byte-identical to an unguarded one.
+
+    Trips surface as :class:`NumericalFault` (``kind="guarded-write"``)
+    and flow through the same fault → lineage path as numerical faults.
+
+    Scope: the guard sits at the :class:`~repro.nn.network.Network`
+    layer seam; writes *inside* a composite layer (e.g. between a
+    phase block's internal nodes) are not covered — that is the static
+    packs' job (DESIGN §13).
+    """
+
+    def __init__(self, model: str | None = None) -> None:
+        self.model = model
+        self.epoch: int | None = None
+        self.n_guarded = 0
+
+    def watch(self, network) -> "WriteGuard":
+        """Attach to a network (its forward/backward loops consult us)."""
+        network.write_guard = self
+        if self.model is None:
+            self.model = getattr(network, "name", None)
+        return self
+
+    # -- hook points (called by Network when attached) -------------------------
+
+    def guard_forward(self, index: int, layer, x: np.ndarray, *, training: bool):
+        """Run ``layer.forward`` with the borrowed input read-only."""
+        return self._guarded(index, layer, "forward", x, lambda: layer.forward(x, training=training))
+
+    def guard_backward(self, index: int, layer, grad: np.ndarray):
+        """Run ``layer.backward`` with the borrowed gradient read-only."""
+        return self._guarded(index, layer, "backward", grad, lambda: layer.backward(grad))
+
+    def _guarded(self, index: int, layer, phase: str, arr: np.ndarray, call):
+        restore = bool(arr.flags.writeable)
+        if restore:
+            arr.flags.writeable = False
+        self.n_guarded += 1
+        try:
+            return call()
+        except ValueError as exc:
+            text = str(exc)
+            if any(marker in text for marker in _GUARD_TRIP_MARKERS):
+                raise NumericalFault(
+                    "guarded-write",
+                    f"layer {index} ({type(layer).__name__}) wrote to its "
+                    f"borrowed {phase} input at epoch {self.epoch}; the "
+                    "tensor belongs to the upstream layer and reuse would "
+                    "clobber it",
+                    model=self.model,
+                    epoch=self.epoch,
+                    layer=index,
+                    detail={"phase": phase, "shape": list(arr.shape)},
+                ) from exc
+            raise
+        finally:
+            if restore:
+                try:
+                    arr.flags.writeable = True
+                except ValueError:  # view whose base went read-only meanwhile
+                    pass

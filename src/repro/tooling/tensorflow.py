@@ -1,0 +1,1645 @@
+"""Abstract interpretation over the nn tensor stack.
+
+This module gives the linter a *semantic* view of the kernel code that
+PR 7 made aggressively in-place: it symbolically executes function
+bodies in ``nn/`` and ``nas/decoder.py`` over four small abstract
+domains and records facts the SHAPE/ALIAS/EFF rule packs turn into
+diagnostics.
+
+Domains (see DESIGN §13 for soundness limits):
+
+* **Shape expressions** — every dimension is a :class:`Poly`, an integer
+  polynomial over named size symbols (``n``, ``self.out_channels``,
+  ``(h//2)``).  Two dims are *provably* unequal only when their
+  difference is provably positive under the positive-dims assumption
+  (every size symbol ≥ 1), so all mismatch findings are conservative.
+* **Dtype tokens** — concrete numpy names (``"float32"``), symbolic
+  tokens tied to a value (``"~x.dtype"``), or ``None`` (unknown).
+  Findings fire only when *both* sides are concrete floats.
+* **May-alias roots** — each array value carries the set of storage
+  roots it may view: function parameters (``param:x``), attributes
+  reached from ``self`` (``self.weight``), arena scratch
+  (``buf:cols``), and fresh allocations (``alloc:line:col``).  Two
+  values may alias iff their root sets intersect.  Unknown calls return
+  rootless values: the analysis *under*-approximates aliasing, which is
+  exactly what the runtime write guard backstops.
+* **Effect summaries** — mutation events (in-place stores, ``out=``
+  targets, augmented assigns) keyed by the roots they hit, folded into
+  a per-function ``mutates: ...`` summary.
+
+The interpreter is intraprocedural: calls are opaque except for numpy
+(resolved through the project import graph so ``import numpy as xp``
+still counts), arena ``_buf``/``buffer`` allocation, and a handful of
+array methods.  Branches join; loop bodies run once and join.
+"""
+
+from __future__ import annotations
+
+import ast
+import re
+from dataclasses import dataclass, field, replace
+
+from repro.tooling.context import ModuleContext
+
+__all__ = [
+    "AValue",
+    "FunctionFacts",
+    "ModuleFacts",
+    "Poly",
+    "TensorInterp",
+    "declared_mutations",
+    "module_facts",
+]
+
+
+# ---------------------------------------------------------------------------
+# shape polynomials
+
+
+@dataclass(frozen=True)
+class Poly:
+    """Integer polynomial over named size symbols.
+
+    ``terms`` maps a monomial (sorted tuple of symbol names, repeats for
+    powers) to its coefficient; stored as a sorted tuple so instances
+    hash and compare structurally.  Non-polynomial arithmetic (``//``,
+    ``%``) collapses into a *derived symbol* named from the rendered
+    operands, so the same source expression evaluated twice compares
+    equal — enough to prove ``oh*ow == oh*ow`` across statements.
+    """
+
+    const: int = 0
+    terms: tuple[tuple[tuple[str, ...], int], ...] = ()
+
+    @staticmethod
+    def of(value: int) -> "Poly":
+        return Poly(const=int(value))
+
+    @staticmethod
+    def sym(name: str) -> "Poly":
+        return Poly(terms=(((name,), 1),))
+
+    @staticmethod
+    def _norm(const: int, terms: dict[tuple[str, ...], int]) -> "Poly":
+        kept = tuple(sorted((m, c) for m, c in terms.items() if c != 0))
+        return Poly(const=const, terms=kept)
+
+    def __add__(self, other: "Poly") -> "Poly":
+        terms = dict(self.terms)
+        for mono, coeff in other.terms:
+            terms[mono] = terms.get(mono, 0) + coeff
+        return Poly._norm(self.const + other.const, terms)
+
+    def __sub__(self, other: "Poly") -> "Poly":
+        return self + (-other)
+
+    def __neg__(self) -> "Poly":
+        return Poly(const=-self.const, terms=tuple((m, -c) for m, c in self.terms))
+
+    def __mul__(self, other: "Poly") -> "Poly":
+        terms: dict[tuple[str, ...], int] = {}
+        if other.const:
+            for mono, coeff in self.terms:
+                terms[mono] = terms.get(mono, 0) + coeff * other.const
+        if self.const:
+            for mono, coeff in other.terms:
+                terms[mono] = terms.get(mono, 0) + coeff * self.const
+        for m1, c1 in self.terms:
+            for m2, c2 in other.terms:
+                mono = tuple(sorted(m1 + m2))
+                terms[mono] = terms.get(mono, 0) + c1 * c2
+        return Poly._norm(self.const * other.const, terms)
+
+    @property
+    def as_const(self) -> int | None:
+        return self.const if not self.terms else None
+
+    def is_provably_positive(self) -> bool:
+        """True when the value is > 0 whenever every symbol is ≥ 1."""
+        if self.const < 0 or any(c < 0 for _, c in self.terms):
+            return False
+        return self.const > 0 or any(c > 0 for _, c in self.terms)
+
+    def render(self) -> str:
+        parts: list[str] = []
+        for mono, coeff in self.terms:
+            body = "*".join(mono)
+            parts.append(body if coeff == 1 else f"{coeff}*{body}")
+        if self.const or not parts:
+            parts.append(str(self.const))
+        return "+".join(parts)
+
+
+def provably_ne(a: Poly, b: Poly) -> bool:
+    """True only when ``a != b`` is certain under positive dims."""
+    diff = a - b
+    return diff.is_provably_positive() or (-diff).is_provably_positive()
+
+
+# ---------------------------------------------------------------------------
+# dtype tokens
+
+_NP_DTYPE_ATTRS = {
+    "float16",
+    "float32",
+    "float64",
+    "int8",
+    "int16",
+    "int32",
+    "int64",
+    "uint8",
+    "intp",
+    "bool_",
+    "complex64",
+    "complex128",
+}
+_CONCRETE_FLOATS = {"float16", "float32", "float64"}
+
+
+def _both_concrete_floats(a: str | None, b: str | None) -> bool:
+    return a in _CONCRETE_FLOATS and b in _CONCRETE_FLOATS
+
+
+# ---------------------------------------------------------------------------
+# abstract values
+
+
+_EMPTY_ROOTS: frozenset[str] = frozenset()
+
+
+@dataclass(frozen=True)
+class AValue:
+    """One abstract value: array facets + scalar polynomial + tuple."""
+
+    shape: tuple[Poly, ...] | None = None
+    dtype: str | None = None
+    roots: frozenset[str] = _EMPTY_ROOTS
+    poly: Poly | None = None
+    tup: "tuple[AValue, ...] | None" = None
+
+    def all_roots(self) -> frozenset[str]:
+        roots = self.roots
+        if self.tup:
+            for elt in self.tup:
+                roots = roots | elt.all_roots()
+        return roots
+
+
+def _join(a: AValue, b: AValue, fresh: "_SymGen") -> AValue:
+    if a is b or a == b:
+        return a
+    shape: tuple[Poly, ...] | None = None
+    if a.shape is not None and b.shape is not None and len(a.shape) == len(b.shape):
+        shape = tuple(
+            da if da == db else fresh.sym() for da, db in zip(a.shape, b.shape)
+        )
+    dtype = a.dtype if a.dtype == b.dtype else None
+    poly = a.poly if a.poly == b.poly else None
+    tup: tuple[AValue, ...] | None = None
+    if a.tup is not None and b.tup is not None and len(a.tup) == len(b.tup):
+        tup = tuple(_join(x, y, fresh) for x, y in zip(a.tup, b.tup))
+    return AValue(shape=shape, dtype=dtype, roots=a.roots | b.roots, poly=poly, tup=tup)
+
+
+class _SymGen:
+    """Deterministic fresh-symbol source (site-keyed, run-stable)."""
+
+    def __init__(self, tag: str) -> None:
+        self._tag = tag
+        self._n = 0
+
+    def sym(self) -> Poly:
+        self._n += 1
+        return Poly.sym(f"?{self._tag}.{self._n}")
+
+
+# ---------------------------------------------------------------------------
+# facts
+
+
+@dataclass
+class FunctionFacts:
+    """Everything the interpreter proved about one function body."""
+
+    qualname: str
+    node: ast.AST
+    shape_findings: list[tuple[ast.AST, str]] = field(default_factory=list)
+    dtype_findings: list[tuple[ast.AST, str]] = field(default_factory=list)
+    alias_findings: list[tuple[ast.AST, str]] = field(default_factory=list)
+    #: (node, kind, root, detail); kind in {returned, stored-on-self,
+    #: captured, stored-in-container}
+    escapes: list[tuple[ast.AST, str, str, str]] = field(default_factory=list)
+    #: (node, roots, how)
+    mutations: list[tuple[ast.AST, frozenset[str], str]] = field(default_factory=list)
+
+    def effect_summary(self) -> tuple[str, ...]:
+        """Human-readable ``mutates:`` entries, sorted and deduped."""
+        out: set[str] = set()
+        for _node, roots, _how in self.mutations:
+            for root in roots:
+                if root.startswith("param:"):
+                    out.add(root.split(":", 1)[1])
+                elif root.startswith("self."):
+                    out.add(root)
+                elif root.startswith("buf:"):
+                    out.add(f"scratch({root.split(':', 1)[1]})")
+        return tuple(sorted(out))
+
+
+@dataclass
+class ModuleFacts:
+    functions: list[FunctionFacts] = field(default_factory=list)
+
+
+# ---------------------------------------------------------------------------
+# effect-contract annotations
+
+_MUTATES_RE = re.compile(r"#\s*a4nn:\s*mutates\(([^)]*)\)(?:\s*--\s*(\S.*))?")
+
+
+def declared_mutations(module: ModuleContext, func_node: ast.AST) -> dict[str, str]:
+    """``# a4nn: mutates(name, ...) -- reason`` comments inside a function.
+
+    Returns parameter name → justification.  These are the explicit
+    in-place contracts EFF001 honours instead of flagging.
+    """
+    start = getattr(func_node, "lineno", 0)
+    end = getattr(func_node, "end_lineno", start)
+    declared: dict[str, str] = {}
+    for line, _col, text in module.comments():
+        if not start <= line <= end:
+            continue
+        match = _MUTATES_RE.search(text)
+        if match is None:
+            continue
+        reason = (match.group(2) or "").strip()
+        for name in match.group(1).split(","):
+            name = name.strip()
+            if name:
+                declared[name] = reason
+    return declared
+
+
+# ---------------------------------------------------------------------------
+# numpy call classification
+
+#: ufuncs whose out= may alias an input operand (elementwise semantics
+#: make the overlap well-defined).
+SAFE_OUT_UFUNCS = {
+    "abs",
+    "absolute",
+    "add",
+    "arctan",
+    "clip",
+    "copysign",
+    "copyto",
+    "cos",
+    "divide",
+    "equal",
+    "exp",
+    "floor_divide",
+    "greater",
+    "greater_equal",
+    "less",
+    "less_equal",
+    "log",
+    "logical_and",
+    "logical_not",
+    "logical_or",
+    "maximum",
+    "minimum",
+    "mod",
+    "multiply",
+    "negative",
+    "not_equal",
+    "power",
+    "remainder",
+    "sign",
+    "sin",
+    "sqrt",
+    "square",
+    "subtract",
+    "tanh",
+    "true_divide",
+    "where",
+}
+
+#: calls where out= aliasing a read operand is undefined behaviour —
+#: the kernel reads operands non-elementwise while writing out.
+UNSAFE_OUT_CALLS = {
+    "amax",
+    "amin",
+    "argmax",
+    "argmin",
+    "cross",
+    "cumprod",
+    "cumsum",
+    "dot",
+    "einsum",
+    "inner",
+    "matmul",
+    "max",
+    "mean",
+    "median",
+    "min",
+    "outer",
+    "prod",
+    "std",
+    "sum",
+    "take",
+    "tensordot",
+    "var",
+}
+
+_ALLOCATORS = {"arange", "empty", "full", "ones", "zeros"}
+_ALLOCATOR_LIKES = {"empty_like", "full_like", "ones_like", "zeros_like"}
+_REDUCTIONS = {
+    "amax",
+    "amin",
+    "argmax",
+    "argmin",
+    "max",
+    "mean",
+    "median",
+    "min",
+    "prod",
+    "std",
+    "sum",
+    "var",
+}
+_VIEW_CALLS = {
+    "ascontiguousarray",
+    "asarray",
+    "atleast_2d",
+    "broadcast_to",
+    "ravel",
+    "sliding_window_view",
+    "squeeze",
+}
+
+
+def _dotted(node: ast.AST) -> str | None:
+    parts: list[str] = []
+    while isinstance(node, ast.Attribute):
+        parts.append(node.attr)
+        node = node.value
+    if isinstance(node, ast.Name):
+        parts.append(node.id)
+        return ".".join(reversed(parts))
+    return None
+
+
+# ---------------------------------------------------------------------------
+# the interpreter
+
+
+class TensorInterp:
+    """Abstractly execute one function body and record facts."""
+
+    def __init__(
+        self,
+        module: ModuleContext,
+        func_node: ast.FunctionDef | ast.AsyncFunctionDef,
+        *,
+        qualname: str,
+        symbols=None,
+        np_names: frozenset[str] = frozenset({"np", "numpy"}),
+    ) -> None:
+        self.module = module
+        self.func = func_node
+        self.symbols = symbols
+        self.np_names = np_names
+        self.facts = FunctionFacts(qualname=qualname, node=func_node)
+        self._fresh = _SymGen(f"{func_node.lineno}")
+        self.param_names: list[str] = []
+
+    # -- entry ----------------------------------------------------------
+
+    def run(self) -> FunctionFacts:
+        env: dict[str, AValue] = {}
+        args = self.func.args
+        every = [
+            *args.posonlyargs,
+            *args.args,
+            *args.kwonlyargs,
+        ]
+        for i, arg in enumerate(every):
+            name = arg.arg
+            if i == 0 and name in {"self", "cls"}:
+                env[name] = AValue()
+                continue
+            self.param_names.append(name)
+            env[name] = AValue(
+                roots=frozenset({f"param:{name}"}),
+                dtype=f"~{name}.dtype",
+                poly=Poly.sym(name),
+            )
+        for extra in (args.vararg, args.kwarg):
+            if extra is not None:
+                env[extra.arg] = AValue(roots=frozenset({f"param:{extra.arg}"}))
+                self.param_names.append(extra.arg)
+        self._exec_block(self.func.body, env)
+        return self.facts
+
+    # -- statements -----------------------------------------------------
+
+    def _exec_block(self, stmts: list[ast.stmt], env: dict[str, AValue]) -> None:
+        for stmt in stmts:
+            self._exec_stmt(stmt, env)
+
+    def _join_envs(
+        self, base: dict[str, AValue], *branches: dict[str, AValue]
+    ) -> dict[str, AValue]:
+        names: set[str] = set()
+        for branch in branches:
+            names.update(branch)
+        joined: dict[str, AValue] = {}
+        for name in names:
+            avs = [b[name] for b in branches if name in b]
+            if len(avs) < len(branches):
+                avs.append(base.get(name, AValue()))
+            acc = avs[0]
+            for av in avs[1:]:
+                acc = _join(acc, av, self._fresh)
+            joined[name] = acc
+        return joined
+
+    def _exec_stmt(self, stmt: ast.stmt, env: dict[str, AValue]) -> None:
+        if isinstance(stmt, ast.Assign):
+            self._exec_assign(stmt, env)
+        elif isinstance(stmt, ast.AnnAssign):
+            if stmt.value is not None:
+                av = self._eval(stmt.value, env)
+                self._assign_target(stmt.target, av, stmt, env)
+        elif isinstance(stmt, ast.AugAssign):
+            self._exec_augassign(stmt, env)
+        elif isinstance(stmt, ast.Expr):
+            self._eval(stmt.value, env)
+        elif isinstance(stmt, ast.Return):
+            if stmt.value is not None:
+                av = self._eval(stmt.value, env)
+                for root in sorted(av.all_roots()):
+                    if root.startswith("buf:"):
+                        self.facts.escapes.append(
+                            (stmt, "returned", root, self.func.name)
+                        )
+        elif isinstance(stmt, ast.If):
+            then_env = dict(env)
+            else_env = dict(env)
+            self._eval(stmt.test, env)
+            self._exec_block(stmt.body, then_env)
+            self._exec_block(stmt.orelse, else_env)
+            joined = self._join_envs(env, then_env, else_env)
+            env.clear()
+            env.update(joined)
+        elif isinstance(stmt, (ast.For, ast.AsyncFor)):
+            self._exec_for(stmt, env)
+        elif isinstance(stmt, ast.While):
+            self._eval(stmt.test, env)
+            body_env = dict(env)
+            self._exec_block(stmt.body, body_env)
+            self._exec_block(stmt.orelse, body_env)
+            env.update(self._join_envs(env, dict(env), body_env))
+        elif isinstance(stmt, (ast.With, ast.AsyncWith)):
+            for item in stmt.items:
+                ctx = self._eval(item.context_expr, env)
+                if item.optional_vars is not None:
+                    self._assign_target(
+                        item.optional_vars, AValue(roots=ctx.roots), stmt, env
+                    )
+            self._exec_block(stmt.body, env)
+        elif isinstance(stmt, ast.Try):
+            body_env = dict(env)
+            self._exec_block(stmt.body, body_env)
+            branch_envs = [body_env]
+            for handler in stmt.handlers:
+                h_env = dict(env)
+                self._exec_block(handler.body, h_env)
+                branch_envs.append(h_env)
+            else_env = dict(body_env)
+            self._exec_block(stmt.orelse, else_env)
+            branch_envs.append(else_env)
+            env.update(self._join_envs(env, *branch_envs))
+            self._exec_block(stmt.finalbody, env)
+        elif isinstance(stmt, (ast.FunctionDef, ast.AsyncFunctionDef)):
+            self._scan_captures(stmt, env)
+        elif isinstance(stmt, (ast.Assert, ast.Raise)):
+            for child in ast.iter_child_nodes(stmt):
+                if isinstance(child, ast.expr):
+                    self._eval(child, env)
+        elif isinstance(stmt, ast.Delete):
+            for target in stmt.targets:
+                if isinstance(target, ast.Name):
+                    env.pop(target.id, None)
+        # Pass / Break / Continue / Global / Import / class defs: no-op
+
+    def _exec_assign(self, stmt: ast.Assign, env: dict[str, AValue]) -> None:
+        # special case: `n, c, h, w = x.shape` binds dim symbols and
+        # back-patches x's shape so later reshape checks can use it
+        value = stmt.value
+        if (
+            isinstance(value, ast.Attribute)
+            and value.attr == "shape"
+            and len(stmt.targets) == 1
+            and isinstance(stmt.targets[0], (ast.Tuple, ast.List))
+            and all(isinstance(e, ast.Name) for e in stmt.targets[0].elts)
+        ):
+            base_av = self._eval(value.value, env)
+            elts = stmt.targets[0].elts
+            if base_av.shape is not None and len(base_av.shape) == len(elts):
+                dims = base_av.shape
+            else:
+                chain = _dotted(value.value) or f"?{value.lineno}:{value.col_offset}"
+                dims = tuple(Poly.sym(f"{chain}.{i}") for i in range(len(elts)))
+                if isinstance(value.value, ast.Name):
+                    env[value.value.id] = replace(base_av, shape=dims)
+            for elt, dim in zip(elts, dims):
+                env[elt.id] = AValue(poly=dim)
+            return
+        av = self._eval(value, env)
+        for target in stmt.targets:
+            self._assign_target(target, av, stmt, env, value_node=value)
+
+    def _assign_target(
+        self,
+        target: ast.expr,
+        av: AValue,
+        stmt: ast.stmt,
+        env: dict[str, AValue],
+        *,
+        value_node: ast.expr | None = None,
+    ) -> None:
+        if isinstance(target, ast.Name):
+            env[target.id] = av
+        elif isinstance(target, (ast.Tuple, ast.List)):
+            self._unpack_tuple(target, av, stmt, env, value_node)
+        elif isinstance(target, ast.Starred):
+            self._assign_target(target.value, av, stmt, env)
+        elif isinstance(target, ast.Attribute):
+            base_av = self._eval(target.value, env)
+            escaped = sorted(
+                r for r in av.all_roots() if r.startswith("buf:")
+            )
+            for root in escaped:
+                self.facts.escapes.append(
+                    (stmt, "stored-on-self", root, target.attr)
+                )
+            if base_av.roots:
+                self.facts.mutations.append(
+                    (stmt, base_av.roots, f"attribute store .{target.attr}")
+                )
+        elif isinstance(target, ast.Subscript):
+            base_av = self._eval(target.value, env)
+            self._eval(target.slice, env)
+            if base_av.roots:
+                self.facts.mutations.append(
+                    (stmt, base_av.roots, "subscript store")
+                )
+            if any(r.startswith("self.") for r in base_av.roots):
+                for root in sorted(av.all_roots()):
+                    if root.startswith("buf:"):
+                        self.facts.escapes.append(
+                            (stmt, "stored-in-container", root, "subscript")
+                        )
+
+    def _unpack_tuple(
+        self,
+        target: ast.Tuple | ast.List,
+        av: AValue,
+        stmt: ast.stmt,
+        env: dict[str, AValue],
+        value_node: ast.expr | None,
+    ) -> None:
+        elts = target.elts
+        starred = [i for i, e in enumerate(elts) if isinstance(e, ast.Starred)]
+        if av.tup is not None and not starred and len(av.tup) == len(elts):
+            for elt, item in zip(elts, av.tup):
+                self._assign_target(elt, item, stmt, env)
+            return
+        if av.tup is not None and len(starred) == 1 and len(av.tup) >= len(elts) - 1:
+            s = starred[0]
+            n_tail = len(elts) - s - 1
+            for elt, item in zip(elts[:s], av.tup[:s]):
+                self._assign_target(elt, item, stmt, env)
+            middle = av.tup[s : len(av.tup) - n_tail]
+            mid_av = AValue(tup=middle) if middle else AValue()
+            self._assign_target(elts[s], mid_av, stmt, env)
+            if n_tail:
+                for elt, item in zip(elts[s + 1 :], av.tup[-n_tail:]):
+                    self._assign_target(elt, item, stmt, env)
+            return
+        # opaque source: every bound name may view the source's storage
+        chain = (
+            _dotted(value_node)
+            if value_node is not None
+            else None
+        ) or f"?{getattr(stmt, 'lineno', 0)}"
+        for i, elt in enumerate(elts):
+            item = AValue(roots=av.roots, poly=Poly.sym(f"{chain}.{i}"))
+            self._assign_target(elt, item, stmt, env)
+
+    def _exec_augassign(self, stmt: ast.AugAssign, env: dict[str, AValue]) -> None:
+        self._eval(stmt.value, env)
+        target = stmt.target
+        if isinstance(target, ast.Name):
+            current = env.get(target.id, AValue())
+            if current.roots:
+                self.facts.mutations.append(
+                    (stmt, current.roots, "augmented assignment")
+                )
+            # scalar bookkeeping: drop the stale polynomial, keep storage
+            env[target.id] = replace(current, poly=None)
+        elif isinstance(target, ast.Attribute):
+            base_av = self._eval(target.value, env)
+            if base_av.roots:
+                self.facts.mutations.append(
+                    (stmt, base_av.roots, f"augmented assignment .{target.attr}")
+                )
+        elif isinstance(target, ast.Subscript):
+            base_av = self._eval(target.value, env)
+            self._eval(target.slice, env)
+            if base_av.roots:
+                self.facts.mutations.append(
+                    (stmt, base_av.roots, "augmented subscript store")
+                )
+
+    def _exec_for(self, stmt: ast.For | ast.AsyncFor, env: dict[str, AValue]) -> None:
+        iter_node = stmt.iter
+        target_av = AValue()
+        if (
+            isinstance(iter_node, ast.Call)
+            and isinstance(iter_node.func, ast.Name)
+            and iter_node.func.id in {"range", "enumerate", "reversed", "sorted", "zip"}
+        ):
+            for arg in iter_node.args:
+                self._eval(arg, env)
+            if iter_node.func.id == "range" and isinstance(stmt.target, ast.Name):
+                env[stmt.target.id] = AValue(poly=Poly.sym(stmt.target.id))
+                target_av = None  # handled
+        elif isinstance(iter_node, ast.Call) and isinstance(
+            iter_node.func, ast.Attribute
+        ):
+            # iterating a method call on a rooted object hands out views
+            # of that object's storage (`for _, p in net.parameters()`)
+            base_av = self._eval(iter_node.func.value, env)
+            for arg in iter_node.args:
+                self._eval(arg, env)
+            target_av = AValue(roots=base_av.roots)
+        else:
+            it = self._eval(iter_node, env)
+            target_av = AValue(roots=it.roots)
+        if target_av is not None:
+            if isinstance(stmt.target, (ast.Tuple, ast.List)):
+                for elt in stmt.target.elts:
+                    self._assign_target(elt, AValue(roots=target_av.roots), stmt, env)
+            else:
+                self._assign_target(stmt.target, target_av, stmt, env)
+        body_env = dict(env)
+        self._exec_block(stmt.body, body_env)
+        self._exec_block(stmt.orelse, body_env)
+        env.update(self._join_envs(env, dict(env), body_env))
+
+    # -- captures -------------------------------------------------------
+
+    def _scan_captures(self, node: ast.AST, env: dict[str, AValue]) -> None:
+        """Flag arena scratch captured by a nested function/lambda/genexp."""
+        seen: set[str] = set()
+        for sub in ast.walk(node):
+            if isinstance(sub, ast.Name) and isinstance(sub.ctx, ast.Load):
+                av = env.get(sub.id)
+                if av is None or sub.id in seen:
+                    continue
+                for root in sorted(av.all_roots()):
+                    if root.startswith("buf:"):
+                        seen.add(sub.id)
+                        self.facts.escapes.append(
+                            (node, "captured", root, sub.id)
+                        )
+
+    # -- expressions ----------------------------------------------------
+
+    def _eval(self, node: ast.expr, env: dict[str, AValue]) -> AValue:
+        if isinstance(node, ast.Constant):
+            if isinstance(node.value, bool):
+                return AValue()
+            if isinstance(node.value, int):
+                return AValue(poly=Poly.of(node.value))
+            return AValue()
+        if isinstance(node, ast.Name):
+            return env.get(node.id, AValue())
+        if isinstance(node, ast.Attribute):
+            return self._eval_attribute(node, env)
+        if isinstance(node, ast.BinOp):
+            return self._eval_binop(node, env)
+        if isinstance(node, ast.UnaryOp):
+            operand = self._eval(node.operand, env)
+            if isinstance(node.op, ast.USub) and operand.poly is not None:
+                return replace(operand, poly=-operand.poly)
+            return operand
+        if isinstance(node, ast.Compare):
+            self._eval(node.left, env)
+            for comp in node.comparators:
+                self._eval(comp, env)
+            return AValue(dtype="bool_")
+        if isinstance(node, ast.BoolOp):
+            avs = [self._eval(v, env) for v in node.values]
+            acc = avs[0]
+            for av in avs[1:]:
+                acc = _join(acc, av, self._fresh)
+            return acc
+        if isinstance(node, ast.IfExp):
+            self._eval(node.test, env)
+            return _join(
+                self._eval(node.body, env), self._eval(node.orelse, env), self._fresh
+            )
+        if isinstance(node, (ast.Tuple, ast.List)):
+            return AValue(tup=tuple(self._eval(e, env) for e in node.elts))
+        if isinstance(node, ast.Starred):
+            return self._eval(node.value, env)
+        if isinstance(node, ast.Subscript):
+            return self._eval_subscript(node, env)
+        if isinstance(node, ast.Call):
+            return self._eval_call(node, env)
+        if isinstance(node, (ast.Lambda, ast.GeneratorExp)):
+            self._scan_captures(node, env)
+            return AValue()
+        if isinstance(node, (ast.ListComp, ast.SetComp, ast.DictComp)):
+            for gen in node.generators:
+                self._eval(gen.iter, env)
+            return AValue()
+        if isinstance(node, ast.JoinedStr):
+            return AValue()
+        if isinstance(node, ast.Slice):
+            for part in (node.lower, node.upper, node.step):
+                if part is not None:
+                    self._eval(part, env)
+            return AValue()
+        if isinstance(node, ast.Dict):
+            for key in node.keys:
+                if key is not None:
+                    self._eval(key, env)
+            for value in node.values:
+                self._eval(value, env)
+            return AValue()
+        if isinstance(node, ast.NamedExpr):
+            av = self._eval(node.value, env)
+            self._assign_target(node.target, av, node, env)  # type: ignore[arg-type]
+            return av
+        return AValue()
+
+    def _eval_attribute(self, node: ast.Attribute, env: dict[str, AValue]) -> AValue:
+        chain = _dotted(node)
+        attr = node.attr
+        # numpy dtype literals: np.float32 and friends
+        if chain is not None:
+            head, _, tail = chain.partition(".")
+            if (head in self.np_names) and tail in _NP_DTYPE_ATTRS:
+                return AValue(dtype=tail.rstrip("_"))
+        base = self._eval(node.value, env)
+        if attr == "T":
+            shape = tuple(reversed(base.shape)) if base.shape is not None else None
+            return replace(base, shape=shape, poly=None, tup=None)
+        if attr == "shape":
+            if base.shape is not None:
+                return AValue(tup=tuple(AValue(poly=d) for d in base.shape))
+            return AValue(poly=None)
+        if attr == "dtype":
+            token = base.dtype
+            if token is None and chain is not None:
+                token = f"~{chain}"
+            return AValue(dtype=token)
+        if attr == "size":
+            if base.shape is not None:
+                numel = Poly.of(1)
+                for dim in base.shape:
+                    numel = numel * dim
+                return AValue(poly=numel)
+            return AValue()
+        if isinstance(node.value, ast.Name) and node.value.id == "self":
+            return AValue(
+                roots=frozenset({f"self.{attr}"}),
+                poly=Poly.sym(f"self.{attr}"),
+            )
+        # generic attribute access keeps the base's storage roots
+        poly = Poly.sym(chain) if chain is not None else None
+        return AValue(roots=base.roots, poly=poly)
+
+    def _eval_binop(self, node: ast.BinOp, env: dict[str, AValue]) -> AValue:
+        left = self._eval(node.left, env)
+        right = self._eval(node.right, env)
+        if isinstance(node.op, ast.MatMult):
+            return self._matmul(node, left, right, None, env)
+        # tuple concatenation: (n,) + shape
+        if isinstance(node.op, ast.Add) and left.tup is not None and right.tup is not None:
+            return AValue(tup=left.tup + right.tup)
+        poly: Poly | None = None
+        if left.poly is not None and right.poly is not None:
+            if isinstance(node.op, ast.Add):
+                poly = left.poly + right.poly
+            elif isinstance(node.op, ast.Sub):
+                poly = left.poly - right.poly
+            elif isinstance(node.op, ast.Mult):
+                poly = left.poly * right.poly
+            elif isinstance(node.op, ast.Pow):
+                exp = right.poly.as_const
+                if exp is not None and 0 <= exp <= 4:
+                    poly = Poly.of(1)
+                    for _ in range(exp):
+                        poly = poly * left.poly
+            elif isinstance(node.op, (ast.FloorDiv, ast.Mod, ast.Div)):
+                op = {ast.FloorDiv: "//", ast.Mod: "%", ast.Div: "/"}[type(node.op)]
+                poly = Poly.sym(f"({left.poly.render()}{op}{right.poly.render()})")
+        shape: tuple[Poly, ...] | None = None
+        if left.shape is not None or right.shape is not None:
+            shape = self._broadcast(node, left.shape, right.shape)
+        dtype: str | None = None
+        if left.dtype is not None or right.dtype is not None:
+            if left.dtype == right.dtype:
+                dtype = left.dtype
+            elif _both_concrete_floats(left.dtype, right.dtype):
+                self.facts.dtype_findings.append(
+                    (
+                        node,
+                        f"mixed-precision arithmetic: {left.dtype} and "
+                        f"{right.dtype} operands (result silently widens)",
+                    )
+                )
+                dtype = "float64" if "float64" in (left.dtype, right.dtype) else None
+        return AValue(shape=shape, dtype=dtype, poly=poly)
+
+    def _broadcast(
+        self,
+        node: ast.AST,
+        a: tuple[Poly, ...] | None,
+        b: tuple[Poly, ...] | None,
+    ) -> tuple[Poly, ...] | None:
+        if a is None or b is None:
+            return a if a is not None else b
+        out: list[Poly] = []
+        la, lb = len(a), len(b)
+        for i in range(max(la, lb)):
+            da = a[la - 1 - i] if i < la else None
+            db = b[lb - 1 - i] if i < lb else None
+            if da is None:
+                out.append(db)  # type: ignore[arg-type]
+            elif db is None:
+                out.append(da)
+            elif da == db:
+                out.append(da)
+            else:
+                ca, cb = da.as_const, db.as_const
+                if ca == 1:
+                    out.append(db)
+                elif cb == 1:
+                    out.append(da)
+                elif ca is not None and cb is not None:
+                    self.facts.shape_findings.append(
+                        (
+                            node,
+                            f"broadcast mismatch: dimension {ca} vs {cb} "
+                            "cannot broadcast",
+                        )
+                    )
+                    out.append(da)
+                else:
+                    out.append(self._fresh.sym())
+        return tuple(reversed(out))
+
+    def _eval_subscript(self, node: ast.Subscript, env: dict[str, AValue]) -> AValue:
+        base = self._eval(node.value, env)
+        idx = node.slice
+        if base.tup is not None:
+            if isinstance(idx, ast.Constant) and isinstance(idx.value, int):
+                i = idx.value
+                if -len(base.tup) <= i < len(base.tup):
+                    return base.tup[i]
+                return AValue()
+            if isinstance(idx, ast.UnaryOp) and isinstance(idx.op, ast.USub):
+                inner = idx.operand
+                if isinstance(inner, ast.Constant) and isinstance(inner.value, int):
+                    i = -inner.value
+                    if -len(base.tup) <= i < 0:
+                        return base.tup[i]
+                return AValue()
+            if isinstance(idx, ast.Slice):
+                lo = idx.lower.value if isinstance(idx.lower, ast.Constant) else None
+                hi = idx.upper.value if isinstance(idx.upper, ast.Constant) else None
+                if idx.step is None:
+                    return AValue(tup=base.tup[slice(lo, hi)])
+            return AValue()
+        self._eval(idx, env)
+        # array indexing returns a view of the same storage
+        return AValue(roots=base.roots, dtype=base.dtype)
+
+    # -- calls ----------------------------------------------------------
+
+    def _np_tail(self, chain: str) -> str | None:
+        head, _, tail = chain.partition(".")
+        if head in self.np_names:
+            return tail or None
+        if self.symbols is not None:
+            resolved = self.symbols.resolve(chain)
+            if resolved is not None and resolved.startswith("numpy."):
+                return resolved[len("numpy.") :] or None
+        return None
+
+    def _eval_call(self, node: ast.Call, env: dict[str, AValue]) -> AValue:
+        for arg in node.args:
+            if isinstance(arg, (ast.Lambda, ast.GeneratorExp)):
+                self._scan_captures(arg, env)
+        for kw in node.keywords:
+            if isinstance(kw.value, (ast.Lambda, ast.GeneratorExp)):
+                self._scan_captures(kw.value, env)
+        func = node.func
+        if isinstance(func, ast.Attribute):
+            chain = _dotted(func)
+            if chain is not None:
+                tail = self._np_tail(chain)
+                if tail is not None:
+                    return self._eval_numpy(tail, node, env)
+                if func.attr == "_buf" and isinstance(func.value, ast.Name):
+                    return self._eval_buf(node, env, owner=None)
+                if func.attr == "buffer" and len(node.args) >= 3:
+                    return self._eval_arena_buffer(node, env)
+            base = self._eval(func.value, env)
+            return self._eval_method(func.attr, base, node, env)
+        if isinstance(func, ast.Name):
+            return self._eval_name_call(func.id, node, env)
+        self._eval(func, env)
+        for arg in node.args:
+            self._eval(arg, env)
+        for kw in node.keywords:
+            self._eval(kw.value, env)
+        return AValue()
+
+    # arena allocation ---------------------------------------------------
+
+    def _buf_token(self, arg: ast.expr) -> str:
+        if isinstance(arg, ast.Constant) and isinstance(arg.value, str):
+            return arg.value
+        return f"?{arg.lineno}:{arg.col_offset}"
+
+    def _eval_buf(
+        self, node: ast.Call, env: dict[str, AValue], *, owner: str | None
+    ) -> AValue:
+        args = node.args
+        if not args:
+            return AValue()
+        name = self._buf_token(args[0])
+        root = f"buf:{owner}:{name}" if owner else f"buf:{name}"
+        shape = self._shape_from_arg(args[1], env) if len(args) > 1 else None
+        dtype = None
+        if len(args) > 2:
+            dtype = self._dtype_from_arg(args[2], env)
+        for kw in node.keywords:
+            if kw.arg == "dtype":
+                dtype = self._dtype_from_arg(kw.value, env)
+        if dtype is None:
+            dtype = "~self.dtype"
+        return AValue(shape=shape, dtype=dtype, roots=frozenset({root}))
+
+    def _eval_arena_buffer(self, node: ast.Call, env: dict[str, AValue]) -> AValue:
+        owner = self._buf_token(node.args[0])
+        inner = ast.Call(
+            func=node.func,
+            args=node.args[1:],
+            keywords=node.keywords,
+        )
+        ast.copy_location(inner, node)
+        return self._eval_buf(inner, env, owner=owner)
+
+    def _shape_from_arg(
+        self, arg: ast.expr, env: dict[str, AValue]
+    ) -> tuple[Poly, ...] | None:
+        if isinstance(arg, (ast.Tuple, ast.List)):
+            return tuple(self._dim_poly(e, env) for e in arg.elts)
+        av = self._eval(arg, env)
+        if av.tup is not None:
+            return tuple(
+                e.poly if e.poly is not None else self._fresh.sym() for e in av.tup
+            )
+        return None
+
+    def _dim_poly(self, expr: ast.expr, env: dict[str, AValue]) -> Poly:
+        av = self._eval(expr, env)
+        if av.poly is not None:
+            return av.poly
+        return Poly.sym(f"?{expr.lineno}:{expr.col_offset}")
+
+    def _dtype_from_arg(self, arg: ast.expr, env: dict[str, AValue]) -> str | None:
+        chain = _dotted(arg)
+        if chain is not None:
+            head, _, tail = chain.partition(".")
+            if head in self.np_names and tail in _NP_DTYPE_ATTRS:
+                return tail.rstrip("_")
+            av = self._eval(arg, env)
+            if av.dtype is not None:
+                return av.dtype
+            return f"~{chain}"
+        if isinstance(arg, ast.Constant) and isinstance(arg.value, str):
+            return arg.value
+        av = self._eval(arg, env)
+        return av.dtype
+
+    # numpy ---------------------------------------------------------------
+
+    def _kw(self, node: ast.Call, name: str) -> ast.expr | None:
+        for kw in node.keywords:
+            if kw.arg == name:
+                return kw.value
+        return None
+
+    def _record_mutation(
+        self, node: ast.AST, roots: frozenset[str], how: str
+    ) -> None:
+        if roots:
+            self.facts.mutations.append((node, roots, how))
+
+    def _handle_out(
+        self,
+        node: ast.Call,
+        env: dict[str, AValue],
+        operands: list[AValue],
+        *,
+        safe: bool,
+        result_shape: tuple[Poly, ...] | None,
+        result_dtype: str | None,
+        what: str,
+    ) -> None:
+        out_node = self._kw(node, "out")
+        if out_node is None:
+            return
+        out_av = self._eval(out_node, env)
+        self._record_mutation(node, out_av.roots, f"out= of {what}")
+        if not safe:
+            for operand in operands:
+                overlap = out_av.roots & operand.roots
+                if overlap:
+                    self.facts.alias_findings.append(
+                        (
+                            node,
+                            f"out= target of {what} may alias read operand "
+                            f"(shared storage: {', '.join(sorted(overlap))}); "
+                            f"{what} reads operands non-elementwise while "
+                            "writing out, so overlap corrupts the result",
+                        )
+                    )
+                    break
+        if (
+            result_shape is not None
+            and out_av.shape is not None
+            and len(result_shape) == len(out_av.shape)
+        ):
+            for i, (want, have) in enumerate(zip(result_shape, out_av.shape)):
+                if provably_ne(want, have):
+                    self.facts.shape_findings.append(
+                        (
+                            node,
+                            f"out= buffer of {what} has dimension {i} = "
+                            f"{have.render()} but the result needs "
+                            f"{want.render()}",
+                        )
+                    )
+                    break
+        if _both_concrete_floats(result_dtype, out_av.dtype) and (
+            result_dtype != out_av.dtype
+        ):
+            self.facts.dtype_findings.append(
+                (
+                    node,
+                    f"out= buffer of {what} is {out_av.dtype} but the result "
+                    f"dtype is {result_dtype}: silent "
+                    + ("narrowing" if out_av.dtype == "float32" else "widening")
+                    + " outside the nn/dtype policy seam",
+                )
+            )
+
+    def _eval_numpy(
+        self, tail: str, node: ast.Call, env: dict[str, AValue]
+    ) -> AValue:
+        if tail.endswith(".at"):
+            # ufunc.at(target, idx[, value]) mutates target in place
+            avs = [self._eval(a, env) for a in node.args]
+            if avs:
+                self._record_mutation(node, avs[0].roots, f"np.{tail}")
+            return AValue()
+        name = tail.rsplit(".", 1)[-1]
+        if name in _ALLOCATORS:
+            return self._numpy_alloc(name, node, env)
+        if name in _ALLOCATOR_LIKES:
+            return self._numpy_alloc_like(node, env)
+        if name in {"matmul", "dot"}:
+            left = self._eval(node.args[0], env) if node.args else AValue()
+            right = self._eval(node.args[1], env) if len(node.args) > 1 else AValue()
+            return self._matmul(node, left, right, node, env)
+        if name == "einsum":
+            return self._einsum(node, env)
+        if name in _REDUCTIONS:
+            return self._reduction(name, node, env)
+        if name in {"cumsum", "cumprod"}:
+            src = self._eval(node.args[0], env) if node.args else AValue()
+            self._handle_out(
+                node, env, [src], safe=False,
+                result_shape=src.shape, result_dtype=src.dtype, what=f"np.{name}",
+            )
+            for kw in node.keywords:
+                if kw.arg != "out":
+                    self._eval(kw.value, env)
+            return AValue(shape=src.shape, dtype=src.dtype)
+        if name == "copyto":
+            return self._copyto(node, env)
+        if name == "take":
+            src = self._eval(node.args[0], env) if node.args else AValue()
+            for arg in node.args[1:]:
+                self._eval(arg, env)
+            self._handle_out(
+                node, env, [src], safe=False,
+                result_shape=None, result_dtype=src.dtype, what="np.take",
+            )
+            return AValue(dtype=src.dtype)
+        if name in _VIEW_CALLS:
+            src = self._eval(node.args[0], env) if node.args else AValue()
+            for arg in node.args[1:]:
+                self._eval(arg, env)
+            for kw in node.keywords:
+                self._eval(kw.value, env)
+            shape = src.shape if name in {"asarray", "ascontiguousarray"} else None
+            return AValue(shape=shape, dtype=src.dtype, roots=src.roots)
+        if name in SAFE_OUT_UFUNCS:
+            operands = [self._eval(a, env) for a in node.args]
+            shapes = [av.shape for av in operands if av.shape is not None]
+            result_shape = None
+            if shapes:
+                result_shape = shapes[0]
+                for other in shapes[1:]:
+                    result_shape = self._broadcast(node, result_shape, other)
+            result_dtype = self._elementwise_dtype(node, name, operands)
+            self._handle_out(
+                node, env, operands, safe=True,
+                result_shape=result_shape, result_dtype=result_dtype,
+                what=f"np.{name}",
+            )
+            for kw in node.keywords:
+                if kw.arg not in {"out"}:
+                    self._eval(kw.value, env)
+            if name in {
+                "equal", "greater", "greater_equal", "less", "less_equal",
+                "logical_and", "logical_not", "logical_or", "not_equal",
+            }:
+                result_dtype = "bool_"
+            return AValue(shape=result_shape, dtype=result_dtype)
+        # unknown numpy call: evaluate operands, return a fresh value
+        for arg in node.args:
+            self._eval(arg, env)
+        for kw in node.keywords:
+            self._eval(kw.value, env)
+        return AValue()
+
+    def _elementwise_dtype(
+        self, node: ast.AST, name: str, operands: list[AValue]
+    ) -> str | None:
+        dtypes = [av.dtype for av in operands if av.dtype is not None]
+        concrete = [d for d in dtypes if d in _CONCRETE_FLOATS]
+        if len(set(concrete)) > 1:
+            self.facts.dtype_findings.append(
+                (
+                    node,
+                    f"np.{name} mixes {' and '.join(sorted(set(concrete)))} "
+                    "operands: result widens outside the nn/dtype policy seam",
+                )
+            )
+            return "float64"
+        if concrete:
+            return concrete[0]
+        if len(set(dtypes)) == 1:
+            return dtypes[0]
+        return None
+
+    def _numpy_alloc(
+        self, name: str, node: ast.Call, env: dict[str, AValue]
+    ) -> AValue:
+        root = frozenset({f"alloc:{node.lineno}:{node.col_offset}"})
+        dtype = None
+        dtype_node = self._kw(node, "dtype")
+        if dtype_node is None and name in {"empty", "full", "zeros", "ones"}:
+            if len(node.args) > 1 and name != "full":
+                dtype_node = node.args[1]
+            elif name == "full" and len(node.args) > 2:
+                dtype_node = node.args[2]
+        if dtype_node is not None:
+            dtype = self._dtype_from_arg(dtype_node, env)
+        shape = None
+        if name == "arange":
+            for arg in node.args:
+                self._eval(arg, env)
+            if dtype is None:
+                dtype = "intp" if all(
+                    isinstance(a, ast.Constant) and isinstance(a.value, int)
+                    for a in node.args
+                ) else None
+        elif node.args:
+            shape = self._shape_from_arg(node.args[0], env)
+            if shape is None:
+                av = self._eval(node.args[0], env)
+                if av.poly is not None:
+                    shape = (av.poly,)
+        if name == "full" and len(node.args) > 1:
+            self._eval(node.args[1], env)
+        return AValue(shape=shape, dtype=dtype, roots=root)
+
+    def _numpy_alloc_like(self, node: ast.Call, env: dict[str, AValue]) -> AValue:
+        src = self._eval(node.args[0], env) if node.args else AValue()
+        dtype = src.dtype
+        dtype_node = self._kw(node, "dtype")
+        if dtype_node is not None:
+            dtype = self._dtype_from_arg(dtype_node, env)
+        root = frozenset({f"alloc:{node.lineno}:{node.col_offset}"})
+        return AValue(shape=src.shape, dtype=dtype, roots=root)
+
+    def _matmul(
+        self,
+        node: ast.AST,
+        left: AValue,
+        right: AValue,
+        call: ast.Call | None,
+        env: dict[str, AValue],
+    ) -> AValue:
+        shape: tuple[Poly, ...] | None = None
+        if (
+            left.shape is not None
+            and right.shape is not None
+            and len(left.shape) >= 2
+            and len(right.shape) >= 2
+        ):
+            inner_l = left.shape[-1]
+            inner_r = right.shape[-2]
+            if provably_ne(inner_l, inner_r):
+                self.facts.shape_findings.append(
+                    (
+                        node,
+                        f"matmul inner dimensions differ: {inner_l.render()} "
+                        f"vs {inner_r.render()}",
+                    )
+                )
+            batch = self._broadcast(node, left.shape[:-2], right.shape[:-2])
+            if batch is not None:
+                shape = batch + (left.shape[-2], right.shape[-1])
+        if _both_concrete_floats(left.dtype, right.dtype) and left.dtype != right.dtype:
+            self.facts.dtype_findings.append(
+                (
+                    node,
+                    f"matmul mixes {left.dtype} and {right.dtype} operands: "
+                    "result widens outside the nn/dtype policy seam",
+                )
+            )
+        dtype = left.dtype if left.dtype == right.dtype else None
+        if call is not None:
+            self._handle_out(
+                call, env, [left, right], safe=False,
+                result_shape=shape, result_dtype=dtype, what="np.matmul",
+            )
+        return AValue(shape=shape, dtype=dtype)
+
+    def _einsum(self, node: ast.Call, env: dict[str, AValue]) -> AValue:
+        if not node.args or not (
+            isinstance(node.args[0], ast.Constant)
+            and isinstance(node.args[0].value, str)
+        ):
+            for arg in node.args:
+                self._eval(arg, env)
+            return AValue()
+        spec = node.args[0].value
+        operands = [self._eval(a, env) for a in node.args[1:]]
+        shape: tuple[Poly, ...] | None = None
+        dtype = None
+        concrete = {av.dtype for av in operands if av.dtype in _CONCRETE_FLOATS}
+        if len(concrete) > 1:
+            self.facts.dtype_findings.append(
+                (
+                    node,
+                    f"einsum mixes {' and '.join(sorted(concrete))} operands: "
+                    "result widens outside the nn/dtype policy seam",
+                )
+            )
+        elif len(concrete) == 1:
+            dtype = next(iter(concrete))
+        if "..." not in spec and "->" in spec:
+            lhs, _, rhs = spec.partition("->")
+            in_specs = [s.strip() for s in lhs.split(",")]
+            bindings: dict[str, Poly] = {}
+            for labels, av in zip(in_specs, operands):
+                if av.shape is None or len(av.shape) != len(labels):
+                    continue
+                for label, dim in zip(labels, av.shape):
+                    bound = bindings.get(label)
+                    if bound is None:
+                        bindings[label] = dim
+                    elif provably_ne(bound, dim):
+                        self.facts.shape_findings.append(
+                            (
+                                node,
+                                f"einsum '{spec}' binds '{label}' to both "
+                                f"{bound.render()} and {dim.render()}",
+                            )
+                        )
+            rhs = rhs.strip()
+            if all(label in bindings for label in rhs):
+                shape = tuple(bindings[label] for label in rhs)
+        self._handle_out(
+            node, env, operands, safe=False,
+            result_shape=shape, result_dtype=dtype, what="np.einsum",
+        )
+        return AValue(shape=shape, dtype=dtype)
+
+    def _axis_dims(self, node: ast.Call, pos: int = 1) -> tuple[int, ...] | None:
+        axis = self._kw(node, "axis")
+        if axis is None and len(node.args) > pos:
+            axis = node.args[pos]
+        if axis is None:
+            return None
+        if isinstance(axis, ast.Constant) and isinstance(axis.value, int):
+            return (axis.value,)
+        if isinstance(axis, ast.UnaryOp) and isinstance(axis.op, ast.USub):
+            inner = axis.operand
+            if isinstance(inner, ast.Constant) and isinstance(inner.value, int):
+                return (-inner.value,)
+        if isinstance(axis, (ast.Tuple, ast.List)):
+            dims: list[int] = []
+            for elt in axis.elts:
+                if isinstance(elt, ast.Constant) and isinstance(elt.value, int):
+                    dims.append(elt.value)
+                elif (
+                    isinstance(elt, ast.UnaryOp)
+                    and isinstance(elt.op, ast.USub)
+                    and isinstance(elt.operand, ast.Constant)
+                    and isinstance(elt.operand.value, int)
+                ):
+                    dims.append(-elt.operand.value)
+                else:
+                    return None
+            return tuple(dims)
+        return None
+
+    def _reduction(self, name: str, node: ast.Call, env: dict[str, AValue]) -> AValue:
+        src = self._eval(node.args[0], env) if node.args else AValue()
+        axes = self._axis_dims(node)
+        keepdims = self._kw(node, "keepdims") is not None
+        shape: tuple[Poly, ...] | None = None
+        if src.shape is not None and axes is not None and not keepdims:
+            rank = len(src.shape)
+            normed = {a % rank for a in axes if -rank <= a < rank}
+            if len(normed) == len(axes):
+                shape = tuple(d for i, d in enumerate(src.shape) if i not in normed)
+        dtype = "intp" if name in {"argmax", "argmin"} else src.dtype
+        self._handle_out(
+            node, env, [src], safe=False,
+            result_shape=shape, result_dtype=dtype, what=f"np.{name}",
+        )
+        for kw in node.keywords:
+            if kw.arg not in {"out"}:
+                self._eval(kw.value, env)
+        return AValue(shape=shape, dtype=dtype)
+
+    def _copyto(self, node: ast.Call, env: dict[str, AValue]) -> AValue:
+        if not node.args:
+            return AValue()
+        dst = self._eval(node.args[0], env)
+        src = self._eval(node.args[1], env) if len(node.args) > 1 else AValue()
+        for kw in node.keywords:
+            self._eval(kw.value, env)
+        self._record_mutation(node, dst.roots, "np.copyto destination")
+        if _both_concrete_floats(dst.dtype, src.dtype) and dst.dtype != src.dtype:
+            self.facts.dtype_findings.append(
+                (
+                    node,
+                    f"np.copyto casts {src.dtype} into a {dst.dtype} "
+                    "destination: silent conversion outside the nn/dtype "
+                    "policy seam",
+                )
+            )
+        if (
+            dst.shape is not None
+            and src.shape is not None
+            and len(dst.shape) == len(src.shape)
+        ):
+            for i, (d, s) in enumerate(zip(dst.shape, src.shape)):
+                if provably_ne(d, s):
+                    self.facts.shape_findings.append(
+                        (
+                            node,
+                            f"np.copyto destination dimension {i} = "
+                            f"{d.render()} but source has {s.render()}",
+                        )
+                    )
+                    break
+        return AValue()
+
+    # array methods -------------------------------------------------------
+
+    def _eval_method(
+        self, name: str, base: AValue, node: ast.Call, env: dict[str, AValue]
+    ) -> AValue:
+        if name == "reshape":
+            return self._reshape(base, node, env)
+        if name == "transpose":
+            perm: list[int] | None = []
+            for arg in node.args:
+                if isinstance(arg, ast.Constant) and isinstance(arg.value, int):
+                    perm.append(arg.value)
+                else:
+                    perm = None
+                    break
+            shape = None
+            if base.shape is not None:
+                if perm:
+                    if sorted(perm) == list(range(len(base.shape))):
+                        shape = tuple(base.shape[i] for i in perm)
+                elif perm == []:
+                    shape = tuple(reversed(base.shape))
+            return AValue(shape=shape, dtype=base.dtype, roots=base.roots)
+        if name == "astype":
+            dtype = None
+            if node.args:
+                dtype = self._dtype_from_arg(node.args[0], env)
+            kw = self._kw(node, "dtype")
+            if kw is not None:
+                dtype = self._dtype_from_arg(kw, env)
+            root = frozenset({f"alloc:{node.lineno}:{node.col_offset}"})
+            return AValue(shape=base.shape, dtype=dtype, roots=root)
+        if name == "copy":
+            root = frozenset({f"alloc:{node.lineno}:{node.col_offset}"})
+            return AValue(shape=base.shape, dtype=base.dtype, roots=root)
+        if name == "ravel":
+            shape = None
+            if base.shape is not None:
+                numel = Poly.of(1)
+                for dim in base.shape:
+                    numel = numel * dim
+                shape = (numel,)
+            return AValue(shape=shape, dtype=base.dtype, roots=base.roots)
+        if name == "flatten":
+            root = frozenset({f"alloc:{node.lineno}:{node.col_offset}"})
+            return AValue(dtype=base.dtype, roots=root)
+        if name in _REDUCTIONS:
+            # method-form reduction; axis is the first positional argument
+            axes = self._axis_dims(node, pos=0)
+            shape = None
+            if base.shape is not None and axes is not None:
+                rank = len(base.shape)
+                normed = {a % rank for a in axes if -rank <= a < rank}
+                if len(normed) == len(axes):
+                    shape = tuple(
+                        d for i, d in enumerate(base.shape) if i not in normed
+                    )
+            dtype = "intp" if name in {"argmax", "argmin"} else base.dtype
+            return AValue(shape=shape, dtype=dtype)
+        if name == "view":
+            return AValue(shape=base.shape, roots=base.roots)
+        if name == "item":
+            return AValue()
+        # unknown method: evaluate arguments for nested effects, return ⊤
+        for arg in node.args:
+            self._eval(arg, env)
+        for kw in node.keywords:
+            self._eval(kw.value, env)
+        return AValue()
+
+    def _reshape(self, base: AValue, node: ast.Call, env: dict[str, AValue]) -> AValue:
+        dims = self._reshape_dims(node, env)
+        if dims is None:
+            return AValue(dtype=base.dtype, roots=base.roots)
+        target: list[Poly | None] = []
+        for expr_or_poly in dims:
+            target.append(expr_or_poly)
+        if (
+            base.shape is not None
+            and all(d is not None for d in target)
+        ):
+            have = Poly.of(1)
+            for dim in base.shape:
+                have = have * dim
+            want = Poly.of(1)
+            for dim in target:
+                want = want * dim  # type: ignore[operator]
+            if provably_ne(have, want):
+                self.facts.shape_findings.append(
+                    (
+                        node,
+                        f"reshape target has {want.render()} elements but the "
+                        f"source has {have.render()}",
+                    )
+                )
+        shape = tuple(d if d is not None else self._fresh.sym() for d in target)
+        return AValue(shape=shape, dtype=base.dtype, roots=base.roots)
+
+    def _reshape_dims(
+        self, node: ast.Call, env: dict[str, AValue]
+    ) -> list[Poly | None] | None:
+        """Target dims for a reshape call; None when the target is opaque.
+
+        A single non-literal argument (``x.reshape(some_shape)``) is a
+        whole-shape value, not a 1-d size, so it yields dims only when
+        the argument's tuple value is known.
+        """
+        args = node.args
+        if len(args) == 1:
+            arg = args[0]
+            if isinstance(arg, (ast.Tuple, ast.List)):
+                return [self._soft_dim(e, env) for e in arg.elts]
+            if isinstance(arg, ast.Constant) and isinstance(arg.value, int):
+                return [Poly.of(arg.value)]
+            if isinstance(arg, ast.UnaryOp) and isinstance(arg.op, ast.USub):
+                return [None]  # reshape(-1)
+            av = self._eval(arg, env)
+            if av.tup is not None:
+                return [e.poly for e in av.tup]
+            return None
+        dims: list[Poly | None] = []
+        for arg in args:
+            dims.append(self._soft_dim(arg, env))
+        return dims if dims else None
+
+    def _soft_dim(self, expr: ast.expr, env: dict[str, AValue]) -> Poly | None:
+        """A dim polynomial, or None for -1 / opaque expressions."""
+        if isinstance(expr, ast.UnaryOp) and isinstance(expr.op, ast.USub):
+            inner = expr.operand
+            if isinstance(inner, ast.Constant) and inner.value == 1:
+                return None
+        av = self._eval(expr, env)
+        return av.poly
+
+    # plain-name calls ----------------------------------------------------
+
+    def _eval_name_call(
+        self, name: str, node: ast.Call, env: dict[str, AValue]
+    ) -> AValue:
+        avs = [self._eval(a, env) for a in node.args]
+        for kw in node.keywords:
+            self._eval(kw.value, env)
+        if name == "len" and avs:
+            if avs[0].tup is not None:
+                return AValue(poly=Poly.of(len(avs[0].tup)))
+            if avs[0].shape is not None and avs[0].shape:
+                return AValue(poly=avs[0].shape[0])
+            return AValue()
+        if name in {"int", "float", "abs"} and avs:
+            return AValue(poly=avs[0].poly)
+        if name in {"min", "max"} and len(avs) >= 2:
+            if all(av.poly is not None for av in avs):
+                same = avs[0].poly
+                if all(av.poly == same for av in avs[1:]):
+                    return AValue(poly=same)
+            return AValue(poly=self._fresh.sym())
+        if name in {"tuple", "list"} and avs:
+            return AValue(tup=avs[0].tup, roots=avs[0].roots)
+        return AValue()
+
+
+# ---------------------------------------------------------------------------
+# module driver
+
+
+def _np_aliases(tree: ast.AST) -> frozenset[str]:
+    names = {"numpy"}
+    for node in ast.walk(tree):
+        if isinstance(node, ast.Import):
+            for alias in node.names:
+                if alias.name == "numpy":
+                    names.add(alias.asname or "numpy")
+    return frozenset(names)
+
+
+def _module_functions(tree: ast.Module):
+    """Yield (qualname-suffix, node) for top-level functions and methods."""
+    for node in tree.body:
+        if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+            yield node.name, node
+        elif isinstance(node, ast.ClassDef):
+            for item in node.body:
+                if isinstance(item, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                    yield f"{node.name}.{item.name}", item
+
+
+def module_facts(module: ModuleContext) -> ModuleFacts:
+    """Interpret every function in ``module``; memoized per context."""
+    cached = getattr(module, "_a4nn_tensor_facts", None)
+    if cached is not None:
+        return cached
+    symbols = None
+    if module.project is not None:
+        from repro.tooling.graph import build_graph
+
+        symbols = build_graph(module.project).modules.get(module.mod_name)
+    np_names = _np_aliases(module.tree)
+    facts = ModuleFacts()
+    for suffix, node in _module_functions(module.tree):
+        interp = TensorInterp(
+            module,
+            node,
+            qualname=f"{module.mod_name}.{suffix}",
+            symbols=symbols,
+            np_names=np_names,
+        )
+        facts.functions.append(interp.run())
+    module._a4nn_tensor_facts = facts
+    return facts

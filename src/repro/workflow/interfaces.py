@@ -65,6 +65,12 @@ class WorkflowConfig:
         (real mode): non-finite losses/activations/gradients raise
         :class:`~repro.tooling.sanitizer.NumericalFault`, recorded into
         the model's lineage record.
+    sanitize_writes:
+        Attach the runtime write guard to every trained network (real
+        mode): borrowed inter-layer tensors are flipped read-only around
+        layer calls, so an aliasing write raises a ``guarded-write``
+        :class:`~repro.tooling.sanitizer.NumericalFault`.  Flag-flips
+        only — an untripped guarded run stays byte-identical.
     faults:
         Optional :class:`~repro.scheduler.faults.FaultPolicy`.  When
         set, evaluation failures (crashes, timeouts, sanitizer faults)
@@ -112,6 +118,7 @@ class WorkflowConfig:
     n_workers: int = 1
     backend: str = "thread"
     sanitize: bool = False
+    sanitize_writes: bool = False
     faults: FaultPolicy | None = None
     fault_injection: FaultInjectionConfig | None = None
     dtype: str = "float32"
@@ -213,6 +220,7 @@ class WorkflowConfig:
             "n_workers": self.n_workers,
             "backend": self.backend,
             "sanitize": self.sanitize,
+            "sanitize_writes": self.sanitize_writes,
             "faults": self.faults.to_dict() if self.faults else None,
             "fault_injection": self.fault_injection.to_dict()
             if self.fault_injection
@@ -250,6 +258,7 @@ class WorkflowConfig:
             n_workers=payload.get("n_workers", 1),
             backend=payload.get("backend", "thread"),
             sanitize=payload.get("sanitize", False),
+            sanitize_writes=payload.get("sanitize_writes", False),
             faults=FaultPolicy.from_dict(payload["faults"])
             if payload.get("faults")
             else None,

@@ -145,6 +145,7 @@ class A4NNOrchestrator:
                 rng_stream=stream.child("eval"),
                 observers=observers,
                 sanitize=self.config.sanitize,
+                sanitize_writes=self.config.sanitize_writes,
                 on_fault=tracker.observe_fault,
                 rng_keying=self.config.rng_keying,
                 dtype=self.config.dtype,
@@ -203,6 +204,7 @@ class A4NNOrchestrator:
             engine=config.engine,
             intensity_label=config.intensity.label,
             sanitize=config.sanitize,
+            sanitize_writes=config.sanitize_writes,
             rng_keying=config.rng_keying,
             dtype=config.dtype,
             injection=config.fault_injection,

@@ -39,6 +39,19 @@ class TestParser:
         with pytest.raises(SystemExit):
             build_parser().parse_args(["run", "--intensity", "ultra"])
 
+    def test_sanitize_writes_flag_flows_into_overrides(self):
+        from repro.cli import _fastpath_overrides
+
+        args = build_parser().parse_args(["run", "--sanitize-writes"])
+        assert _fastpath_overrides(args).get("sanitize_writes") is True
+        args = build_parser().parse_args(["run"])
+        assert "sanitize_writes" not in _fastpath_overrides(args)
+
+    def test_check_jobs_flag(self):
+        args = build_parser().parse_args(["check", "--jobs", "4"])
+        assert args.jobs == 4
+        assert build_parser().parse_args(["check"]).jobs is None
+
 
 class TestConfigCommand:
     def test_emits_valid_workflow_config(self, capsys):

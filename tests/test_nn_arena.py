@@ -396,7 +396,10 @@ def test_memo_key_separates_arena_from_legacy_evaluations():
     key_off = evaluator(False).memo_key(individual)
     assert key_on is not None and key_off is not None
     assert key_on != key_off
-    assert key_on[:-1] == key_off[:-1]
+    # the keys differ in exactly one component: the arena flag
+    differing = [i for i, (a, b) in enumerate(zip(key_on, key_off)) if a != b]
+    assert len(differing) == 1
+    assert (key_on[differing[0]], key_off[differing[0]]) == (True, False)
 
 
 def test_individual_arena_fields_reach_model_record():

@@ -106,3 +106,39 @@ def test_lookup_rejects_wrong_content_hash(tmp_path):
     cache.store("x.py", "hash-one", None, [], [])
     assert isinstance(cache.lookup("x.py", "hash-one"), CachedModule)
     assert cache.lookup("x.py", "hash-two") is None
+
+
+def test_python_version_change_forces_cold_reparse(tmp_path):
+    # pickled ASTs are not portable across interpreters, so the
+    # fingerprint folds in the running Python version: entries written
+    # under one version must miss under another
+    write_tree(tmp_path / "pkg", {"a.py": CLEAN, "b.py": CLEAN})
+    cache_dir = tmp_path / "cache"
+    rules = Linter().rules
+    old = AnalysisCache(
+        cache_dir,
+        fingerprint=AnalysisCache.ruleset_fingerprint(rules, python_version=(3, 9, 18)),
+    )
+    Linter().lint_paths([tmp_path / "pkg"], cache=old)
+    upgraded = AnalysisCache(
+        cache_dir,
+        fingerprint=AnalysisCache.ruleset_fingerprint(rules, python_version=(3, 12, 1)),
+    )
+    result = Linter().lint_paths([tmp_path / "pkg"], cache=upgraded)
+    assert result.n_cache_hits == 0
+    assert result.n_analyzed == 2
+
+
+def test_tooling_version_is_part_of_the_fingerprint(monkeypatch):
+    import repro.tooling.cache as cache_mod
+
+    rules = Linter().rules
+    before = AnalysisCache.ruleset_fingerprint(rules)
+    monkeypatch.setattr(cache_mod, "_TOOLING_VERSION", "999.0.0")
+    after = AnalysisCache.ruleset_fingerprint(rules)
+    assert before != after
+
+
+def test_same_engine_same_fingerprint():
+    rules = Linter().rules
+    assert AnalysisCache.ruleset_fingerprint(rules) == AnalysisCache.ruleset_fingerprint(rules)

@@ -1,0 +1,167 @@
+"""Dataflow value-tracing edge cases: starred unpacks, views, **kwargs."""
+
+import ast
+import textwrap
+
+from repro.tooling.context import ModuleContext, ProjectContext
+from repro.tooling.dataflow import mapping_values, trace_value
+from repro.tooling.graph import build_graph
+
+
+def project_of(sources: dict) -> ProjectContext:
+    project = ProjectContext()
+    for path, text in sources.items():
+        project.add(ModuleContext.parse(textwrap.dedent(text), path))
+    return project
+
+
+def scope_and_symbols(source: str, func_name: str = "f"):
+    graph = build_graph(project_of({"repro/t.py": source}))
+    return graph.modules["repro.t"], graph.functions[f"repro.t.{func_name}"]
+
+
+def returned(info) -> ast.AST:
+    return next(n for n in ast.walk(info.node) if isinstance(n, ast.Return)).value
+
+
+# -- starred / tuple unpacking -------------------------------------------------
+
+
+def test_starred_unpack_binds_prefix_and_suffix_names():
+    symbols, info = scope_and_symbols("""
+        import threading
+        def f():
+            head, *mid, tail = threading.Lock(), 1, 2, lambda: 3
+            return head, tail
+    """)
+    head_expr, tail_expr = returned(info).elts
+    head = trace_value(symbols, info, head_expr)
+    assert head.kind == "call"
+    assert head.detail == "threading.Lock"
+    assert trace_value(symbols, info, tail_expr).kind == "lambda"
+
+
+def test_starred_name_binds_to_the_middle_as_a_sequence():
+    symbols, info = scope_and_symbols("""
+        def f():
+            first, *rest = 1, 2, 3
+            return rest
+    """)
+    assert trace_value(symbols, info, returned(info)).kind == "sequence"
+
+
+def test_trailing_star_with_empty_middle_still_binds():
+    symbols, info = scope_and_symbols("""
+        def f():
+            a, b, *rest = "x", "y"
+            return b, rest
+    """)
+    b_expr, rest_expr = returned(info).elts
+    assert trace_value(symbols, info, b_expr).kind == "constant"
+    assert trace_value(symbols, info, rest_expr).kind == "sequence"
+
+
+def test_shape_mismatched_unpack_binds_nothing():
+    # a, b = x, y, z raises at runtime; tracing must stay "unknown"
+    # rather than guess a positional pairing
+    symbols, info = scope_and_symbols("""
+        def f():
+            a, b = 1, 2, 3
+            return a
+    """)
+    assert trace_value(symbols, info, returned(info)).kind == "unknown"
+
+
+def test_unpack_through_out_chain_keeps_call_origin():
+    # the shape an arena-style helper produces: the buffer pair is
+    # unpacked, rebound, and one leg flows onward through out= usage
+    symbols, info = scope_and_symbols("""
+        import numpy as np
+        def f():
+            xb, yb = np.empty(4), np.empty(4)
+            dst = xb
+            np.add(dst, 1.0, out=dst)
+            return dst
+    """)
+    origin = trace_value(symbols, info, returned(info))
+    assert origin.kind == "call"
+    assert origin.detail == "numpy.empty"
+
+
+# -- __getitem__ views ---------------------------------------------------------
+
+
+def test_subscript_view_carries_the_base_call_chain():
+    symbols, info = scope_and_symbols("""
+        import numpy as np
+        def f():
+            table = np.zeros((8, 8))
+            return table[2:4]
+    """)
+    origin = trace_value(symbols, info, returned(info))
+    assert origin.kind == "view"
+    assert origin.detail == "numpy.zeros"
+
+
+def test_subscript_of_unknown_base_is_a_bare_view():
+    symbols, info = scope_and_symbols("""
+        def f(arr):
+            return arr[0]
+    """)
+    origin = trace_value(symbols, info, returned(info))
+    assert origin.kind == "view"
+    assert origin.detail == ""
+
+
+def test_nested_subscript_traces_through_both_levels():
+    symbols, info = scope_and_symbols("""
+        def f():
+            grid = [[1, 2], [3, 4]]
+            return grid[0][1]
+    """)
+    origin = trace_value(symbols, info, returned(info))
+    assert origin.kind == "view"
+    # the inner view's base is the sequence literal
+    assert origin.detail == "sequence"
+
+
+# -- **kwargs into constructors ------------------------------------------------
+
+
+def test_kwargs_dict_into_layer_constructor_traces_each_value():
+    symbols, info = scope_and_symbols("""
+        def f():
+            kwargs = {"units": 64, "activation": lambda x: x}
+            return kwargs
+    """)
+    values = dict(mapping_values(symbols, info, returned(info)))
+    assert set(values) == {"units", "activation"}
+    assert trace_value(symbols, info, values["units"]).kind == "constant"
+    assert trace_value(symbols, info, values["activation"]).kind == "lambda"
+
+
+def test_kwargs_via_dict_call_resolves_module_level_factories():
+    symbols, info = scope_and_symbols("""
+        import numpy as np
+        SEEDER = np.random.default_rng
+        def f():
+            kw = dict(rng=SEEDER(), units=3)
+            return kw
+    """)
+    values = dict(mapping_values(symbols, info, returned(info)))
+    origin = trace_value(symbols, info, values["rng"])
+    assert origin.kind == "call"
+    # the chain resolves to the module-level binding that holds the factory
+    assert origin.detail == "repro.t.SEEDER"
+
+
+def test_double_splat_entry_in_dict_literal_is_kept_anonymous():
+    symbols, info = scope_and_symbols("""
+        def f(extra):
+            kw = {"units": 1, **extra}
+            return kw
+    """)
+    pairs = mapping_values(symbols, info, returned(info))
+    names = [name for name, _ in pairs]
+    assert "units" in names
+    assert None in names  # the **extra expansion has no static key

@@ -957,3 +957,49 @@ def test_repo_source_passes_a4nn_check():
     listing = "\n".join(d.render() for d in result.diagnostics)
     assert result.exit_code == 0, f"a4nn check found violations:\n{listing}"
     assert result.n_files > 100  # the whole tree was actually scanned
+
+
+# -- parallel cold runs (--jobs) -----------------------------------------------
+
+
+def test_jobs_parallel_run_matches_serial(tmp_path):
+    pkg = tmp_path / "repro" / "nn"
+    pkg.mkdir(parents=True)
+    (pkg / "bad.py").write_text("def broken(:\n", encoding="utf-8")
+    (pkg / "alias.py").write_text(
+        textwrap.dedent("""
+            import numpy as np
+            def forward(w, cols):
+                np.matmul(w, cols, out=cols)
+                return cols
+        """),
+        encoding="utf-8",
+    )
+    (pkg / "clean.py").write_text("def ok():\n    return 1\n", encoding="utf-8")
+    serial = run_check([tmp_path])
+    parallel = run_check([tmp_path], jobs=4)
+    key = lambda d: (d.path, d.line, d.col, d.rule_id, d.message)
+    assert [key(d) for d in serial.diagnostics] == [key(d) for d in parallel.diagnostics]
+    assert {d.rule_id for d in parallel.diagnostics} >= {PARSE_ERROR_ID, "ALIAS001"}
+
+
+def test_jobs_parallel_run_populates_the_cache(tmp_path):
+    pkg = tmp_path / "repro"
+    pkg.mkdir(parents=True)
+    for i in range(4):
+        (pkg / f"m{i}.py").write_text("def ok():\n    return 1\n", encoding="utf-8")
+    cache_dir = tmp_path / "cache"
+    cold = run_check([tmp_path], cache_dir=cache_dir, jobs=2)
+    warm = run_check([tmp_path], cache_dir=cache_dir)
+    assert cold.n_analyzed == 4
+    assert warm.n_cache_hits == 4 and warm.n_analyzed == 0
+
+
+def test_resolve_jobs_normalization():
+    from repro.tooling.linter import resolve_jobs
+
+    assert resolve_jobs(None) is None
+    assert resolve_jobs(3) == 3
+    assert resolve_jobs(0) >= 1  # one per CPU
+    with pytest.raises(ValueError):
+        resolve_jobs(-1)

@@ -1,0 +1,295 @@
+"""The tensor abstract interpreter and its rule packs (SHAPE/ALIAS/EFF)."""
+
+import textwrap
+
+from repro.tooling.context import ModuleContext, ProjectContext
+from repro.tooling.linter import Linter
+from repro.tooling.rules import all_rules, rule_ids
+from repro.tooling.tensorflow import (
+    Poly,
+    declared_mutations,
+    module_facts,
+    provably_ne,
+)
+
+
+def lint(sources: dict) -> list:
+    return Linter(all_rules()).lint_sources(
+        {path: textwrap.dedent(text) for path, text in sources.items()}
+    ).diagnostics
+
+
+def facts_of(source: str, path: str = "repro/nn/fixture.py"):
+    project = ProjectContext()
+    module = ModuleContext.parse(textwrap.dedent(source), path)
+    project.add(module)
+    return module, module_facts(module)
+
+
+def ids(diags) -> set:
+    return {d.rule_id for d in diags}
+
+
+# -- shape polynomials ---------------------------------------------------------
+
+
+def test_poly_arithmetic_and_provability():
+    n = Poly.sym("n")
+    assert ((n + Poly.of(1)) - n).as_const == 1
+    assert (n * n).render() == "n*n"
+    # n+1 != n is provable; n != m is not (either could equal the other)
+    assert provably_ne(n + Poly.of(1), n)
+    assert not provably_ne(n, Poly.sym("m"))
+    # positive-dims assumption: n+m > n always, so inequality is provable
+    assert provably_ne(n, n + Poly.sym("m"))
+
+
+def test_identical_derived_expressions_compare_equal():
+    # h//2 collapses to a derived symbol named from its operands, so two
+    # separate statements computing it must agree (no false positives)
+    _, mf = facts_of("""
+        import numpy as np
+        def halves(x):
+            n, c, h, w = x.shape
+            a = np.zeros((n, h // 2), dtype="float32")
+            b = np.zeros((n, h // 2), dtype="float32")
+            np.add(a, 1.0, out=b)
+            return b
+    """)
+    (fn,) = mf.functions
+    assert not fn.shape_findings
+
+
+# -- interpreter facts ---------------------------------------------------------
+
+
+def test_reshape_element_count_mismatch_is_found():
+    _, mf = facts_of("""
+        import numpy as np
+        def forward(x):
+            n, c, h, w = x.shape
+            return x.reshape(n + n, c, h, w)
+    """)
+    (fn,) = mf.functions
+    assert fn.shape_findings, "doubling the batch extent must be provable"
+
+
+def test_unprovable_reshape_stays_silent():
+    # dropping w is only wrong when w != 1 — not provable, so no finding
+    _, mf = facts_of("""
+        import numpy as np
+        def forward(x):
+            n, c, h, w = x.shape
+            return x.reshape(n, c * h)
+    """)
+    (fn,) = mf.functions
+    assert not fn.shape_findings
+
+
+def test_legal_symbolic_reshape_stays_silent():
+    _, mf = facts_of("""
+        import numpy as np
+        def forward(x):
+            n, c, h, w = x.shape
+            flat = x.reshape(n, c * h * w)
+            return flat.reshape(n, c, h, w)
+    """)
+    (fn,) = mf.functions
+    assert not fn.shape_findings
+    assert not fn.alias_findings
+
+
+def test_matmul_out_aliasing_operand_is_found():
+    _, mf = facts_of("""
+        import numpy as np
+        def forward(w, cols):
+            np.matmul(w, cols, out=cols)
+            return cols
+    """)
+    (fn,) = mf.functions
+    assert fn.alias_findings
+
+
+def test_elementwise_out_aliasing_is_fine():
+    _, mf = facts_of("""
+        import numpy as np
+        def forward(x):
+            np.multiply(x, 2.0, out=x)
+            np.add(x, 1.0, out=x)
+            return x
+    """)
+    (fn,) = mf.functions
+    assert not fn.alias_findings
+
+
+def test_copy_breaks_aliasing():
+    _, mf = facts_of("""
+        import numpy as np
+        def forward(w, cols):
+            safe = cols.copy()
+            np.matmul(w, cols, out=safe)
+            return safe
+    """)
+    (fn,) = mf.functions
+    assert not fn.alias_findings
+
+
+def test_mixed_float_widths_are_a_dtype_finding():
+    _, mf = facts_of("""
+        import numpy as np
+        def forward(x):
+            a = np.zeros((4,), dtype="float32")
+            b = np.zeros((4,), dtype="float64")
+            return a + b
+    """)
+    (fn,) = mf.functions
+    assert fn.dtype_findings
+
+
+def test_effect_summary_names_mutated_parameters():
+    _, mf = facts_of("""
+        def scale(grads, factor):
+            grads *= factor
+            return grads
+    """)
+    (fn,) = mf.functions
+    assert "grads" in fn.effect_summary()
+
+
+def test_declared_mutations_parse_name_and_reason():
+    module, mf = facts_of("""
+        def clip(network, bound):
+            # a4nn: mutates(network) -- clipping rescales grads in place
+            network.total = bound
+    """)
+    declared = declared_mutations(module, mf.functions[0].node)
+    assert declared == {"network": "clipping rescales grads in place"}
+
+
+def test_arena_buffer_escape_is_recorded():
+    _, mf = facts_of("""
+        class Layer:
+            def helper(self):
+                buf = self.arena.buffer("0", "cols", (4, 4), "float32")
+                self.keep = buf
+                return buf
+    """)
+    (fn,) = mf.functions
+    kinds = {kind for _n, kind, _r, _d in fn.escapes}
+    assert "stored-on-self" in kinds
+    assert "returned" in kinds
+
+
+# -- rule packs (integration through the linter) -------------------------------
+
+SEEDED_ALIAS_BUG = """
+    import numpy as np
+
+    class BadConv:
+        def forward(self, x, training=False):
+            cols = self.arena.buffer("0", "cols", (8, 8), "float32")
+            w = self.weight
+            np.matmul(w, cols, out=cols)
+            return cols
+"""
+
+
+def test_seeded_aliasing_bug_is_flagged_by_alias001():
+    diags = lint({"repro/nn/fixture.py": SEEDED_ALIAS_BUG})
+    assert any(d.rule_id == "ALIAS001" for d in diags)
+    (hit,) = [d for d in diags if d.rule_id == "ALIAS001"]
+    assert "out=" in hit.message or "alias" in hit.message.lower()
+
+
+def test_shape001_flags_provable_reshape_mismatch():
+    diags = lint({"repro/nn/fixture.py": """
+        import numpy as np
+        def forward(x):
+            n, c, h, w = x.shape
+            return x.reshape(n + n, c, h, w)
+    """})
+    assert "SHAPE001" in ids(diags)
+
+
+def test_shape002_respects_the_dtype_policy_seam():
+    mixing = """
+        import numpy as np
+        def widen(x):
+            a = np.zeros((4,), dtype="float32")
+            b = np.zeros((4,), dtype="float64")
+            return a + b
+    """
+    # outside the policy file: flagged
+    assert "SHAPE002" in ids(lint({"repro/nn/fixture.py": mixing}))
+    # inside nn/dtype.py (the policy seam): exempt
+    assert "SHAPE002" not in ids(lint({"repro/nn/dtype.py": mixing}))
+
+
+def test_alias002_flags_public_escape_but_not_forward_return():
+    diags = lint({"repro/nn/fixture.py": """
+        import numpy as np
+        class L:
+            def forward(self, x, training=False):
+                out = self.arena.buffer("0", "out", (4, 4), "float32")
+                return out
+            def stash(self):
+                buf = self.arena.buffer("0", "tmp", (4, 4), "float32")
+                self.keep = buf
+    """})
+    alias2 = [d for d in diags if d.rule_id == "ALIAS002"]
+    assert alias2, "public stash must be flagged"
+    assert all("stash" in d.message or d.line >= 7 for d in alias2), (
+        "the forward-contract return must not be flagged"
+    )
+
+
+def test_eff001_flags_undeclared_parameter_mutation():
+    diags = lint({"repro/nn/fixture.py": """
+        import numpy as np
+        def rescale(grads, scale):
+            grads *= scale
+    """})
+    (hit,) = [d for d in diags if d.rule_id == "EFF001"]
+    assert "mutates(" in hit.message  # suggests the contract comment
+
+
+def test_eff001_honours_the_mutates_contract():
+    diags = lint({"repro/nn/fixture.py": """
+        import numpy as np
+        def rescale(grads, scale):
+            # a4nn: mutates(grads) -- rescaling is this function's purpose
+            grads *= scale
+    """})
+    assert "EFF001" not in ids(diags)
+
+
+def test_eff001_exempts_out_parameters():
+    diags = lint({"repro/nn/fixture.py": """
+        import numpy as np
+        def write(out, x):
+            np.add(x, 1.0, out=out)
+    """})
+    assert "EFF001" not in ids(diags)
+
+
+def test_packs_are_scoped_to_the_nn_stack():
+    diags = lint({"repro/analysis/fixture.py": SEEDED_ALIAS_BUG})
+    assert "ALIAS001" not in ids(diags)
+
+
+def test_noqa_silences_tensor_pack_findings():
+    diags = lint({"repro/nn/fixture.py": """
+        import numpy as np
+        def rescale(grads, scale):
+            grads *= scale  # a4nn: noqa(EFF001) -- fixture exercises suppression
+    """})
+    assert "EFF001" not in ids(diags)
+
+
+def test_new_rule_ids_are_registered_and_documented():
+    registered = set(rule_ids())
+    for rule_id in ("SHAPE001", "SHAPE002", "ALIAS001", "ALIAS002", "EFF001"):
+        assert rule_id in registered
+    by_id = {r.rule_id: r for r in all_rules()}
+    assert by_id["SHAPE001"].scope == "project"
+    assert by_id["ALIAS001"].category == "aliasing"

@@ -89,6 +89,13 @@ class TestWorkflowConfig:
         rebuilt = WorkflowConfig.from_dict(config.to_dict())
         assert rebuilt.engine is None
 
+    def test_sanitize_writes_round_trips_and_defaults_off(self):
+        config = small_config()
+        assert config.sanitize_writes is False  # legacy documents stay off
+        on = WorkflowConfig.from_dict({**config.to_dict(), "sanitize_writes": True})
+        assert on.sanitize_writes is True
+        assert WorkflowConfig.from_dict(config.to_dict()).sanitize_writes is False
+
 
 class TestOrchestrator:
     def test_surrogate_run_end_to_end(self, tmp_path):
