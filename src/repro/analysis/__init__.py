@@ -21,7 +21,14 @@ from repro.analysis.pareto import (
     pareto_frontier,
 )
 from repro.analysis.progress import SearchProgress, best_so_far, search_progress
-from repro.analysis.queries import CommonsQuery, records_to_table
+from repro.analysis.queries import (
+    CommonsQuery,
+    SkipReport,
+    TrainingMatrix,
+    records_to_table,
+    skip_report,
+    training_matrix,
+)
 from repro.analysis.report import render_run_report, write_run_report
 from repro.analysis.stats import (
     CorrelationResult,
@@ -48,6 +55,10 @@ __all__ = [
     "search_progress",
     "CommonsQuery",
     "records_to_table",
+    "TrainingMatrix",
+    "training_matrix",
+    "SkipReport",
+    "skip_report",
     "render_run_report",
     "write_run_report",
     "CorrelationResult",

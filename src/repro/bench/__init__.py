@@ -4,6 +4,7 @@ from repro.bench.harness import (
     BenchReport,
     bench_evalpath,
     bench_kernels,
+    bench_predictor,
     compare_reports,
     run_bench,
 )
@@ -27,6 +28,7 @@ __all__ = [
     "run_checkbench",
     "bench_evalpath",
     "bench_kernels",
+    "bench_predictor",
     "compare_reports",
     "run_bench",
     "SCALING_GRID",

@@ -47,6 +47,7 @@ __all__ = [
     "BenchReport",
     "bench_kernels",
     "bench_evalpath",
+    "bench_predictor",
     "compare_reports",
     "run_bench",
 ]
@@ -55,8 +56,10 @@ _LOG = get_logger("bench")
 
 #: Schema tag written into every bench document.
 #: v2 added per-kernel alloc-vs-arena timings, FLOP rates, and the
-#: ``arena`` flags on the end-to-end runs.
-SCHEMA = "a4nn-bench/2"
+#: ``arena`` flags on the end-to-end runs.  v3 added the ``predictor``
+#: section: the same seeded search with surrogate pre-ranking off vs on
+#: (epochs trained, skip precision/recall, front equality).
+SCHEMA = "a4nn-bench/3"
 
 
 def _timeit(fn, *, repeats: int, warmup: int = 1) -> dict:
@@ -276,24 +279,123 @@ def bench_evalpath(*, seed: int = 21) -> dict:
     }
 
 
+def _predictor_workflow_config(seed: int) -> WorkflowConfig:
+    """The seeded surrogate-mode search both predictor-bench runs share."""
+    return WorkflowConfig(
+        nas=NSGANetConfig(
+            population_size=8,
+            offspring_per_generation=8,
+            generations=10,
+            max_epochs=16,
+            nodes_per_phase=2,
+        ),
+        engine=EngineConfig(e_pred=16),
+        mode="surrogate",
+        seed=seed,
+        n_gpus=(1,),
+    )
+
+
+def _run_predictor_case(config: WorkflowConfig) -> dict:
+    from repro.analysis.queries import skip_report
+    from repro.workflow.orchestrator import A4NNOrchestrator
+
+    orchestrator = A4NNOrchestrator(config)
+    clock = Stopwatch()
+    with clock:
+        result = orchestrator.run()
+    skips = skip_report(result.tracker.all_records())
+    return {
+        "surrogate": config.surrogate.to_dict() if config.surrogate else None,
+        "wall_seconds": clock.total,
+        "n_models": len(result.search.archive),
+        "epochs_trained": result.total_epochs_trained,
+        "epochs_saved_engine": result.search.total_epochs_saved,
+        "epochs_skipped": result.total_epochs_skipped,
+        "epoch_budget": result.search.epoch_budget,
+        "best_fitness": result.search.population.best_fitness(),
+        "pareto": [
+            {"model_id": m.model_id, "fitness": m.fitness, "flops": m.flops}
+            for m in result.search.pareto_individuals()
+        ],
+        "skip": {
+            "n_scored": skips.n_scored,
+            "n_flagged": skips.n_flagged,
+            "n_probed": skips.n_probed,
+            "n_true_losers": skips.n_true_losers,
+            "precision": skips.precision,
+            "recall": skips.recall,
+            "mae": skips.mae,
+        },
+    }
+
+
+def bench_predictor(*, seed: int = 21) -> dict:
+    """The same seeded search with surrogate pre-ranking off vs on.
+
+    What must hold (and is recorded so CI can assert it): the surrogate
+    run reaches the *same best fitness and Pareto front* as the off
+    baseline — the dominance-aware skip rule only ever takes budget from
+    candidates whose optimistic estimate is already dominated — while
+    training meaningfully fewer epochs.
+    """
+    import dataclasses
+
+    from repro.nas.surrogate import SurrogateConfig
+
+    config = _predictor_workflow_config(seed)
+    off = _run_predictor_case(config)
+    _LOG.info("predictor off: %d epochs", off["epochs_trained"])
+    on = _run_predictor_case(
+        dataclasses.replace(
+            config, surrogate=SurrogateConfig(band=1.0, explore_every=8)
+        )
+    )
+    _LOG.info("predictor on : %d epochs", on["epochs_trained"])
+
+    def front(case: dict) -> list:
+        # the front as a set of objective points: several archive members
+        # can share one (fitness, flops) point (duplicate genomes), and
+        # how many copies survive is not part of the front itself
+        return sorted({(round(p["fitness"], 10), p["flops"]) for p in case["pareto"]})
+    return {
+        "seed": seed,
+        "off": off,
+        "on": on,
+        "epochs_reduction": 1.0
+        - on["epochs_trained"] / max(off["epochs_trained"], 1),
+        "same_best_fitness": off["best_fitness"] == on["best_fitness"],
+        "same_pareto_front": front(off) == front(on),
+        "wall_delta_seconds": off["wall_seconds"] - on["wall_seconds"],
+    }
+
+
 @dataclass
 class BenchReport:
     """One complete bench document (kernels + end-to-end)."""
 
     kernels: dict = field(default_factory=dict)
     evalpath: dict = field(default_factory=dict)
+    predictor: dict = field(default_factory=dict)
 
     @property
     def speedup(self) -> float:
         return float(self.evalpath.get("speedup", 0.0))
 
     def to_dict(self) -> dict:
-        return {"schema": SCHEMA, "kernels": self.kernels, "evalpath": self.evalpath}
+        return {
+            "schema": SCHEMA,
+            "kernels": self.kernels,
+            "evalpath": self.evalpath,
+            "predictor": self.predictor,
+        }
 
     @classmethod
     def from_dict(cls, payload: dict) -> "BenchReport":
         return cls(
-            kernels=payload.get("kernels", {}), evalpath=payload.get("evalpath", {})
+            kernels=payload.get("kernels", {}),
+            evalpath=payload.get("evalpath", {}),
+            predictor=payload.get("predictor", {}),
         )
 
     @classmethod
@@ -331,6 +433,28 @@ class BenchReport:
                 f"({fast['cache_hits']} cache hits)"
             )
             lines.append(f"  end-to-end speedup              : {self.speedup:.2f}x")
+        if self.predictor:
+            off, on = self.predictor.get("off", {}), self.predictor.get("on", {})
+            skip = on.get("skip", {})
+            lines.append(
+                f"  predictor off: {off.get('epochs_trained')} epochs; "
+                f"on: {on.get('epochs_trained')} epochs "
+                f"({100 * self.predictor.get('epochs_reduction', 0.0):.1f}% fewer, "
+                f"{on.get('epochs_skipped')} skipped)"
+            )
+            precision, recall = skip.get("precision"), skip.get("recall")
+            lines.append(
+                "  predictor skips: "
+                f"{skip.get('n_flagged')}/{skip.get('n_scored')} flagged, "
+                f"precision {precision if precision is None else f'{precision:.2f}'}, "
+                f"recall {recall if recall is None else f'{recall:.2f}'}"
+            )
+            lines.append(
+                f"  predictor front: best fitness "
+                f"{'identical' if self.predictor.get('same_best_fitness') else 'DIFFERS'}, "
+                f"pareto front "
+                f"{'identical' if self.predictor.get('same_pareto_front') else 'DIFFERS'}"
+            )
         return "\n".join(lines)
 
 
@@ -348,7 +472,10 @@ def run_bench(
     """
     kernels = {} if skip_kernels else bench_kernels(seed=seed, repeats=repeats)
     evalpath = {} if kernels_only else bench_evalpath(seed=seed)
-    return BenchReport(kernels=kernels, evalpath=evalpath)
+    # the predictor section runs in surrogate mode (seconds, not minutes),
+    # so even the kernels-only CI smoke covers its schema
+    predictor = bench_predictor(seed=seed)
+    return BenchReport(kernels=kernels, evalpath=evalpath, predictor=predictor)
 
 
 def compare_reports(fresh: BenchReport, committed: BenchReport) -> str:
@@ -370,6 +497,19 @@ def compare_reports(fresh: BenchReport, committed: BenchReport) -> str:
         f"  [----] speedup: fresh {fresh.speedup:.2f}x vs committed "
         f"{committed.speedup:.2f}x (wall time is machine-dependent)"
     )
+    f_pred, c_pred = fresh.predictor, committed.predictor
+    if f_pred and c_pred:
+        for key in ("same_best_fitness", "same_pareto_front"):
+            a, b = f_pred.get(key), c_pred.get(key)
+            marker = "OK " if a == b else "DIFF"
+            lines.append(f"  [{marker}] predictor.{key}: fresh {a!r} vs committed {b!r}")
+        for key in ("epochs_trained", "epochs_skipped"):
+            a = f_pred.get("on", {}).get(key)
+            b = c_pred.get("on", {}).get(key)
+            marker = "OK " if a == b else "DIFF"
+            lines.append(
+                f"  [{marker}] predictor.on.{key}: fresh {a!r} vs committed {b!r}"
+            )
     for label in ("float32", "float64"):
         f_k, c_k = fresh.kernels.get(label, {}), committed.kernels.get(label, {})
         for name in sorted(set(f_k) & set(c_k)):

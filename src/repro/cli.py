@@ -105,6 +105,12 @@ def _fastpath_overrides(args: argparse.Namespace) -> dict:
         overrides["backend"] = args.backend
     if args.n_workers is not None:
         overrides["n_workers"] = args.n_workers
+    if args.surrogate is not None:
+        from repro.nas.surrogate import SurrogateConfig
+
+        overrides["surrogate"] = (
+            SurrogateConfig() if args.surrogate == "rank" else None
+        )
     return overrides
 
 
@@ -246,6 +252,15 @@ def _add_common_run_flags(parser: argparse.ArgumentParser) -> None:
         help="concurrent evaluations per generation (default 1)",
     )
     parser.add_argument(
+        "--surrogate",
+        choices=["off", "rank"],
+        help="surrogate pre-ranking over the lineage commons: 'rank' trains "
+        "a cross-architecture fitness predictor online and spends full "
+        "epoch budgets only on predicted winners (predicted losers get a "
+        "short probe); 'off' (the default) reproduces pre-surrogate runs "
+        "byte-identically",
+    )
+    parser.add_argument(
         "--evolution",
         choices=["barrier", "steady"],
         help="evolution loop: 'barrier' (generational; default) or 'steady' "
@@ -275,6 +290,14 @@ def _cmd_run(args: argparse.Namespace) -> int:
         f"epochs            : {result.total_epochs_trained}/{budget} "
         f"({100 * result.epochs_saved_fraction():.1f}% saved)"
     )
+    if config.surrogate is not None:
+        probed = sum(
+            1 for m in result.search.archive if m.budget_assigned is not None
+        )
+        print(
+            f"surrogate         : {probed} candidates probed/skipped, "
+            f"{result.total_epochs_skipped} epochs skipped"
+        )
     for n_gpus, report in sorted(result.walltime.items()):
         print(
             f"wall time {n_gpus} gpu  : {format_hours(report.wall_seconds)} "

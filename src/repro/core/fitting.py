@@ -18,7 +18,7 @@ from scipy.optimize import least_squares
 
 from repro.core.parametric import ParametricFunction
 
-__all__ = ["CurveFit", "fit_curve", "FitError"]
+__all__ = ["CurveFit", "fit_curve", "FitError", "RidgeFit", "ridge_lstsq"]
 
 
 class FitError(RuntimeError):
@@ -140,4 +140,96 @@ def fit_curve(
         residual_norm=float(np.linalg.norm(solution.fun)),
         rmse=rmse,
         n_points=len(x),
+    )
+
+
+@dataclass(frozen=True)
+class RidgeFit:
+    """Closed-form ridge least-squares solution ``y ~ X @ theta``.
+
+    Attributes
+    ----------
+    theta:
+        Fitted coefficient vector (one entry per feature column).
+    rmse:
+        Root-mean-square training residual.
+    n_points:
+        Number of rows fitted.
+    gram_inv:
+        Inverse of the regularized Gram matrix ``X^T X + ridge * I``
+        (row-major nested tuples), kept so callers can form the ridge
+        predictive variance for a new point.
+    """
+
+    theta: tuple
+    rmse: float
+    n_points: int
+    gram_inv: tuple
+
+    def predict(self, x) -> np.ndarray | float:
+        """Evaluate the fitted linear model on feature row(s) ``x``."""
+        result = np.asarray(x, dtype=float) @ np.asarray(self.theta)
+        if result.ndim == 0:
+            return float(result)
+        return result
+
+    def leverage(self, x) -> float:
+        """Ridge leverage ``x^T (X^T X + ridge I)^{-1} x`` of one row.
+
+        The standard predictive-variance scale for a linear model: the
+        error of a new prediction is roughly
+        ``rmse * sqrt(1 + leverage)``.  Near zero inside the training
+        cloud; grows rapidly for extrapolated points, where the training
+        RMSE alone badly understates the true uncertainty.
+        """
+        row = np.asarray(x, dtype=float)
+        return float(row @ np.asarray(self.gram_inv) @ row)
+
+
+def ridge_lstsq(
+    features: Sequence[Sequence[float]],
+    targets: Sequence[float],
+    *,
+    ridge: float = 1e-3,
+) -> RidgeFit | None:
+    """Solve ridge-regularized least squares in closed form.
+
+    Unlike :func:`fit_curve` this is linear in the parameters, so the
+    normal equations ``(X^T X + ridge * I) theta = X^T y`` give the exact
+    minimizer deterministically — no iterative optimizer, no tolerance
+    knobs, bit-identical across runs for identical inputs.  Used by the
+    cross-architecture fitness predictor, which refits on every lineage
+    commit and therefore needs the solve to be cheap and reproducible.
+
+    Returns ``None`` when the system is empty or numerically degenerate
+    (non-finite inputs, singular regularized Gram matrix) — callers treat
+    that as "no prediction available yet".
+    """
+    x = np.asarray(features, dtype=float)
+    y = np.asarray(targets, dtype=float)
+    if x.ndim != 2 or y.ndim != 1 or x.shape[0] != y.shape[0]:
+        raise ValueError(
+            f"features must be (n, k) and targets (n,), got {x.shape} and {y.shape}"
+        )
+    if ridge < 0.0:
+        raise ValueError(f"ridge must be non-negative, got {ridge}")
+    if x.shape[0] == 0:
+        return None
+    if not (np.all(np.isfinite(x)) and np.all(np.isfinite(y))):
+        return None
+    gram = x.T @ x + ridge * np.eye(x.shape[1])
+    moment = x.T @ y
+    try:
+        theta = np.linalg.solve(gram, moment)
+        gram_inv = np.linalg.inv(gram)
+    except np.linalg.LinAlgError:
+        return None
+    if not (np.all(np.isfinite(theta)) and np.all(np.isfinite(gram_inv))):
+        return None
+    residual = x @ theta - y
+    return RidgeFit(
+        theta=tuple(float(t) for t in theta),
+        rmse=float(np.sqrt(np.mean(residual**2))),
+        n_points=int(x.shape[0]),
+        gram_inv=tuple(tuple(float(v) for v in row) for row in gram_inv),
     )

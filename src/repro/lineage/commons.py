@@ -51,6 +51,7 @@ class DataCommons:
         run.n_models = len(records)
         run.total_epochs_trained = sum(r.epochs_trained for r in records)
         run.total_epochs_saved = sum(r.epochs_saved for r in records)
+        run.total_epochs_skipped = sum(r.epochs_skipped for r in records)
 
         run_dir = self.root / "runs" / run.run_id
         atomic_write_json(run_dir / "run.json", run.to_dict())
@@ -71,6 +72,7 @@ class DataCommons:
             "n_models": run.n_models,
             "total_epochs_trained": run.total_epochs_trained,
             "total_epochs_saved": run.total_epochs_saved,
+            "total_epochs_skipped": run.total_epochs_skipped,
         }
         atomic_write_json(self._manifest_path, manifest)
 

@@ -82,6 +82,15 @@ class ModelRecord:
     # arena's peak scratch footprint for the evaluation (0 = disabled)
     arena_enabled: bool = False
     arena_peak_bytes: int = 0
+    # surrogate pre-ranking audit trail: the cross-architecture
+    # prediction made when this model was bred, its rank against the
+    # breeding population, the (possibly reduced) epoch budget the
+    # allocator assigned, and why; all None/absent when the surrogate is
+    # off or had not yet reached its cold-start floor
+    predicted_fitness: float | None = None
+    predicted_rank: int | None = None
+    budget_assigned: int | None = None
+    skip_reason: str | None = None
 
     def to_dict(self) -> dict:
         return asdict(self)
@@ -92,7 +101,27 @@ class ModelRecord:
 
     @property
     def epochs_saved(self) -> int:
+        """Epochs the *engine* saved by terminating inside the budget.
+
+        ``max_epochs`` stores the effective budget the training loop ran
+        under (the surrogate-reduced budget when one was assigned), so
+        this never includes surrogate-skipped epochs — those are
+        :attr:`epochs_skipped`.
+        """
         return self.max_epochs - self.epochs_trained
+
+    @property
+    def epochs_skipped(self) -> int:
+        """Epochs the *surrogate* skipped by reducing this model's budget.
+
+        The gap between the run's full training budget (from
+        ``training_parameters``) and the assigned budget; 0 for
+        full-budget and quarantined models.
+        """
+        if self.budget_assigned is None or self.quarantined:
+            return 0
+        full = int(self.training_parameters.get("max_epochs", self.max_epochs))
+        return max(full - min(int(self.budget_assigned), full), 0)
 
     def total_epoch_seconds(self) -> float:
         """Wall time across recorded epochs (0 for missing timings)."""
@@ -119,6 +148,7 @@ class RunRecord:
     n_models: int = 0
     total_epochs_trained: int = 0
     total_epochs_saved: int = 0
+    total_epochs_skipped: int = 0
     notes: str = ""
     workflow_config: dict | None = None
     generation_stats: list = field(default_factory=list)

@@ -41,6 +41,10 @@ _VERIFIED_FIELDS = (
     "quarantined",
     "cache_hit",
     "logical_tick",
+    "predicted_fitness",
+    "predicted_rank",
+    "budget_assigned",
+    "skip_reason",
 )
 
 

@@ -95,6 +95,10 @@ class LineageTracker:
         record.logical_tick = individual.logical_tick
         record.arena_enabled = bool(individual.arena_enabled)
         record.arena_peak_bytes = int(individual.arena_peak_bytes)
+        record.predicted_fitness = individual.predicted_fitness
+        record.predicted_rank = individual.predicted_rank
+        record.budget_assigned = individual.budget_assigned
+        record.skip_reason = individual.skip_reason
         if individual.fault_events and not record.fault_events:
             # fault events normally arrive through observe_fault_event;
             # pick them up from the individual when the policy wasn't

@@ -36,6 +36,7 @@ __all__ = [
     "Evaluator",
     "TrainingEvaluator",
     "EpochObserver",
+    "effective_budget",
     "retry_salt",
     "RNG_KEYINGS",
     "validate_rng_keying",
@@ -91,6 +92,21 @@ def retry_salt(individual: Individual) -> tuple:
     """
     attempt = getattr(individual, "eval_attempt", 0)
     return () if not attempt else ("retry", int(attempt))
+
+
+def effective_budget(individual: Individual, max_epochs: int) -> int:
+    """Epochs this evaluation may actually spend.
+
+    The full ``max_epochs`` unless the surrogate allocator assigned a
+    reduced probe budget, which is clamped to ``[0, max_epochs]``.  The
+    difference ``max_epochs - effective`` is accounted as
+    *surrogate-skipped*, distinct from epochs the engine saves by early
+    termination *within* the effective budget.
+    """
+    budget = individual.budget_assigned
+    if budget is None:
+        return int(max_epochs)
+    return max(0, min(int(budget), int(max_epochs)))
 
 #: Callback signature invoked after every trained epoch:
 #: ``observer(individual, epoch, fitness, prediction, context)`` where
@@ -201,12 +217,33 @@ class TrainingEvaluator:
         self.rng_keying = validate_rng_keying(rng_keying)
         self.dataset_key = dataset_key or _dataset_fingerprint(dataset)
         self.arena = bool(arena)
+        self._flops_cache: dict[str, int] = {}
 
     def _stream_ident(self, individual: Individual):
         """What keys this individual's RNG streams (see :data:`RNG_KEYINGS`)."""
         if self.rng_keying == "genome":
             return individual.genome.canonical_key()
         return individual.model_id
+
+    def flops_for(self, genome) -> int:
+        """FLOP count of the decoded network, cached per genome key.
+
+        FLOPs depend only on structure, never on weight values, so a
+        throwaway decode with a fixed generator matches what
+        :meth:`evaluate` will report.  The surrogate budget allocator
+        uses this to run its dominance test before any training.
+        """
+        canonical = self.rng_keying == "genome"
+        key = genome.canonical_key() if canonical else genome.key()
+        if key not in self._flops_cache:
+            network = decode_genome(
+                genome,
+                self.decoder_config,
+                rng=np.random.default_rng(0),
+                canonical=canonical,
+            )
+            self._flops_cache[key] = network_flops(network)
+        return self._flops_cache[key]
 
     def memo_key(self, individual: Individual) -> tuple | None:
         """Cache key for this evaluation, or ``None`` when not cacheable.
@@ -216,6 +253,10 @@ class TrainingEvaluator:
         differently, so their results must not be shared.
         """
         if self.rng_keying != "genome":
+            return None
+        budget = effective_budget(individual, self.max_epochs)
+        if budget == 0:
+            # a zero-budget skip is a prediction, not a measurement
             return None
         return (
             "real",
@@ -230,10 +271,19 @@ class TrainingEvaluator:
             retry_salt(individual),
             self.arena,
             self.sanitize_writes,
+            budget,
         )
 
     def evaluate(self, individual: Individual) -> Individual:
         """Decode, train with the Algorithm-1 loop, and fill the individual."""
+        budget = effective_budget(individual, self.max_epochs)
+        if budget == 0:
+            if not individual.evaluated:
+                raise ValueError(
+                    "zero-budget individual must arrive pre-filled by the "
+                    f"allocator, got model {individual.model_id}"
+                )
+            return individual
         # retries (fault policy) re-derive the RNG children with an
         # attempt salt; attempt 0 keeps the historical stream names so
         # fault-free runs replay byte-identically
@@ -282,7 +332,7 @@ class TrainingEvaluator:
 
         try:
             result = run_training_loop(
-                trainer, self.engine, self.max_epochs, epoch_callback=on_epoch
+                trainer, self.engine, budget, epoch_callback=on_epoch
             )
         except NumericalFault as fault:
             # the poisoned measurement never reaches fitness_history; the

@@ -68,6 +68,21 @@ class Individual:
     arena_peak_bytes:
         Peak scratch footprint of the network's arena for this
         evaluation (0 when the arena was disabled).
+    predicted_fitness:
+        Cross-architecture surrogate prediction made when this candidate
+        was bred (``None`` when the surrogate is off or had not yet
+        reached its cold-start floor).
+    predicted_rank:
+        1-based rank of the prediction against the breeding population's
+        measured fitnesses (1 = predicted better than every member).
+    budget_assigned:
+        Reduced epoch budget assigned by the surrogate allocator;
+        ``None`` means the full ``max_epochs`` budget.
+    skip_reason:
+        Why the allocator flagged this candidate — ``"predicted_loser"``
+        (probed at the reduced budget) or ``"exploration"`` (a predicted
+        loser granted full budget by the exploration floor).  ``None``
+        for predicted winners and unscored candidates.
     """
 
     genome: Genome
@@ -85,6 +100,10 @@ class Individual:
     logical_tick: int | None = None
     arena_enabled: bool = False
     arena_peak_bytes: int = 0
+    predicted_fitness: float | None = None
+    predicted_rank: int | None = None
+    budget_assigned: int | None = None
+    skip_reason: str | None = None
 
     @property
     def evaluated(self) -> bool:
@@ -113,6 +132,10 @@ class Individual:
             "logical_tick": self.logical_tick,
             "arena_enabled": self.arena_enabled,
             "arena_peak_bytes": self.arena_peak_bytes,
+            "predicted_fitness": self.predicted_fitness,
+            "predicted_rank": self.predicted_rank,
+            "budget_assigned": self.budget_assigned,
+            "skip_reason": self.skip_reason,
         }
 
 

@@ -21,7 +21,7 @@ from typing import Callable, Protocol, runtime_checkable
 
 import numpy as np
 
-from repro.nas.evaluation import Evaluator
+from repro.nas.evaluation import Evaluator, effective_budget
 from repro.nas.genome import Genome, random_genome
 from repro.nas.nsga2 import (
     binary_tournament,
@@ -207,10 +207,13 @@ class NSGANetConfig:
 class GenerationStats:
     """Aggregates recorded after each generation's evaluation.
 
-    ``epochs_saved`` is measured against the budget of *completed*
-    evaluations only: a quarantined candidate never trained, so it
-    neither consumes nor "saves" budget (counting it would overstate the
-    paper's epochs-saved metric).
+    ``epochs_saved`` counts epochs the *engine* saved by terminating
+    early inside each evaluation's effective budget; ``epochs_skipped``
+    counts epochs the *surrogate* allocator removed by assigning reduced
+    budgets before evaluation.  The two never overlap, and both are
+    measured against completed evaluations only: a quarantined candidate
+    never trained, so it neither consumes nor "saves" budget (counting
+    it would overstate the paper's epochs-saved metric).
     """
 
     generation: int
@@ -222,6 +225,7 @@ class GenerationStats:
     pareto_size: int
     n_quarantined: int = 0
     n_cache_hits: int = 0
+    epochs_skipped: int = 0
 
 
 @dataclass
@@ -287,19 +291,33 @@ class SearchResult:
 
     @property
     def epoch_budget(self) -> int:
-        """Training budget over *completed* evaluations.
+        """Full training budget over *completed* evaluations.
 
-        Quarantined candidates carry no :class:`~repro.core.plugin.
-        TrainingResult`; excluding them keeps the paper's epochs-saved
-        metric honest — it can neither go negative nor count budget that
-        was never at stake.
+        Quarantined candidates never trained; excluding them keeps the
+        paper's epochs-saved metric honest — it can neither go negative
+        nor count budget that was never at stake.  Surrogate-skipped
+        candidates (zero/reduced budget) still count: their full budget
+        was at stake, the allocator just chose not to spend it.
         """
-        completed = sum(1 for m in self.archive if m.result)
+        completed = sum(1 for m in self.archive if not m.quarantined)
         return (self.config.max_epochs if self.config else 0) * completed
 
     @property
+    def total_epochs_skipped(self) -> int:
+        """Epochs the surrogate allocator removed by reducing budgets."""
+        max_epochs = self.config.max_epochs if self.config else 0
+        return sum(
+            max_epochs - effective_budget(m, max_epochs)
+            for m in self.archive
+            if not m.quarantined
+        )
+
+    @property
     def total_epochs_saved(self) -> int:
-        return self.epoch_budget - self.total_epochs_trained
+        """Epochs the engine saved by early termination (never includes
+        surrogate-skipped epochs; the three counters partition
+        :attr:`epoch_budget` exactly)."""
+        return self.epoch_budget - self.total_epochs_skipped - self.total_epochs_trained
 
     def pareto_individuals(self) -> list[Individual]:
         """Pareto-optimal members of the archive (accuracy ↑, FLOPs ↓)."""
@@ -321,6 +339,15 @@ class NSGANet:
         Deterministic stream for initialization and genetic operators.
     on_individual:
         Optional callback after each evaluation (lineage hook).
+    on_candidate:
+        Optional callback ``on_candidate(individual, members,
+        n_committed)`` fired the moment a candidate is created, before
+        it is submitted for evaluation: ``members`` is the (pinned)
+        population state it was bred from and ``n_committed`` the number
+        of lineage commits visible at that point.  The surrogate budget
+        allocator scores candidates here; because both arguments are
+        pure functions of the logical clock, scoring is deterministic
+        across backends and replayable on resume.
     on_generation:
         Optional callback with each :class:`GenerationStats`.
     executor:
@@ -341,6 +368,7 @@ class NSGANet:
         *,
         rng_stream: RngStream | None = None,
         on_individual: Callable[[Individual], None] | None = None,
+        on_candidate: Callable[[Individual, list, int], None] | None = None,
         on_generation: Callable[[GenerationStats], None] | None = None,
         executor: Callable[[list], list] | None = None,
         stream: EvalStream | None = None,
@@ -349,6 +377,7 @@ class NSGANet:
         self.evaluator = evaluator
         self.rng_stream = rng_stream or RngStream(0)
         self.on_individual = on_individual
+        self.on_candidate = on_candidate
         self.on_generation = on_generation
         self.executor = executor
         self.stream = stream
@@ -359,11 +388,21 @@ class NSGANet:
         self._next_model_id += 1
         return individual
 
+    def _notify_candidate(
+        self, individual: Individual, members: list[Individual], n_committed: int
+    ) -> None:
+        if self.on_candidate is not None:
+            self.on_candidate(individual, members, n_committed)
+
     def _evaluate_all(self, individuals: list[Individual]) -> None:
+        # zero-budget candidates arrive pre-filled by the surrogate
+        # allocator and never reach the evaluation backend
+        todo = [m for m in individuals if not m.evaluated]
         if self.executor is not None:
-            self.executor(individuals)
+            if todo:
+                self.executor(todo)
         else:
-            for individual in individuals:
+            for individual in todo:
                 self.evaluator.evaluate(individual)
         for individual in individuals:
             if not individual.evaluated:
@@ -378,8 +417,17 @@ class NSGANet:
     ) -> GenerationStats:
         fitnesses = [float(m.fitness) for m in evaluated]
         completed = [m for m in evaluated if m.result]
+        max_epochs = self.config.max_epochs
         epochs = sum(m.result.epochs_trained for m in completed)
-        budget = self.config.max_epochs * len(completed)
+        # engine savings are measured inside each evaluation's effective
+        # (surrogate-reduced) budget; the gap up to the full budget is
+        # what the surrogate skipped — the two counters never overlap
+        budget = sum(effective_budget(m, max_epochs) for m in completed)
+        skipped = sum(
+            max_epochs - effective_budget(m, max_epochs)
+            for m in evaluated
+            if not m.quarantined
+        )
         stats = GenerationStats(
             generation=generation,
             n_evaluated=len(evaluated),
@@ -390,6 +438,7 @@ class NSGANet:
             pareto_size=int(pareto_front_mask(population.objective_array()).sum()),
             n_quarantined=sum(1 for m in evaluated if m.quarantined),
             n_cache_hits=sum(1 for m in evaluated if m.cache_hit),
+            epochs_skipped=skipped,
         )
         _LOG.info(
             "generation %d: best %.2f%%, mean %.2f%%, epochs %d/%d, quarantined %d, cache hits %d",
@@ -406,7 +455,7 @@ class NSGANet:
         return stats
 
     def _make_offspring(
-        self, population: Population, generation: int
+        self, population: Population, generation: int, n_committed: int = 0
     ) -> list[Individual]:
         rng = self.rng_stream.generator("variation", generation)
         objectives = population.objective_array()
@@ -423,7 +472,9 @@ class NSGANet:
                 if len(children) >= n:
                     break
                 mutated = bitflip_mutation(child, rng, rate=self.config.mutation_rate)
-                children.append(self._new_individual(mutated, generation))
+                offspring = self._new_individual(mutated, generation)
+                self._notify_candidate(offspring, population.members, n_committed)
+                children.append(offspring)
         return children
 
     # -- steady-state mode -------------------------------------------------
@@ -468,6 +519,10 @@ class NSGANet:
                 f"steady breeding out of order: bred model {individual.model_id}, "
                 f"expected global index {g}"
             )
+        # the pinned commit count is a pure function of g and the lag, so
+        # candidate scoring replays identically on resume
+        pinned = max(1, g - (self.config.steady_lag or 1) + 1)
+        self._notify_candidate(individual, members, pinned)
         return individual
 
     def _run_steady(self, resume: SearchState | None) -> SearchResult:
@@ -491,6 +546,15 @@ class NSGANet:
         pending: dict[int, Individual] = {}
         chunk: list[Individual] = []
 
+        def submit(individual: Individual) -> None:
+            if individual.evaluated:
+                # zero-budget candidate pre-filled by the surrogate
+                # allocator: it never reaches the backend and is ready
+                # to commit at its tick
+                pending[individual.model_id] = individual
+            else:
+                stream.submit(individual)
+
         if resume is None:
             init_rng = self.rng_stream.generator("init-population")
             initial = [
@@ -510,7 +574,8 @@ class NSGANet:
             generation_stats: list[GenerationStats] = []
             committed = 0
             for individual in initial:
-                stream.submit(individual)
+                self._notify_candidate(individual, [], 0)
+                submit(individual)
             next_submit = population_size
         else:
             archive = resume.archive
@@ -539,16 +604,19 @@ class NSGANet:
                 child = self._breed_steady(
                     next_submit, history[pinned], archive.members[:pinned]
                 )
-                stream.submit(child)
+                submit(child)
                 next_submit += 1
 
         while committed < total:
-            settled = stream.settled()
-            if not settled.evaluated:
-                raise RuntimeError(
-                    f"model {settled.model_id} was not evaluated by the stream"
-                )
-            pending[settled.model_id] = settled
+            if committed not in pending:
+                # the next tick is in flight (commits land in submission
+                # order, so anything not yet pending is on the backend)
+                settled = stream.settled()
+                if not settled.evaluated:
+                    raise RuntimeError(
+                        f"model {settled.model_id} was not evaluated by the stream"
+                    )
+                pending[settled.model_id] = settled
             while committed in pending:
                 individual = pending.pop(committed)
                 individual.logical_tick = committed
@@ -581,7 +649,7 @@ class NSGANet:
                     child = self._breed_steady(
                         next_submit, population.members, archive.members
                     )
-                    stream.submit(child)
+                    submit(child)
                     next_submit += 1
         stream.finish()
 
@@ -616,6 +684,8 @@ class NSGANet:
                 )
                 for _ in range(config.population_size)
             ]
+            for individual in initial:
+                self._notify_candidate(individual, [], 0)
             self._evaluate_all(initial)
             population = Population(initial)
             archive = Population(list(initial))
@@ -634,7 +704,9 @@ class NSGANet:
                 )
 
         for generation in range(start_generation, config.generations):
-            offspring = self._make_offspring(population, generation)
+            offspring = self._make_offspring(
+                population, generation, n_committed=len(archive.members)
+            )
             self._evaluate_all(offspring)
             archive.extend(offspring)
 

@@ -24,22 +24,45 @@ Curves are deterministic per (root seed, model id, intensity).
 
 from __future__ import annotations
 
+from bisect import bisect_right
 from dataclasses import dataclass
+from typing import Callable, Iterable, Sequence
 
 import numpy as np
 
 from repro.core.engine import PredictionEngine
+from repro.core.fitting import RidgeFit, ridge_lstsq
 from repro.core.plugin import run_training_loop
 from repro.nas.decoder import DecoderConfig, decode_genome
-from repro.nas.evaluation import _engine_fingerprint, retry_salt, validate_rng_keying
-from repro.nas.genome import Genome, n_connection_bits
+from repro.nas.evaluation import (
+    _engine_fingerprint,
+    effective_budget,
+    retry_salt,
+    validate_rng_keying,
+)
+from repro.nas.genome import Genome, PhaseGenome, n_connection_bits
 from repro.nas.population import Individual
 from repro.nn.flops import network_flops
 from repro.scheduler.costmodel import EpochCostModel
 from repro.utils.rng import RngStream
+from repro.utils.validation import ValidationError
 from repro.xfel.intensity import BeamIntensity
 
-__all__ = ["CurveRegime", "REGIMES", "LearningCurveModel", "SurrogateEvaluator", "sample_curve"]
+__all__ = [
+    "CurveRegime",
+    "REGIMES",
+    "LearningCurveModel",
+    "SurrogateEvaluator",
+    "sample_curve",
+    "SurrogateConfig",
+    "FitnessPredictor",
+    "BudgetAllocator",
+    "phase_depth",
+    "genome_features",
+    "genome_feature_names",
+    "SKIP_PROBE",
+    "SKIP_EXPLORE",
+]
 
 
 @dataclass(frozen=True)
@@ -239,7 +262,12 @@ class SurrogateEvaluator:
         self.rng_keying = validate_rng_keying(rng_keying)
         self._flops_cache: dict[str, int] = {}
 
-    def _flops_for(self, genome: Genome) -> int:
+    def flops_for(self, genome: Genome) -> int:
+        """FLOP count of the decoded network, cached per genome key.
+
+        Public because the surrogate budget allocator needs FLOPs
+        *before* evaluation to run its dominance test.
+        """
         # canonical keying shares one FLOP count (and one decode) across
         # an isomorphism class; relabeling preserves FLOPs, so the values
         # agree with legacy per-raw-genome counting either way
@@ -264,6 +292,10 @@ class SurrogateEvaluator:
         """Cache key for this evaluation, or ``None`` when not cacheable."""
         if self.rng_keying != "genome":
             return None
+        budget = effective_budget(individual, self.max_epochs)
+        if budget == 0:
+            # a zero-budget skip is a prediction, not a measurement
+            return None
         return (
             "surrogate",
             individual.genome.canonical_key(),
@@ -272,10 +304,19 @@ class SurrogateEvaluator:
             _engine_fingerprint(self.engine),
             repr(self.regime),
             retry_salt(individual),
+            budget,
         )
 
     def evaluate(self, individual: Individual) -> Individual:
         """Sample a curve, run Algorithm 1 on it, and fill the individual."""
+        budget = effective_budget(individual, self.max_epochs)
+        if budget == 0:
+            if not individual.evaluated:
+                raise ValueError(
+                    "zero-budget individual must arrive pre-filled by the "
+                    f"allocator, got model {individual.model_id}"
+                )
+            return individual
         salt = retry_salt(individual)
         ident = self._stream_ident(individual)
         curve_rng = self.rng_stream.generator(
@@ -284,6 +325,9 @@ class SurrogateEvaluator:
         cost_rng = self.rng_stream.generator(
             "cost", ident, self.intensity.label, *salt
         )
+        # The curve is always sampled at the full budget so a reduced-budget
+        # probe trains an exact prefix of what full training would have seen
+        # (and the off-mode RNG stream is untouched).
         curve = sample_curve(individual.genome, self.regime, curve_rng, self.max_epochs)
         model = LearningCurveModel(curve)
 
@@ -292,11 +336,9 @@ class SurrogateEvaluator:
             for observer in self.observers:
                 observer(individual, epoch, fitness, prediction, context)
 
-        result = run_training_loop(
-            model, self.engine, self.max_epochs, epoch_callback=on_epoch
-        )
+        result = run_training_loop(model, self.engine, budget, epoch_callback=on_epoch)
 
-        flops = self._flops_for(individual.genome)
+        flops = self.flops_for(individual.genome)
         individual.fitness = result.fitness
         individual.flops = flops
         individual.result = result
@@ -306,3 +348,382 @@ class SurrogateEvaluator:
             )
         )
         return individual
+
+
+# ---------------------------------------------------------------------------
+# Cross-architecture fitness prediction (surrogate pre-ranking)
+# ---------------------------------------------------------------------------
+#
+# Everything above simulates *one* model's training; everything below
+# predicts fitness *across* models from the lineage commons, before any
+# training happens, so the orchestrator can spend full epoch budgets only
+# on predicted winners (PEng4NN / Baker et al.; see DESIGN §14).
+
+#: ``skip_reason`` value for a candidate probed at the reduced budget.
+SKIP_PROBE = "predicted_loser"
+#: ``skip_reason`` value for a predicted loser granted full budget by the
+#: exploration floor (so the predictor keeps seeing its own mistakes).
+SKIP_EXPLORE = "exploration"
+
+
+def phase_depth(phase: PhaseGenome) -> int:
+    """Longest input→output path through the phase DAG, in nodes.
+
+    Nodes without predecessors read the phase input, so every node starts
+    a chain of length 1; an edge ``i -> j`` extends the chain.  This is
+    the per-phase "effective depth" feature of the genome featurization.
+    """
+    matrix = phase.connection_matrix()
+    depth = [1] * phase.n_nodes
+    for j in range(1, phase.n_nodes):
+        feeding = [depth[i] for i in range(j) if matrix[i, j]]
+        if feeding:
+            depth[j] = 1 + max(feeding)
+    return max(depth)
+
+
+def genome_feature_names(nodes_per_phase: Sequence[int]) -> list[str]:
+    """Column names of :func:`genome_features` for ``nodes_per_phase``."""
+    names = ["bias"]
+    for p in range(len(nodes_per_phase)):
+        names += [f"phase{p}_connections", f"phase{p}_skip", f"phase{p}_depth"]
+    names += ["total_connections", "total_skips", "density", "log10_flops"]
+    return names
+
+
+def genome_features(genome: Genome, flops: float) -> tuple:
+    """Deterministic feature row for the cross-architecture predictor.
+
+    Purely structural statistics of the genome (per-phase connection
+    counts, skip bits, and DAG depth, plus totals and connectivity
+    density) and the decoded network's FLOP count on a log scale.  The
+    decoder's per-phase operation and width schedule is fixed, so layer
+    op/width/kernel statistics and parameter counts are functions of this
+    structure — the FLOPs column is where they enter numerically.
+
+    The same row must be computable offline from a lineage record alone
+    (genome dict + stored FLOPs); keep this in sync with
+    :func:`repro.analysis.queries.training_matrix`.
+    """
+    row: list[float] = [1.0]
+    for phase in genome.phases:
+        row += [float(phase.n_connections), float(phase.skip), float(phase_depth(phase))]
+    row += [
+        float(genome.n_connections),
+        float(genome.n_skips),
+        _capacity_score(genome),
+        float(np.log10(1.0 + float(flops))),
+    ]
+    return tuple(row)
+
+
+@dataclass(frozen=True)
+class SurrogateConfig:
+    """Settings for surrogate pre-ranking (``--surrogate rank``).
+
+    Attributes
+    ----------
+    probe_epochs:
+        Budget assigned to predicted losers (0 skips training entirely
+        and records the prediction as the fitness; 1 trains a single
+        probe epoch so the skip decision has a measured outcome).
+    min_records:
+        Committed full-budget records required before any scoring — the
+        cold-start floor below which every candidate trains normally.
+    explore_every:
+        Every ``explore_every``-th predicted loser is granted the full
+        budget anyway (``skip_reason="exploration"``), so the predictor
+        keeps receiving ground truth in the region it is skipping and
+        cannot collapse the search.
+    band:
+        Uncertainty band width in training-RMSE units; a candidate is
+        only probed when even ``predicted + band * sigma`` is dominated
+        by the current population.
+    min_dominators:
+        How many current members must dominate the optimistic estimate
+        before the candidate counts as a predicted loser.
+    ridge:
+        Ridge regularization for the least-squares refit.
+    sigma_floor:
+        Lower bound on the uncertainty estimate (accuracy points).
+    """
+
+    probe_epochs: int = 1
+    min_records: int = 8
+    explore_every: int = 6
+    band: float = 2.0
+    min_dominators: int = 1
+    ridge: float = 1e-3
+    sigma_floor: float = 0.5
+
+    def __post_init__(self) -> None:
+        if self.probe_epochs < 0:
+            raise ValidationError(f"probe_epochs must be >= 0, got {self.probe_epochs}")
+        if self.min_records < 1:
+            raise ValidationError(f"min_records must be >= 1, got {self.min_records}")
+        if self.explore_every < 1:
+            raise ValidationError(
+                f"explore_every must be >= 1, got {self.explore_every}"
+            )
+        if self.band < 0.0:
+            raise ValidationError(f"band must be >= 0, got {self.band}")
+        if self.min_dominators < 1:
+            raise ValidationError(
+                f"min_dominators must be >= 1, got {self.min_dominators}"
+            )
+        if self.ridge < 0.0:
+            raise ValidationError(f"ridge must be >= 0, got {self.ridge}")
+        if self.sigma_floor < 0.0:
+            raise ValidationError(f"sigma_floor must be >= 0, got {self.sigma_floor}")
+
+    def to_dict(self) -> dict:
+        return {
+            "probe_epochs": self.probe_epochs,
+            "min_records": self.min_records,
+            "explore_every": self.explore_every,
+            "band": self.band,
+            "min_dominators": self.min_dominators,
+            "ridge": self.ridge,
+            "sigma_floor": self.sigma_floor,
+        }
+
+    @classmethod
+    def from_dict(cls, payload: dict) -> "SurrogateConfig":
+        return cls(**payload)
+
+
+class FitnessPredictor:
+    """Online ridge model over lineage observations, prefix-addressable.
+
+    Observations arrive tagged with the lineage commit count at which
+    they became visible.  Predictions are made *as of* a commit count, so
+    a candidate bred when ``c`` commits were visible is scored against
+    exactly those observations — in live runs, on resume, and across
+    backends alike.  Fits are closed-form (:func:`ridge_lstsq`) and
+    cached per visible-prefix length.
+    """
+
+    def __init__(self, *, ridge: float = 1e-3, sigma_floor: float = 0.5) -> None:
+        self.ridge = float(ridge)
+        self.sigma_floor = float(sigma_floor)
+        self._rows: list[tuple] = []
+        self._targets: list[float] = []
+        self._commit_counts: list[int] = []
+        self._fits: dict[int, RidgeFit | None] = {}
+
+    @property
+    def n_observations(self) -> int:
+        return len(self._rows)
+
+    def observe(self, features: Sequence[float], fitness: float, commit_count: int) -> None:
+        """Add one full-budget outcome, visible from ``commit_count`` on."""
+        if self._commit_counts and commit_count < self._commit_counts[-1]:
+            raise ValueError(
+                f"observations must arrive in commit order, got {commit_count} "
+                f"after {self._commit_counts[-1]}"
+            )
+        self._rows.append(tuple(float(f) for f in features))
+        self._targets.append(float(fitness))
+        self._commit_counts.append(int(commit_count))
+
+    def visible_rows(self, n_committed: int) -> int:
+        """Observations visible when ``n_committed`` commits had landed."""
+        return bisect_right(self._commit_counts, n_committed)
+
+    def _fit(self, n_rows: int) -> RidgeFit | None:
+        if n_rows not in self._fits:
+            self._fits[n_rows] = ridge_lstsq(
+                self._rows[:n_rows], self._targets[:n_rows], ridge=self.ridge
+            )
+        return self._fits[n_rows]
+
+    def predict(
+        self, features: Sequence[float], n_committed: int | None = None
+    ) -> tuple[float, float] | None:
+        """Predicted ``(fitness, sigma)`` as of ``n_committed`` commits.
+
+        ``None`` when no usable fit exists for that prefix (no visible
+        observations, or a degenerate system).
+        """
+        n_rows = (
+            len(self._rows) if n_committed is None else self.visible_rows(n_committed)
+        )
+        if n_rows == 0:
+            return None
+        fit = self._fit(n_rows)
+        if fit is None:
+            return None
+        row = list(features)
+        mean = float(fit.predict(row))
+        # predictive scale, not the bare training residual: the leverage
+        # term inflates sigma for candidates outside the training cloud,
+        # where in-sample RMSE badly understates the true error — exactly
+        # the candidates a skip decision must not be confident about
+        sigma = max(
+            float(fit.rmse) * float(np.sqrt(1.0 + fit.leverage(row))),
+            self.sigma_floor,
+        )
+        return mean, sigma
+
+    def fingerprint(self) -> tuple:
+        """Stable digest of the full observation log (for resume tests)."""
+        return (
+            len(self._rows),
+            tuple(self._commit_counts),
+            tuple(self._targets),
+            tuple(self._rows),
+        )
+
+
+class BudgetAllocator:
+    """Scores bred candidates and assigns reduced budgets to losers.
+
+    One instance lives in the orchestrating parent process (worker
+    processes only ever see the resulting budget on their
+    :class:`~repro.scheduler.procpool.EvalTask`).  The search calls
+    :meth:`score` when a candidate is bred and the orchestrator calls
+    :meth:`observe` as each evaluation commits; :meth:`restore` replays
+    a resumed run's committed records so the state machine continues
+    exactly where the interrupted run left off.
+
+    The skip rule is dominance-aware on the real objectives: a candidate
+    is a predicted loser only when its *optimistic* estimate
+    ``(predicted + band * sigma, flops)`` is Pareto-dominated by at least
+    ``min_dominators`` current members.  A probed candidate's realized
+    fitness can only come in at or below the optimistic estimate, so a
+    probed model can never join the archive's Pareto front — which is
+    what keeps the surrogate-on front identical to the off-mode front.
+    """
+
+    def __init__(
+        self,
+        settings: SurrogateConfig,
+        *,
+        max_epochs: int,
+        flops_fn: Callable[[Genome], int],
+    ) -> None:
+        self.settings = settings
+        self.max_epochs = int(max_epochs)
+        self.flops_fn = flops_fn
+        self.predictor = FitnessPredictor(
+            ridge=settings.ridge, sigma_floor=settings.sigma_floor
+        )
+        self.n_scored = 0
+        self.n_losers = 0
+        self.n_commits = 0
+
+    # -- scoring (breed time) ---------------------------------------------
+
+    def score(
+        self, individual: Individual, members: Sequence[Individual], n_committed: int
+    ) -> None:
+        """Score one bred candidate against ``members``, assigning budget.
+
+        ``n_committed`` is the number of lineage commits visible at this
+        breed point (the steady-state pinned prefix, or the archive size
+        in barrier mode); predictions use exactly that observation
+        prefix, which is what makes them replayable.
+        """
+        flops = int(self.flops_fn(individual.genome))
+        features = genome_features(individual.genome, flops)
+        # below the feature count the ridge system interpolates: training
+        # RMSE collapses to ~0 and the uncertainty band is meaningless,
+        # so never score an underdetermined fit regardless of min_records
+        needed = max(self.settings.min_records, len(features) + 2)
+        if self.predictor.visible_rows(n_committed) < needed:
+            return
+        prediction = self.predictor.predict(features, n_committed)
+        if prediction is None:
+            return
+        mean, sigma = prediction
+        pool = [
+            m
+            for m in members
+            if not m.quarantined and m.fitness is not None and m.flops is not None
+        ]
+        individual.predicted_fitness = mean
+        individual.predicted_rank = 1 + sum(1 for m in pool if m.fitness > mean)
+        self.n_scored += 1
+        optimistic = mean + self.settings.band * sigma
+        dominators = sum(
+            1
+            for m in pool
+            if m.fitness >= optimistic
+            and m.flops <= flops
+            and (m.fitness > optimistic or m.flops < flops)
+        )
+        if dominators < self.settings.min_dominators:
+            return
+        self.n_losers += 1
+        if self.n_losers % self.settings.explore_every == 0:
+            individual.skip_reason = SKIP_EXPLORE
+            return
+        individual.skip_reason = SKIP_PROBE
+        individual.budget_assigned = self.settings.probe_epochs
+        if self.settings.probe_epochs == 0:
+            # full skip: the prediction *is* the recorded outcome
+            individual.fitness = mean
+            individual.flops = flops
+
+    # -- observation (commit time) ----------------------------------------
+
+    @staticmethod
+    def _trainable(
+        quarantined: bool, budget_assigned: int | None, fitness, flops, trained: int
+    ) -> bool:
+        # only clean full-budget measurements are ground truth; probes and
+        # zero-budget skips would teach the model its own predictions
+        return (
+            not quarantined
+            and budget_assigned is None
+            and fitness is not None
+            and flops is not None
+            and trained > 0
+        )
+
+    def observe(self, individual: Individual) -> None:
+        """Fold one committed evaluation into the predictor's training set."""
+        self.n_commits += 1
+        result = individual.result
+        if not self._trainable(
+            individual.quarantined,
+            individual.budget_assigned,
+            individual.fitness,
+            individual.flops,
+            0 if result is None else result.epochs_trained,
+        ):
+            return
+        self.predictor.observe(
+            genome_features(individual.genome, individual.flops),
+            individual.fitness,
+            self.n_commits,
+        )
+
+    def restore(self, records: Iterable) -> None:
+        """Replay a resumed run's committed records, in commit order.
+
+        Predictions stored on the records are *replayed* (the counters
+        advance from them), never recomputed; only full-budget outcomes
+        re-enter the training set, exactly as :meth:`observe` would have
+        done live.
+        """
+        for record in records:
+            if record.predicted_fitness is not None:
+                self.n_scored += 1
+                if record.skip_reason is not None:
+                    self.n_losers += 1
+            self.n_commits += 1
+            if not self._trainable(
+                record.quarantined,
+                record.budget_assigned,
+                record.fitness,
+                record.flops,
+                record.epochs_trained,
+            ):
+                continue
+            genome = Genome.from_dict(record.genome)
+            self.predictor.observe(
+                genome_features(genome, record.flops),
+                record.fitness,
+                self.n_commits,
+            )

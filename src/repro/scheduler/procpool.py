@@ -106,12 +106,18 @@ class EvalSpec:
 
 @dataclass(frozen=True)
 class EvalTask:
-    """One evaluation attempt dispatched to a worker process."""
+    """One evaluation attempt dispatched to a worker process.
+
+    ``budget`` ships the surrogate allocator's (possibly reduced) epoch
+    budget; the allocator itself — predictor state included — never
+    leaves the parent process.
+    """
 
     model_id: int
     generation: int
     attempt: int
     genome: object
+    budget: int | None = None
 
 
 @dataclass(frozen=True)
@@ -223,6 +229,7 @@ class _WorkerRuntime:
             model_id=task.model_id,
             generation=task.generation,
             eval_attempt=task.attempt,
+            budget_assigned=task.budget,
         )
         try:
             self.evaluator.evaluate(individual)
@@ -644,6 +651,7 @@ class ProcessWorkerPool:
                     generation=job.individual.generation,
                     attempt=job.attempt,
                     genome=job.individual.genome,
+                    budget=job.individual.budget_assigned,
                 )
             )
 

@@ -62,11 +62,14 @@ def jobs_by_generation(
     lengthens the schedule exactly where it occurred.
 
     Quarantined members contributed no completed training, so they are
-    excluded from the simulated workload.
+    excluded from the simulated workload — as are zero-budget surrogate
+    skips, which never occupied a worker at all.
     """
     by_generation: dict[int, list[Job]] = {}
     for member in result.archive:
         if member.quarantined:
+            continue
+        if member.result is None and member.budget_assigned == 0:
             continue
         if member.result is None:
             raise ValueError(f"model {member.model_id} has no training result")

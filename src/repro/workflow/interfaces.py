@@ -14,6 +14,7 @@ from dataclasses import dataclass, field, replace
 from repro.core.engine import EngineConfig
 from repro.nas.evaluation import validate_rng_keying
 from repro.nas.search import NSGANetConfig
+from repro.nas.surrogate import SurrogateConfig
 from repro.nn.dtype import dtype_label
 from repro.scheduler.faults import FaultInjectionConfig, FaultPolicy
 from repro.utils.validation import ValidationError
@@ -105,6 +106,12 @@ class WorkflowConfig:
         at gradcheck tolerance but not bitwise, and float64 is the
         byte-exact replay dtype.  ``from_dict`` defaults *missing* keys
         to ``False`` so historical run documents replay exactly.
+    surrogate:
+        Cross-architecture surrogate pre-ranking settings
+        (:class:`~repro.nas.surrogate.SurrogateConfig`).  ``None`` (the
+        default, and the ``from_dict`` default for missing keys) keeps
+        the allocator off entirely — runs are byte-identical to
+        pre-surrogate behaviour.
     """
 
     nas: NSGANetConfig = field(default_factory=NSGANetConfig)
@@ -125,6 +132,7 @@ class WorkflowConfig:
     rng_keying: str = "genome"
     eval_cache: bool = True
     arena: bool | None = None
+    surrogate: SurrogateConfig | None = None
 
     def __post_init__(self) -> None:
         if int(self.n_workers) < 1:
@@ -229,6 +237,7 @@ class WorkflowConfig:
             "rng_keying": self.rng_keying,
             "eval_cache": self.eval_cache,
             "arena": self.arena,
+            "surrogate": self.surrogate.to_dict() if self.surrogate else None,
         }
 
     @classmethod
@@ -272,4 +281,7 @@ class WorkflowConfig:
             rng_keying=payload.get("rng_keying", "model"),
             eval_cache=payload.get("eval_cache", False),
             arena=payload.get("arena", False),
+            surrogate=SurrogateConfig.from_dict(payload["surrogate"])
+            if payload.get("surrogate")
+            else None,
         )

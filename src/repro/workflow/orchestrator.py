@@ -20,7 +20,7 @@ from repro.lineage.tracker import LineageTracker
 from repro.nas.evalcache import EvaluationCache, MemoizingEvaluator, MemoizingStream
 from repro.nas.evaluation import TrainingEvaluator
 from repro.nas.search import NSGANet, SearchResult
-from repro.nas.surrogate import SurrogateEvaluator
+from repro.nas.surrogate import BudgetAllocator, SurrogateEvaluator
 from repro.scheduler.faults import FaultInjectingEvaluator, FaultTolerantEvaluator
 from repro.scheduler.pool import FifoWorkerPool
 from repro.scheduler.procpool import EvalSpec, ProcessWorkerPool
@@ -69,6 +69,11 @@ class WorkflowResult:
     def total_epochs_saved(self) -> int:
         return self.search.total_epochs_saved
 
+    @property
+    def total_epochs_skipped(self) -> int:
+        """Epochs the surrogate allocator skipped by reducing budgets."""
+        return self.search.total_epochs_skipped
+
     def epochs_saved_fraction(self) -> float:
         """Fraction of the 25-epoch budget the engine saved.
 
@@ -106,6 +111,7 @@ class A4NNOrchestrator:
         self.checkpoint_dir = checkpoint_dir
         self.history_store = HistoryStore()
         self.memoizer: MemoizingEvaluator | None = None
+        self.allocator: BudgetAllocator | None = None
         self.pool = None  # WorkerPool behind the executor, when one exists
         self.pool_reports: list = []  # PoolReports kept after close_pool()
         self._tracker: LineageTracker | None = None
@@ -183,7 +189,24 @@ class A4NNOrchestrator:
         if self.config.eval_cache and not injection_active:
             self.memoizer = MemoizingEvaluator(evaluator, base, cache=EvaluationCache())
             evaluator = self.memoizer
+        # the surrogate pre-ranking allocator scores candidates at breed
+        # time against the base evaluator's FLOP counter; its predictor
+        # state lives here in the parent only (workers receive budgets
+        # via EvalTask)
+        self.allocator = None
+        if self.config.surrogate is not None:
+            self.allocator = BudgetAllocator(
+                self.config.surrogate,
+                max_epochs=self.config.nas.max_epochs,
+                flops_fn=base.flops_for,
+            )
         return evaluator
+
+    def _on_individual(self, individual) -> None:
+        """Commit hook: lineage first, then the surrogate refit."""
+        self._tracker.observe_individual(individual)
+        if self.allocator is not None:
+            self.allocator.observe(individual)
 
     def _build_process_pool(self) -> ProcessWorkerPool:
         """Assemble the spawned-worker backend from the built evaluator chain.
@@ -329,7 +352,8 @@ class A4NNOrchestrator:
             nas,
             evaluator,
             rng_stream=RngStream(config.seed).child("search"),
-            on_individual=tracker.observe_individual,
+            on_individual=self._on_individual,
+            on_candidate=self.allocator.score if self.allocator else None,
             executor=None if steady else self.build_executor(evaluator),
             stream=self.build_stream(evaluator) if steady else None,
         )
@@ -379,6 +403,7 @@ class A4NNOrchestrator:
                     "mean_fitness": g.mean_fitness,
                     "epochs_trained": g.epochs_trained,
                     "epochs_saved": g.epochs_saved,
+                    "epochs_skipped": g.epochs_skipped,
                     "pareto_size": g.pareto_size,
                     "n_quarantined": g.n_quarantined,
                     "n_cache_hits": g.n_cache_hits,

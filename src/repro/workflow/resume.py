@@ -21,6 +21,7 @@ import numpy as np
 from repro.core.plugin import TrainingResult
 from repro.lineage.commons import DataCommons
 from repro.lineage.records import ModelRecord
+from repro.nas.evaluation import effective_budget
 from repro.nas.genome import Genome
 from repro.nas.nsga2 import environmental_selection, pareto_front_mask
 from repro.nas.population import Individual, Population
@@ -36,6 +37,15 @@ def individual_from_record(record: ModelRecord) -> Individual:
     """Reconstruct an evaluated individual from its record trail."""
     if record.fitness is None or record.flops is None:
         raise ValueError(f"model {record.model_id} record is incomplete")
+    # surrogate allocator decisions are replayed from the record, never
+    # recomputed — resumed runs keep the original predictions even though
+    # the predictor is refit from a prefix of the data
+    predicted = {
+        "predicted_fitness": record.predicted_fitness,
+        "predicted_rank": record.predicted_rank,
+        "budget_assigned": record.budget_assigned,
+        "skip_reason": record.skip_reason,
+    }
     if record.quarantined:
         # quarantined candidates carry penalized objectives but no
         # training result; rebuilding one keeps the resumed archive's
@@ -48,6 +58,20 @@ def individual_from_record(record: ModelRecord) -> Individual:
             flops=int(record.flops),
             quarantined=True,
             fault_events=[dict(e) for e in record.fault_events],
+            **predicted,
+        )
+    if record.budget_assigned is not None and int(record.budget_assigned) <= 0:
+        # zero-budget skip: the allocator pre-filled the objectives from
+        # its prediction and the model never reached an evaluator, so
+        # there is no training result to rebuild
+        return Individual(
+            genome=Genome.from_dict(record.genome),
+            model_id=record.model_id,
+            generation=record.generation,
+            fitness=float(record.fitness),
+            flops=int(record.flops),
+            logical_tick=record.logical_tick,
+            **predicted,
         )
     result = TrainingResult(
         fitness=float(record.fitness),
@@ -76,16 +100,27 @@ def individual_from_record(record: ModelRecord) -> Individual:
         cache_hit=bool(record.cache_hit),
         cache_source=record.cache_source,
         logical_tick=record.logical_tick,
+        **predicted,
     )
 
 
 def _batch_stats(
-    generation: int, evaluated: list[Individual], pop: Population
+    generation: int,
+    evaluated: list[Individual],
+    pop: Population,
+    max_epochs: int | None = None,
 ) -> GenerationStats:
     fitnesses = [float(m.fitness) for m in evaluated]
     completed = [m for m in evaluated if m.result]
     epochs = sum(m.result.epochs_trained for m in completed)
     budget = sum(m.result._max_epochs for m in completed)
+    skipped = 0
+    if max_epochs is not None:
+        skipped = sum(
+            max_epochs - effective_budget(m, max_epochs)
+            for m in evaluated
+            if not m.quarantined
+        )
     return GenerationStats(
         generation=generation,
         n_evaluated=len(evaluated),
@@ -96,11 +131,15 @@ def _batch_stats(
         pareto_size=int(pareto_front_mask(pop.objective_array()).sum()),
         n_quarantined=sum(1 for m in evaluated if m.quarantined),
         n_cache_hits=sum(1 for m in evaluated if m.cache_hit),
+        epochs_skipped=skipped,
     )
 
 
 def _rebuild_steady(
-    records: list[ModelRecord], population_size: int, offspring_per_generation: int
+    records: list[ModelRecord],
+    population_size: int,
+    offspring_per_generation: int,
+    max_epochs: int | None = None,
 ) -> SearchState:
     """Steady-mode rebuild: replay one-in/one-out commits in tick order.
 
@@ -147,7 +186,7 @@ def _rebuild_steady(
                 if committed == population_size
                 else (committed - population_size) // offspring_per_generation
             )
-            stats.append(_batch_stats(generation, chunk, Population(members)))
+            stats.append(_batch_stats(generation, chunk, Population(members), max_epochs))
             chunk = []
     return SearchState(
         population=Population(members),
@@ -164,6 +203,7 @@ def rebuild_search_state(
     population_size: int,
     offspring_per_generation: int,
     evolution: str = "barrier",
+    max_epochs: int | None = None,
 ) -> SearchState:
     """Rebuild the search state from the complete generations in ``records``.
 
@@ -171,9 +211,13 @@ def rebuild_search_state(
     dropped; their models will be re-evaluated identically on resume.
     In steady mode the state is rebuilt by replaying the one-in/one-out
     commits in logical-tick order instead of per-generation batches.
+    ``max_epochs`` (the full per-model budget) is needed to rebuild the
+    surrogate ``epochs_skipped`` stat; ``None`` reports zero skips.
     """
     if evolution == "steady":
-        return _rebuild_steady(records, population_size, offspring_per_generation)
+        return _rebuild_steady(
+            records, population_size, offspring_per_generation, max_epochs
+        )
     by_generation: dict[int, list[ModelRecord]] = {}
     for record in records:
         by_generation.setdefault(record.generation, []).append(record)
@@ -201,7 +245,7 @@ def rebuild_search_state(
         [individual_from_record(r) for r in complete[0]]
     )
     archive_members.extend(population.members)
-    stats.append(_batch_stats(0, population.members, population))
+    stats.append(_batch_stats(0, population.members, population, max_epochs))
     # replay environmental selection over each completed offspring batch
     for generation, batch in enumerate(complete[1:], start=1):
         offspring = [individual_from_record(r) for r in batch]
@@ -211,7 +255,7 @@ def rebuild_search_state(
             combined.objective_array(), population_size
         )
         population = combined.subset(survivors)
-        stats.append(_batch_stats(generation, offspring, population))
+        stats.append(_batch_stats(generation, offspring, population, max_epochs))
 
     next_model_id = max(m.model_id for m in archive_members) + 1
     return SearchState(
@@ -247,6 +291,7 @@ def resume_workflow(commons: DataCommons, run_id: str):
         population_size=config.nas.population_size,
         offspring_per_generation=config.nas.offspring_per_generation,
         evolution=config.nas.evolution,
+        max_epochs=config.nas.max_epochs,
     )
     _LOG.info(
         "resuming run %s from generation %d (%d models already evaluated)",
@@ -279,6 +324,14 @@ def resume_workflow(commons: DataCommons, run_id: str):
         if restored(record):
             tracker.records[record.model_id] = record
     evaluator = orchestrator.build_evaluator(tracker, engine)
+    if orchestrator.allocator is not None:
+        # replay the allocator's counters and the predictor's training
+        # rows from the restored trails, in commit (model-id) order —
+        # predictions stored on the records are kept, never recomputed,
+        # so the resumed predictor sees exactly the live run's data
+        orchestrator.allocator.restore(
+            sorted((r for r in records if restored(r)), key=lambda r: r.model_id)
+        )
     if orchestrator.memoizer is not None:
         # prime the cache from the restored trails so evaluations the
         # interrupted run already shared stay shared on resume (faulted
@@ -302,7 +355,8 @@ def resume_workflow(commons: DataCommons, run_id: str):
         nas,
         evaluator,
         rng_stream=RngStream(config.seed).child("search"),
-        on_individual=tracker.observe_individual,
+        on_individual=orchestrator._on_individual,
+        on_candidate=orchestrator.allocator.score if orchestrator.allocator else None,
         executor=None if steady else orchestrator.build_executor(evaluator),
         stream=orchestrator.build_stream(evaluator) if steady else None,
     )
